@@ -1,0 +1,50 @@
+//! Wall-clock cost of complete Andrew-benchmark simulations (experiment E1
+//! end to end): how long the harness takes to simulate the replicated and
+//! direct runs at the tiny scale.
+
+use base_bench::andrew::{AndrewDriver, AndrewScale};
+use base_bench::setup::{
+    build_direct_nfs, build_replicated_nfs, run_direct_to_completion, run_relay_to_completion,
+    FsMix,
+};
+use base_simnet::{SimDuration, Simulation};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_andrew_tiny(c: &mut Criterion) {
+    let mut g = c.benchmark_group("andrew_tiny");
+    g.sample_size(10);
+    g.bench_function("replicated", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            let bed = build_replicated_nfs(
+                &mut sim,
+                1,
+                FsMix::Heterogeneous,
+                AndrewDriver::new(AndrewScale::tiny()),
+            );
+            assert!(run_relay_to_completion::<AndrewDriver>(
+                &mut sim,
+                bed.client,
+                SimDuration::from_secs(600),
+            ));
+            sim.now().as_nanos()
+        })
+    });
+    g.bench_function("direct", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            let (_srv, client) =
+                build_direct_nfs(&mut sim, 1, AndrewDriver::new(AndrewScale::tiny()));
+            assert!(run_direct_to_completion::<AndrewDriver>(
+                &mut sim,
+                client,
+                SimDuration::from_secs(600),
+            ));
+            sim.now().as_nanos()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_andrew_tiny);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Wall-clock cost of the abstraction-layer checkpoint machinery: taking a
+//! COW checkpoint of the abstract state, serving historical objects through
+//! reverse-delta records, and the partition tree's leaf updates.
+
+use base::demo::{KvWrapper, TinyKv};
+use base::BaseService;
+use base_pbft::tree::leaf_digest;
+use base_pbft::{ExecEnv, PartitionTree, Service};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+fn loaded_service(keys: usize) -> (BaseService<KvWrapper>, rand::rngs::StdRng) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut svc = BaseService::new(KvWrapper::new(TinyKv::default()));
+    for i in 0..keys {
+        let op = format!("put key{i} value-{i}");
+        let nd = (i as u64).to_be_bytes();
+        let mut env = ExecEnv::new(0, &mut rng);
+        svc.execute(op.as_bytes(), 1, &nd, false, &mut env);
+    }
+    (svc, rng)
+}
+
+fn bench_take_checkpoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("take_checkpoint");
+    for keys in [8usize, 64, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(keys), &keys, |b, &keys| {
+            let (mut svc, mut rng) = loaded_service(keys);
+            let mut seq = 0u64;
+            b.iter(|| {
+                // Dirty one object then checkpoint (steady-state shape).
+                let mut env = ExecEnv::new(0, &mut rng);
+                svc.execute(b"put key0 fresh", 1, &seq.to_be_bytes(), false, &mut env);
+                seq += 1;
+                svc.take_checkpoint(seq, &mut env)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_checkpoint_object(c: &mut Criterion) {
+    let (mut svc, mut rng) = loaded_service(256);
+    let mut env = ExecEnv::new(0, &mut rng);
+    svc.take_checkpoint(1, &mut env);
+    // Modify everything so the reverse deltas are exercised.
+    for i in 0..256 {
+        let op = format!("put key{i} newer");
+        svc.execute(op.as_bytes(), 1, &2u64.to_be_bytes(), false, &mut env);
+    }
+    svc.take_checkpoint(2, &mut env);
+    c.bench_function("checkpoint_object/reverse-delta", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            svc.checkpoint_object(1, std::hint::black_box(i))
+        })
+    });
+}
+
+fn bench_partition_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition_tree");
+    for leaves in [1u64 << 12, 1 << 16, 1 << 20] {
+        g.bench_with_input(BenchmarkId::new("set_leaf", leaves), &leaves, |b, &n| {
+            let mut t = PartitionTree::new(n, 16);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i * 2862933555777941757 + 1) % n;
+                t.set_leaf(i, leaf_digest(i, b"value"));
+            })
+        });
+    }
+    let mut t = PartitionTree::new(1 << 16, 16);
+    for i in 0..1000 {
+        t.set_leaf(i, leaf_digest(i, b"v"));
+    }
+    g.bench_function("snapshot_clone", |b| b.iter(|| std::hint::black_box(t.clone())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_take_checkpoint, bench_checkpoint_object, bench_partition_tree);
+criterion_main!(benches);

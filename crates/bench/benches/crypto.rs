@@ -1,0 +1,59 @@
+//! Wall-clock micro-benchmarks of the crypto substrate: SHA-256 throughput,
+//! HMAC, MAC authenticators, and simulated signatures — the per-message
+//! costs behind every protocol round.
+
+use base_crypto::{hmac_sha256, Authenticator, Digest, KeyDirectory, NodeKeys, Sha256};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 8192, 65536] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| Sha256::digest(std::hint::black_box(d)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let key = [7u8; 32];
+    let msg = vec![1u8; 256];
+    c.bench_function("hmac_sha256/256B", |b| {
+        b.iter(|| hmac_sha256(std::hint::black_box(&key), std::hint::black_box(&msg)))
+    });
+}
+
+fn bench_authenticator(c: &mut Criterion) {
+    let dir = KeyDirectory::generate(8, 1);
+    let keys = NodeKeys::new(dir.clone(), 0);
+    let verifier = NodeKeys::new(dir, 3);
+    let digest = Digest::of(b"a protocol message digest");
+    let mut g = c.benchmark_group("authenticator");
+    for n in [4usize, 7] {
+        g.bench_with_input(BenchmarkId::new("generate", n), &n, |b, &n| {
+            b.iter(|| Authenticator::generate(&keys, n, std::hint::black_box(&digest)))
+        });
+    }
+    let auth = Authenticator::generate(&keys, 4, &digest);
+    g.bench_function("check", |b| {
+        b.iter(|| auth.check(&verifier, 0, std::hint::black_box(&digest)))
+    });
+    g.finish();
+}
+
+fn bench_signature(c: &mut Criterion) {
+    let dir = KeyDirectory::generate(4, 1);
+    let signer = NodeKeys::new(dir.clone(), 0);
+    let verifier = NodeKeys::new(dir, 1);
+    let msg = vec![9u8; 128];
+    c.bench_function("sig/sign", |b| b.iter(|| signer.sign(std::hint::black_box(&msg))));
+    let sig = signer.sign(&msg);
+    c.bench_function("sig/verify", |b| {
+        b.iter(|| verifier.verify(0, std::hint::black_box(&msg), &sig))
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_hmac, bench_authenticator, bench_signature);
+criterion_main!(benches);

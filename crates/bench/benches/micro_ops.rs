@@ -1,0 +1,79 @@
+//! Experiment E8: per-operation latency micro-benchmarks — null op,
+//! 4 KiB read, 4 KiB write, getattr — replicated (BASE) versus direct,
+//! measured in *virtual* time inside the simulation but reported per
+//! wall-clock iteration of a full simulated invocation.
+//!
+//! Each criterion iteration builds and runs a minimal simulation for a
+//! batch of operations, so the numbers track the real CPU cost of driving
+//! one replicated op end-to-end (protocol + crypto + codec), the quantity
+//! that bounds how fast experiments run.
+
+use base_bench::setup::{build_direct_nfs, build_replicated_nfs, FsMix};
+use base_nfs::ops::NfsOp;
+use base_nfs::relay::{DirectActor, RelayActor, ScriptDriver};
+use base_nfs::spec::Oid;
+use base_simnet::{SimDuration, Simulation};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn op_script(op_kind: &str, n: usize) -> Vec<NfsOp> {
+    let root = Oid::ROOT;
+    let file = Oid { index: 1, gen: 1 };
+    let mut script = vec![NfsOp::Create { dir: root, name: "f".into(), mode: 0o644 }];
+    script.push(NfsOp::Write { fh: file, offset: 0, data: vec![7u8; 4096] });
+    for _ in 0..n {
+        script.push(match op_kind {
+            "getattr" => NfsOp::Getattr { fh: file },
+            "read4k" => NfsOp::Read { fh: file, offset: 0, count: 4096 },
+            "write4k" => NfsOp::Write { fh: file, offset: 0, data: vec![8u8; 4096] },
+            _ => NfsOp::Statfs,
+        });
+    }
+    script
+}
+
+fn bench_replicated(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replicated_sim");
+    g.sample_size(10);
+    for kind in ["statfs", "getattr", "read4k", "write4k"] {
+        g.bench_function(kind, |b| {
+            b.iter(|| {
+                let mut sim = Simulation::new(42);
+                let bed = build_replicated_nfs(
+                    &mut sim,
+                    42,
+                    FsMix::Heterogeneous,
+                    ScriptDriver::new(op_script(kind, 20)),
+                );
+                base_nfs::relay::run_to_completion(
+                    &mut sim,
+                    |s| s.actor_as::<RelayActor<ScriptDriver>>(bed.client).unwrap().done(),
+                    SimDuration::from_secs(30),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_direct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("direct_sim");
+    g.sample_size(10);
+    for kind in ["statfs", "getattr", "read4k", "write4k"] {
+        g.bench_function(kind, |b| {
+            b.iter(|| {
+                let mut sim = Simulation::new(42);
+                let (_srv, client) =
+                    build_direct_nfs(&mut sim, 42, ScriptDriver::new(op_script(kind, 20)));
+                base_nfs::relay::run_to_completion(
+                    &mut sim,
+                    |s| s.actor_as::<DirectActor<ScriptDriver>>(client).unwrap().done(),
+                    SimDuration::from_secs(30),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_replicated, bench_direct);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Wall-clock cost of a full catch-up state transfer inside the
+//! simulation: a replica sleeps through a K-file workload and fetches the
+//! difference on return.
+
+use base_bench::setup::{build_replicated_nfs, run_relay_to_completion, FsMix};
+use base_nfs::ops::NfsOp;
+use base_nfs::relay::ScriptDriver;
+use base_nfs::spec::Oid;
+use base_simnet::{SimDuration, Simulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn script(files: u32) -> Vec<NfsOp> {
+    let root = Oid::ROOT;
+    let dir = Oid { index: 1, gen: 1 };
+    let mut s = vec![NfsOp::Mkdir { dir: root, name: "d".into(), mode: 0o755 }];
+    for i in 0..files {
+        s.push(NfsOp::Create { dir, name: format!("f{i}"), mode: 0o644 });
+        s.push(NfsOp::Write {
+            fh: Oid { index: 2 + i, gen: 1 },
+            offset: 0,
+            data: vec![i as u8; 4096],
+        });
+    }
+    // Cross the checkpoint interval with pad writes.
+    s.push(NfsOp::Create { dir, name: "pad".into(), mode: 0o644 });
+    let pad = Oid { index: 2 + files, gen: 1 };
+    while s.len() < 160 {
+        s.push(NfsOp::Write { fh: pad, offset: 0, data: vec![3u8; 64] });
+    }
+    s
+}
+
+fn bench_catchup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state_transfer_catchup");
+    g.sample_size(10);
+    for files in [8u32, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(files), &files, |b, &files| {
+            b.iter(|| {
+                let mut sim = Simulation::new(u64::from(files));
+                let bed = build_replicated_nfs(
+                    &mut sim,
+                    u64::from(files),
+                    FsMix::Heterogeneous,
+                    ScriptDriver::new(script(files)),
+                );
+                sim.crash(bed.replicas[3], SimDuration::from_secs(5));
+                run_relay_to_completion::<ScriptDriver>(
+                    &mut sim,
+                    bed.client,
+                    SimDuration::from_secs(60),
+                );
+                // Let the lagging replica repair itself.
+                sim.run_for(SimDuration::from_secs(30));
+                sim.stats().bytes_delivered
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_catchup);
+criterion_main!(benches);

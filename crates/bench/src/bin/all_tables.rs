@@ -1,0 +1,39 @@
+//! Regenerates every experiment table (E1–E7) in sequence. Pass
+//! `--scale medium` to run the larger Andrew configuration.
+
+use base_bench::experiments::{
+    run_andrew, run_bandwidth, run_checkpoint, run_codesize, run_degree, run_faultinj, run_oodb, run_recovery,
+    run_roopt, run_sigmac, run_throughput, run_transfer,
+};
+use base_bench::{AndrewScale, FsMix};
+
+fn main() {
+    let medium = std::env::args().any(|a| a == "medium") 
+        || std::env::args().collect::<Vec<_>>().windows(2).any(|w| w[0] == "--scale" && w[1] == "medium");
+    let scale = if medium { AndrewScale::medium() } else { AndrewScale::small() };
+
+    println!("\n################ E1: Andrew benchmark ################");
+    run_andrew(scale, FsMix::Heterogeneous);
+    println!("\n################ E2: code size ################");
+    run_codesize();
+    println!("\n################ E3: proactive recovery ################");
+    run_recovery();
+    println!("\n################ E4: state transfer ################");
+    run_transfer();
+    println!("\n################ E5: checkpointing ################");
+    run_checkpoint();
+    println!("\n################ E6: fault injection ################");
+    run_faultinj();
+    println!("\n################ E7: replicated OODB ################");
+    run_oodb();
+    println!("\n################ E9: throughput vs clients ################");
+    run_throughput();
+    println!("\n################ E10: replication degree ################");
+    run_degree();
+    println!();
+    run_roopt();
+    println!();
+    run_sigmac();
+    println!();
+    run_bandwidth();
+}

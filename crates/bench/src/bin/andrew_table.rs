@@ -1,0 +1,25 @@
+//! Experiment E1: the scaled Andrew benchmark (see
+//! `base_bench::experiments::andrew`). Flags: `--scale tiny|small|medium`,
+//! `--homogeneous`.
+
+use base_bench::experiments::run_andrew;
+use base_bench::{AndrewScale, FsMix};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = AndrewScale::small();
+    let mut mix = FsMix::Heterogeneous;
+    for (i, a) in args.iter().enumerate() {
+        if a == "--scale" {
+            scale = match args.get(i + 1).map(String::as_str) {
+                Some("tiny") => AndrewScale::tiny(),
+                Some("medium") => AndrewScale::medium(),
+                _ => AndrewScale::small(),
+            };
+        }
+        if a == "--homogeneous" {
+            mix = FsMix::HomogeneousInode;
+        }
+    }
+    run_andrew(scale, mix);
+}

@@ -1,0 +1,5 @@
+//! Experiment E13 (ablation): Andrew vs network bandwidth.
+
+fn main() {
+    base_bench::experiments::run_bandwidth();
+}

@@ -1,0 +1,5 @@
+//! Experiment E5: copy-on-write checkpointing, interval sweep.
+
+fn main() {
+    base_bench::experiments::run_checkpoint();
+}

@@ -1,0 +1,5 @@
+//! Experiment E2: conformance-wrapper code size (paper §4).
+
+fn main() {
+    base_bench::experiments::run_codesize();
+}

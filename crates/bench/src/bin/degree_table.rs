@@ -1,0 +1,5 @@
+//! Experiment E10 (extension): overhead versus replication degree.
+
+fn main() {
+    base_bench::experiments::run_degree();
+}

@@ -1,0 +1,5 @@
+//! Experiment E6: fault-injection campaign.
+
+fn main() {
+    base_bench::experiments::run_faultinj();
+}

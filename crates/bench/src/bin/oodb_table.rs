@@ -1,0 +1,5 @@
+//! Experiment E7: OO7-lite on the replicated OODB.
+
+fn main() {
+    base_bench::experiments::run_oodb();
+}

@@ -1,0 +1,5 @@
+//! Experiment E3: proactive recovery / software rejuvenation under load.
+
+fn main() {
+    base_bench::experiments::run_recovery();
+}

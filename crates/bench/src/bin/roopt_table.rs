@@ -1,0 +1,5 @@
+//! Experiment E11 (ablation): the read-only optimization on/off.
+
+fn main() {
+    base_bench::experiments::run_roopt();
+}

@@ -1,0 +1,5 @@
+//! Experiment E12 (ablation): MAC authenticators vs signatures.
+
+fn main() {
+    base_bench::experiments::run_sigmac();
+}

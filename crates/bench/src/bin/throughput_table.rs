@@ -1,0 +1,5 @@
+//! Experiment E9 (extension): throughput versus concurrent clients.
+
+fn main() {
+    base_bench::experiments::run_throughput();
+}

@@ -1,0 +1,5 @@
+//! Experiment E4: hierarchical state transfer sweep.
+
+fn main() {
+    base_bench::experiments::run_transfer();
+}

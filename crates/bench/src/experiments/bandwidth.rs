@@ -1,0 +1,84 @@
+//! Experiment E13 (ablation): sensitivity to network bandwidth.
+//!
+//! The paper's evaluation runs on a switched LAN where serialization time
+//! is negligible and the 30% Andrew overhead is dominated by protocol CPU
+//! and round trips. This ablation re-runs the Andrew workload (tiny scale)
+//! with the simulated network constrained to paper-era link speeds and
+//! reports how the replicated/direct ratio degrades as the protocol's
+//! extra wire traffic starts to cost real time.
+
+use crate::andrew::{AndrewDriver, AndrewScale};
+use crate::report::Table;
+use crate::setup::{build_direct_nfs, build_replicated_nfs, FsMix};
+use base_nfs::relay::{DirectActor, RelayActor, RunStats};
+use base_simnet::{SimDuration, Simulation};
+
+fn finish_ns(stats: &RunStats) -> u64 {
+    stats.completed_at_ns.last().copied().unwrap_or(0)
+}
+
+fn run_pair(bandwidth: u64) -> (u64, u64, u64) {
+    let scale = AndrewScale::tiny();
+    let limit = SimDuration::from_secs(3600);
+
+    let mut sim = Simulation::new(13_000 + bandwidth % 1000);
+    sim.config_mut().bandwidth_bytes_per_sec = bandwidth;
+    let bed = build_replicated_nfs(&mut sim, 1301, FsMix::Heterogeneous, AndrewDriver::new(scale));
+    // `build_replicated_nfs` resets the latency profile, not the bandwidth.
+    sim.config_mut().bandwidth_bytes_per_sec = bandwidth;
+    assert!(
+        crate::setup::run_relay_to_completion::<AndrewDriver>(&mut sim, bed.client, limit),
+        "replicated run did not finish at {bandwidth} B/s"
+    );
+    let rep = sim.actor_as::<RelayActor<AndrewDriver>>(bed.client).unwrap().stats.clone();
+    assert_eq!(rep.errors, 0);
+    let bytes = sim.stats().bytes_delivered;
+
+    let mut sim = Simulation::new(13_500 + bandwidth % 1000);
+    sim.config_mut().bandwidth_bytes_per_sec = bandwidth;
+    let (_, client) = build_direct_nfs(&mut sim, 1302, AndrewDriver::new(scale));
+    sim.config_mut().bandwidth_bytes_per_sec = bandwidth;
+    assert!(
+        crate::setup::run_direct_to_completion::<AndrewDriver>(&mut sim, client, limit),
+        "direct run did not finish at {bandwidth} B/s"
+    );
+    let dir = sim.actor_as::<DirectActor<AndrewDriver>>(client).unwrap().stats.clone();
+    assert_eq!(dir.errors, 0);
+
+    (finish_ns(&rep), finish_ns(&dir), bytes)
+}
+
+/// Runs E13 and prints the table.
+pub fn run_bandwidth() {
+    let mut t = Table::new(
+        "E13 (ablation): Andrew (tiny) vs network bandwidth",
+        &["network", "direct (s)", "replicated (s)", "overhead", "protocol MiB"],
+    );
+    let cases: [(&str, u64); 4] = [
+        ("switched LAN (unconstrained)", 0),
+        ("1 Gbit/s", 125_000_000),
+        ("100 Mbit/s", 12_500_000),
+        ("10 Mbit/s", 1_250_000),
+    ];
+    let mut overheads = Vec::new();
+    for (label, bw) in cases {
+        let (rep, dir, bytes) = run_pair(bw);
+        let overhead = (rep as f64 / dir as f64 - 1.0) * 100.0;
+        overheads.push(overhead);
+        t.row(&[
+            label.to_string(),
+            format!("{:.3}", dir as f64 / 1e9),
+            format!("{:.3}", rep as f64 / 1e9),
+            format!("{overhead:.1}%"),
+            format!("{:.2}", bytes as f64 / (1024.0 * 1024.0)),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nshape: on fast networks the overhead stays near the paper's ~30% (here \
+         {:.1}%–{:.1}%); once serialization time dominates (10 Mbit/s) the protocol's \
+         n-fold wire amplification pushes overhead to {:.1}% — quantifying the paper's \
+         switched-LAN assumption.",
+        overheads[0], overheads[1], overheads[3]
+    );
+}

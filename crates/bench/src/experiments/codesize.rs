@@ -1,0 +1,109 @@
+//! Experiment E2: conformance-wrapper code size (paper §4: the wrapper and
+//! state conversion functions have 1105 semicolons, "two orders of
+//! magnitude less than the size of the Linux 2.2 kernel").
+//!
+//! Same metric, same roles: our wrapper + abstract spec against the wrapped
+//! file-system implementations (which stand in for the off-the-shelf code
+//! reused without modification).
+
+use crate::report::Table;
+
+/// A counted source artifact.
+struct Artifact {
+    name: &'static str,
+    role: &'static str,
+    source: &'static str,
+}
+
+/// Counts semicolons, the paper's metric.
+fn semis(src: &str) -> usize {
+    src.matches(';').count()
+}
+
+/// Counts non-empty, non-comment lines.
+fn loc(src: &str) -> usize {
+    src.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("//!"))
+        .count()
+}
+
+/// Runs E2. Returns `(wrapper_semis, reused_semis)`.
+pub fn run_codesize() -> (usize, usize) {
+    let artifacts = [
+        Artifact {
+            name: "nfs/wrapper.rs (conformance wrapper + state conversions)",
+            role: "new code",
+            source: include_str!("../../../nfs/src/wrapper.rs"),
+        },
+        Artifact {
+            name: "nfs/spec.rs (abstract specification)",
+            role: "new code",
+            source: include_str!("../../../nfs/src/spec.rs"),
+        },
+        Artifact {
+            name: "nfs/ops.rs (operation language)",
+            role: "new code",
+            source: include_str!("../../../nfs/src/ops.rs"),
+        },
+        Artifact {
+            name: "nfs/inode_fs.rs (wrapped implementation 1)",
+            role: "reused",
+            source: include_str!("../../../nfs/src/inode_fs.rs"),
+        },
+        Artifact {
+            name: "nfs/log_fs.rs (wrapped implementation 2)",
+            role: "reused",
+            source: include_str!("../../../nfs/src/log_fs.rs"),
+        },
+        Artifact {
+            name: "nfs/btree_fs.rs (wrapped implementation 3)",
+            role: "reused",
+            source: include_str!("../../../nfs/src/btree_fs.rs"),
+        },
+        Artifact {
+            name: "nfs/flat_fs.rs (wrapped implementation 4)",
+            role: "reused",
+            source: include_str!("../../../nfs/src/flat_fs.rs"),
+        },
+    ];
+
+    let mut t = Table::new(
+        "E2: code size — wrapper vs wrapped implementations",
+        &["artifact", "role", "semicolons", "LoC"],
+    );
+    let mut new_semis = 0usize;
+    let mut reused_semis = 0usize;
+    for a in &artifacts {
+        let s = semis(a.source);
+        if a.role == "new code" {
+            new_semis += s;
+        } else {
+            reused_semis += s;
+        }
+        t.row(&[a.name.into(), a.role.into(), s.to_string(), loc(a.source).to_string()]);
+    }
+    t.row(&[
+        "TOTAL new (wrapper + conversions + spec)".into(),
+        "new code".into(),
+        new_semis.to_string(),
+        "-".into(),
+    ]);
+    t.row(&[
+        "TOTAL reused (four implementations)".into(),
+        "reused".into(),
+        reused_semis.to_string(),
+        "-".into(),
+    ]);
+    t.print();
+    println!(
+        "\npaper claim: wrapper + conversions = 1105 semicolons, two orders of magnitude \
+         smaller than the wrapped implementation (Linux 2.2)."
+    );
+    println!(
+        "note: our wrapped implementations are purpose-built stand-ins, so the ratio here \
+         ({:.1}x) understates the paper's (the real denominator was an entire kernel).",
+        reused_semis as f64 / new_semis as f64
+    );
+    (new_semis, reused_semis)
+}

@@ -1,0 +1,126 @@
+//! Experiment E3: proactive recovery / software rejuvenation (paper §2.2
+//! and §3.4) — staggered watchdog reboots keep the service available, and
+//! clean reboots additionally reclaim leaked concrete storage.
+//!
+//! Three runs of the same 60-second write workload on the replicated
+//! (leaky!) KV service: recovery disabled, clean-reboot recovery, and
+//! warm-reboot recovery. Reports throughput, recovery counts/durations,
+//! and leaked entries at the end.
+
+use crate::report::Table;
+use base::demo::{KvWrapper, TinyKv};
+use base::{BaseClient, BaseReplica, BaseService, Config};
+use base_simnet::{NodeId, SimDuration, Simulation};
+
+type KvReplica = BaseReplica<KvWrapper>;
+
+struct Out {
+    ops_done: usize,
+    recoveries: u64,
+    mean_recovery_ms: u64,
+    max_latency_ms: u64,
+    leaked: usize,
+}
+
+fn run_once(mode: Option<bool>) -> Out {
+    // mode: None = recovery off; Some(clean).
+    let mut cfg = Config::new(4);
+    cfg.checkpoint_interval = 32;
+    cfg.log_window = 128;
+    if mode.is_some() {
+        cfg.recovery_period = Some(SimDuration::from_secs(2));
+        cfg.reboot_time = SimDuration::from_millis(300);
+    }
+    let mut sim = Simulation::new(5100);
+    let dir = base_crypto::KeyDirectory::generate(5, 5100);
+    let mut replicas: Vec<NodeId> = Vec::new();
+    for i in 0..4 {
+        let keys = base_crypto::NodeKeys::new(dir.clone(), i);
+        let mut kv = TinyKv::default();
+        kv.leaky = true; // The aging bug rejuvenation repairs.
+        let mut w = KvWrapper::new(kv);
+        w.op_cost = SimDuration::from_millis(2); // Era-scale op cost.
+        let svc = BaseService::new(w);
+        replicas.push(sim.add_node(Box::new(KvReplica::new(cfg.clone(), keys, svc))));
+    }
+    if let Some(clean) = mode {
+        for &r in &replicas {
+            sim.actor_as_mut::<KvReplica>(r).unwrap().set_recovery_clean(clean);
+        }
+    }
+    let keys = base_crypto::NodeKeys::new(dir, 4);
+    let client = sim.add_node(Box::new(BaseClient::new(cfg, keys)));
+
+    // Churny workload: put + delete pairs leak at every replica.
+    let ops = 1200usize;
+    {
+        let c = sim.actor_as_mut::<BaseClient>(client).unwrap();
+        for i in 0..ops {
+            if i % 3 == 2 {
+                c.invoke(format!("del tmp{}", (i / 3) % 50).into_bytes(), false);
+            } else {
+                c.invoke(format!("put tmp{} x{i}", (i / 3) % 50).into_bytes(), false);
+            }
+        }
+    }
+    sim.run_for(SimDuration::from_secs(90));
+
+    let c = sim.actor_as::<BaseClient>(client).unwrap();
+    let ops_done = c.completed.len();
+    let max_latency_ms = c.core().latencies_ns.iter().copied().max().unwrap_or(0) / 1_000_000;
+
+    let mut recoveries = 0u64;
+    let mut rec_ns = Vec::new();
+    let mut leaked = 0usize;
+    for &r in &replicas {
+        let rep = sim.actor_as::<KvReplica>(r).unwrap();
+        recoveries += rep.stats.recoveries;
+        if rep.last_recovery_ns > 0 {
+            rec_ns.push(rep.last_recovery_ns);
+        }
+        leaked += rep.service().wrapper().kv().leaked();
+    }
+    let mean_recovery_ms = if rec_ns.is_empty() {
+        0
+    } else {
+        rec_ns.iter().sum::<u64>() / rec_ns.len() as u64 / 1_000_000
+    };
+    Out { ops_done, recoveries, mean_recovery_ms, max_latency_ms, leaked }
+}
+
+/// Runs E3 and prints the table.
+pub fn run_recovery() {
+    let mut t = Table::new(
+        "E3: proactive recovery under load (1200 ops, leaky implementation, period 2 s, reboot 300 ms)",
+        &[
+            "mode",
+            "ops completed",
+            "recoveries",
+            "mean recovery (ms)",
+            "max op latency (ms)",
+            "leaked entries left",
+        ],
+    );
+    for (name, mode) in [
+        ("no recovery", None),
+        ("clean reboot (paper §3.4)", Some(true)),
+        ("warm reboot", Some(false)),
+    ] {
+        let o = run_once(mode);
+        t.row(&[
+            name.into(),
+            o.ops_done.to_string(),
+            o.recoveries.to_string(),
+            if o.recoveries > 0 { o.mean_recovery_ms.to_string() } else { "-".into() },
+            o.max_latency_ms.to_string(),
+            o.leaked.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nshape: the service completes the full workload in every mode (recoveries are \
+         staggered, < 1/3 of replicas down at once); clean reboots drive leaked entries to \
+         ~0 at recovered replicas (rejuvenation), warm reboots repair state but keep the \
+         leak; max latency absorbs the reboot window."
+    );
+}

@@ -1,0 +1,283 @@
+//! Simulation builders for the experiment testbeds.
+
+use base::{BaseReplica, BaseService};
+use base_nfs::relay::{DirectActor, DirectServerActor, NfsDriver, RelayActor};
+use base_nfs::{BtreeFs, FlatFs, InodeFs, LogFs, NfsWrapper};
+use base_pbft::{Config, ReplicaStats};
+use base_simnet::{LatencyModel, NodeId, SimDuration, Simulation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Abstract object array capacity used by the testbeds.
+pub const CAPACITY: u64 = 4096;
+
+/// Which implementations the replicas run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsMix {
+    /// Replica 0: InodeFs, 1: FlatFs, 2: LogFs, 3: BtreeFs — a different
+    /// implementation on every replica (opportunistic N-version).
+    Heterogeneous,
+    /// All replicas run InodeFs (the classic-BFT configuration).
+    HomogeneousInode,
+}
+
+/// Calibrated per-op server costs approximating the paper's era
+/// (Linux 2.2 NFS daemons on ~600 MHz machines, warm cache, async disk):
+/// returns `(base, per_byte_ns)`.
+pub fn era_costs() -> (SimDuration, u64) {
+    (SimDuration::from_micros(350), 120)
+}
+
+/// Applies the switched-LAN profile the paper's testbed used.
+pub fn lan_config(sim: &mut Simulation) {
+    sim.config_mut().latency = LatencyModel::lan();
+}
+
+/// A built replicated-NFS testbed.
+pub struct NfsTestbed {
+    /// Group configuration.
+    pub cfg: Config,
+    /// Replica nodes (`0..n`).
+    pub replicas: Vec<NodeId>,
+    /// The relay/client node.
+    pub client: NodeId,
+    /// Which mix was built.
+    pub mix: FsMix,
+}
+
+/// The implementation family a replica runs (determined by mix + index).
+fn impl_of(mix: FsMix, i: usize) -> usize {
+    match mix {
+        FsMix::HomogeneousInode => 0,
+        FsMix::Heterogeneous => i % 4,
+    }
+}
+
+type InodeReplica = BaseReplica<NfsWrapper<InodeFs>>;
+type FlatReplica = BaseReplica<NfsWrapper<FlatFs>>;
+type LogReplica = BaseReplica<NfsWrapper<LogFs>>;
+type BtreeReplica = BaseReplica<NfsWrapper<BtreeFs>>;
+
+/// Builds a 4-replica BASE NFS service plus a relay driving `driver`.
+pub fn build_replicated_nfs<D: NfsDriver>(
+    sim: &mut Simulation,
+    seed: u64,
+    mix: FsMix,
+    driver: D,
+) -> NfsTestbed {
+    build_replicated_nfs_n(sim, seed, 4, mix, driver)
+}
+
+/// Builds an `n`-replica BASE NFS service (n ≥ 4); in the heterogeneous
+/// mix the four implementation families rotate across the replicas.
+pub fn build_replicated_nfs_n<D: NfsDriver>(
+    sim: &mut Simulation,
+    seed: u64,
+    n: usize,
+    mix: FsMix,
+    driver: D,
+) -> NfsTestbed {
+    lan_config(sim);
+    let mut cfg = Config::new(n);
+    cfg.checkpoint_interval = 128; // The paper's k.
+    cfg.log_window = 256;
+    let dir = base_crypto::KeyDirectory::generate(n + 1, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (base_cost, per_byte) = era_costs();
+    let mut replicas = Vec::new();
+
+    for i in 0..n {
+        let keys = base_crypto::NodeKeys::new(dir.clone(), i);
+        let node = match impl_of(mix, i) {
+            0 => {
+                let mut w =
+                    NfsWrapper::with_capacity(InodeFs::new(0x10 + i as u64, &mut rng), CAPACITY);
+                w.op_cost_base = base_cost;
+                w.op_cost_per_byte_ns = per_byte;
+                sim.add_node(Box::new(InodeReplica::new(cfg.clone(), keys, BaseService::new(w))))
+            }
+            1 => {
+                let mut w =
+                    NfsWrapper::with_capacity(FlatFs::new(0x40 + i as u64, &mut rng), CAPACITY);
+                w.op_cost_base = base_cost;
+                w.op_cost_per_byte_ns = per_byte;
+                sim.add_node(Box::new(FlatReplica::new(cfg.clone(), keys, BaseService::new(w))))
+            }
+            2 => {
+                let mut w =
+                    NfsWrapper::with_capacity(LogFs::new(0x20 + i as u64, &mut rng), CAPACITY);
+                w.op_cost_base = base_cost;
+                w.op_cost_per_byte_ns = per_byte;
+                sim.add_node(Box::new(LogReplica::new(cfg.clone(), keys, BaseService::new(w))))
+            }
+            _ => {
+                let mut w =
+                    NfsWrapper::with_capacity(BtreeFs::new(0x30 + i as u64, &mut rng), CAPACITY);
+                w.op_cost_base = base_cost;
+                w.op_cost_per_byte_ns = per_byte;
+                sim.add_node(Box::new(BtreeReplica::new(cfg.clone(), keys, BaseService::new(w))))
+            }
+        };
+        sim.config_mut().set_clock_skew(node, SimDuration::from_millis(13 * i as u64));
+        replicas.push(node);
+    }
+    let keys = base_crypto::NodeKeys::new(dir, n);
+    let client = sim.add_node(Box::new(RelayActor::new(cfg.clone(), keys, driver)));
+    NfsTestbed { cfg, replicas, client, mix }
+}
+
+/// Builds the unreplicated baseline: one InodeFs server + a direct client.
+/// Returns `(server, client)`.
+pub fn build_direct_nfs<D: NfsDriver>(
+    sim: &mut Simulation,
+    seed: u64,
+    driver: D,
+) -> (NodeId, NodeId) {
+    lan_config(sim);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (base_cost, per_byte) = era_costs();
+    let mut server_actor = DirectServerActor::new(InodeFs::new(0x99, &mut rng));
+    server_actor.wrapper_mut().op_cost_base = base_cost;
+    server_actor.wrapper_mut().op_cost_per_byte_ns = per_byte;
+    let server = sim.add_node(Box::new(server_actor));
+    let client = sim.add_node(Box::new(DirectActor::new(server, driver)));
+    (server, client)
+}
+
+/// Fetches the protocol stats of replica `i`, handling the mixed actor
+/// types.
+pub fn replica_stats(sim: &Simulation, bed: &NfsTestbed, i: usize) -> ReplicaStats {
+    let node = bed.replicas[i];
+    match impl_of(bed.mix, i) {
+        0 => sim.actor_as::<InodeReplica>(node).expect("inode replica").stats.clone(),
+        1 => sim.actor_as::<FlatReplica>(node).expect("flat replica").stats.clone(),
+        2 => sim.actor_as::<LogReplica>(node).expect("log replica").stats.clone(),
+        _ => sim.actor_as::<BtreeReplica>(node).expect("btree replica").stats.clone(),
+    }
+}
+
+/// Root digest of replica `i`'s current abstract state.
+pub fn replica_root(sim: &Simulation, bed: &NfsTestbed, i: usize) -> base_crypto::Digest {
+    use base_pbft::Service as _;
+    let node = bed.replicas[i];
+    match impl_of(bed.mix, i) {
+        0 => sim
+            .actor_as::<InodeReplica>(node)
+            .expect("inode replica")
+            .service()
+            .current_tree()
+            .root_digest(),
+        1 => sim
+            .actor_as::<FlatReplica>(node)
+            .expect("flat replica")
+            .service()
+            .current_tree()
+            .root_digest(),
+        2 => sim
+            .actor_as::<LogReplica>(node)
+            .expect("log replica")
+            .service()
+            .current_tree()
+            .root_digest(),
+        _ => sim
+            .actor_as::<BtreeReplica>(node)
+            .expect("btree replica")
+            .service()
+            .current_tree()
+            .root_digest(),
+    }
+}
+
+/// Injects concrete-state corruption into the file at abstract `index` on
+/// replica `i`. Returns true if the injection succeeded.
+pub fn corrupt_replica_object(
+    sim: &mut Simulation,
+    bed: &NfsTestbed,
+    i: usize,
+    index: u32,
+) -> bool {
+    use base_nfs::NfsServer as _;
+    let node = bed.replicas[i];
+    match impl_of(bed.mix, i) {
+        0 => {
+            let r = sim.actor_as_mut::<InodeReplica>(node).expect("inode replica");
+            let w = r.service_mut().wrapper_mut();
+            match w.server_fh_of(index) {
+                Some(fh) => w.server_mut().inject_corruption(&fh),
+                None => false,
+            }
+        }
+        1 => {
+            let r = sim.actor_as_mut::<FlatReplica>(node).expect("flat replica");
+            let w = r.service_mut().wrapper_mut();
+            match w.server_fh_of(index) {
+                Some(fh) => w.server_mut().inject_corruption(&fh),
+                None => false,
+            }
+        }
+        2 => {
+            let r = sim.actor_as_mut::<LogReplica>(node).expect("log replica");
+            let w = r.service_mut().wrapper_mut();
+            match w.server_fh_of(index) {
+                Some(fh) => w.server_mut().inject_corruption(&fh),
+                None => false,
+            }
+        }
+        _ => {
+            let r = sim.actor_as_mut::<BtreeReplica>(node).expect("btree replica");
+            let w = r.service_mut().wrapper_mut();
+            match w.server_fh_of(index) {
+                Some(fh) => w.server_mut().inject_corruption(&fh),
+                None => false,
+            }
+        }
+    }
+}
+
+/// Arms the seeded latent bug on every replica running InodeFs.
+pub fn arm_inode_latent_bug(sim: &mut Simulation, bed: &NfsTestbed) {
+    for i in 0..bed.replicas.len() {
+        if impl_of(bed.mix, i) == 0 {
+            let r = sim.actor_as_mut::<InodeReplica>(bed.replicas[i]).expect("inode replica");
+            r.service_mut().wrapper_mut().server_mut().latent_bug = true;
+        }
+    }
+}
+
+/// Sets a Byzantine mode on replica `i`, handling the mixed actor types.
+pub fn set_byzantine(sim: &mut Simulation, bed: &NfsTestbed, i: usize, mode: base::ByzMode) {
+    let node = bed.replicas[i];
+    match impl_of(bed.mix, i) {
+        0 => sim.actor_as_mut::<InodeReplica>(node).expect("inode replica").set_byzantine(mode),
+        1 => sim.actor_as_mut::<FlatReplica>(node).expect("flat replica").set_byzantine(mode),
+        2 => sim.actor_as_mut::<LogReplica>(node).expect("log replica").set_byzantine(mode),
+        _ => sim.actor_as_mut::<BtreeReplica>(node).expect("btree replica").set_byzantine(mode),
+    }
+}
+
+/// Runs the simulation until the relay's driver finishes (true) or the
+/// limit passes (false).
+pub fn run_relay_to_completion<D: NfsDriver>(
+    sim: &mut Simulation,
+    client: NodeId,
+    limit: SimDuration,
+) -> bool {
+    base_nfs::relay::run_to_completion(
+        sim,
+        |s| s.actor_as::<RelayActor<D>>(client).map(|r| r.done()).unwrap_or(false),
+        limit,
+    )
+}
+
+/// Runs the simulation until the direct client finishes.
+pub fn run_direct_to_completion<D: NfsDriver>(
+    sim: &mut Simulation,
+    client: NodeId,
+    limit: SimDuration,
+) -> bool {
+    base_nfs::relay::run_to_completion(
+        sim,
+        |s| s.actor_as::<DirectActor<D>>(client).map(|r| r.done()).unwrap_or(false),
+        limit,
+    )
+}

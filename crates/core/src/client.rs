@@ -1,0 +1,73 @@
+//! The BASE client: the `invoke` entry point of the paper's Figure 1.
+
+use base_pbft::{ClientCore, ClientEvent, Config};
+use base_crypto::NodeKeys;
+use base_simnet::{Actor, Context, NodeId, SimDuration};
+
+const TOKEN_PUMP: u64 = (1 << 63) | 1;
+
+/// A client of a BASE-replicated service.
+///
+/// `invoke` queues an operation; the client carries out the client side of
+/// the replication protocol and records the result once enough replicas
+/// have responded (f+1 matching replies; 2f+1 for read-only operations).
+/// For request/reply pipelines embedded in other actors (like the NFS
+/// relay), use [`base_pbft::ClientCore`] directly.
+pub struct BaseClient {
+    core: ClientCore,
+    /// Completed operations as `(invocation id, result)` pairs, in order.
+    pub completed: Vec<(u64, Vec<u8>)>,
+}
+
+impl BaseClient {
+    /// Creates a client. Its node id (from `keys`) must be `>= n`.
+    pub fn new(cfg: Config, keys: NodeKeys) -> Self {
+        Self { core: ClientCore::new(cfg, keys), completed: Vec::new() }
+    }
+
+    /// Invokes an operation on the replicated service (paper Figure 1:
+    /// `invoke(req, rep, read_only)`). Returns immediately; the result
+    /// appears in [`BaseClient::completed`] once the reply quorum arrives.
+    pub fn invoke(&mut self, op: Vec<u8>, read_only: bool) {
+        self.core.submit(op, read_only);
+    }
+
+    /// True when nothing is queued or in flight.
+    pub fn idle(&self) -> bool {
+        !self.core.busy() && self.core.queued() == 0
+    }
+
+    /// Access to the protocol core (latency statistics etc.).
+    pub fn core(&self) -> &ClientCore {
+        &self.core
+    }
+
+    /// Mutable access to the protocol core (cost-model overrides).
+    pub fn core_mut(&mut self) -> &mut ClientCore {
+        &mut self.core
+    }
+}
+
+impl Actor for BaseClient {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.core.pump(ctx);
+        ctx.set_timer(SimDuration::from_millis(1), TOKEN_PUMP);
+    }
+
+    fn on_message(&mut self, from: NodeId, payload: &[u8], ctx: &mut Context<'_>) {
+        if let Some(ClientEvent::Completed { timestamp, result }) =
+            self.core.on_message(from, payload, ctx)
+        {
+            self.completed.push((timestamp, result));
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        if token == TOKEN_PUMP {
+            self.core.pump(ctx);
+            ctx.set_timer(SimDuration::from_millis(1), TOKEN_PUMP);
+            return;
+        }
+        self.core.on_timer(token, ctx);
+    }
+}

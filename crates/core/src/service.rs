@@ -1,0 +1,242 @@
+//! [`BaseService`]: the abstraction layer between the replication protocol
+//! and a conformance wrapper.
+
+use crate::wrapper::{ModifyLog, Wrapper};
+use base_crypto::Digest;
+use base_pbft::tree::leaf_digest;
+use base_pbft::{CostModel, ExecEnv, PartitionTree, Service};
+use std::collections::{BTreeMap, HashMap};
+
+/// Branching factor of the abstract-state partition tree.
+const BRANCHING: u32 = 16;
+
+/// Counters exposed for the checkpoint/state-transfer experiments.
+#[derive(Debug, Default, Clone)]
+pub struct BaseStats {
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// `get_obj` calls made to digest modified objects at checkpoints.
+    pub objects_digested: u64,
+    /// Pre-image copies captured by the `modify` upcall.
+    pub preimage_copies: u64,
+    /// Objects written through `put_objs` during installs.
+    pub objects_installed: u64,
+    /// Full abstraction-function scans (warm reboots).
+    pub rebuild_scans: u64,
+}
+
+/// Implements the replication library's [`Service`] interface on top of a
+/// conformance [`Wrapper`], adding copy-on-write incremental checkpoints of
+/// the abstract state and abstraction-aware proactive recovery.
+///
+/// Checkpoint storage follows the paper (§2.2): the service keeps only the
+/// *current* concrete state plus, per retained checkpoint, reverse-delta
+/// copies of the abstract objects modified after it (captured lazily by the
+/// [`ModifyLog`]), and a copy-on-write snapshot of the digest tree.
+pub struct BaseService<W: Wrapper> {
+    wrapper: W,
+    /// Digests of the current abstract state. Leaves of dirty objects are
+    /// refreshed at checkpoint time (and before state transfer).
+    tree: PartitionTree,
+    mods: ModifyLog,
+    /// Finalized reverse-delta records: checkpoint seq → (object → value
+    /// *at that checkpoint*, captured at its first later modification).
+    records: BTreeMap<u64, HashMap<u64, Option<Vec<u8>>>>,
+    /// Digest-tree snapshots per retained checkpoint (O(1) clones).
+    ckpt_trees: BTreeMap<u64, PartitionTree>,
+    last_ckpt: Option<u64>,
+    cost: CostModel,
+    /// Experiment counters.
+    pub stats: BaseStats,
+}
+
+impl<W: Wrapper> BaseService<W> {
+    /// Wraps `wrapper` into a replicable service.
+    pub fn new(wrapper: W) -> Self {
+        let n = wrapper.n_objects();
+        Self {
+            wrapper,
+            tree: PartitionTree::new(n, BRANCHING),
+            mods: ModifyLog::new(),
+            records: BTreeMap::new(),
+            ckpt_trees: BTreeMap::new(),
+            last_ckpt: None,
+            cost: CostModel::default(),
+            stats: BaseStats::default(),
+        }
+    }
+
+    /// Read access to the wrapped implementation (test inspection).
+    pub fn wrapper(&self) -> &W {
+        &self.wrapper
+    }
+
+    /// Mutable access to the wrapped implementation (fault injection).
+    pub fn wrapper_mut(&mut self) -> &mut W {
+        &mut self.wrapper
+    }
+
+    /// Number of abstract objects modified since the last checkpoint.
+    pub fn dirty_objects(&self) -> usize {
+        self.mods.dirty_count()
+    }
+
+    /// Refreshes the digest-tree leaves of all dirty objects so `tree`
+    /// reflects the true current abstract state.
+    fn flush_tree(&mut self, env: &mut ExecEnv<'_>) {
+        let dirty: Vec<u64> = self.mods.dirty_indices().collect();
+        for idx in dirty {
+            let value = self.wrapper.get_obj(idx);
+            self.stats.objects_digested += 1;
+            let digest = match &value {
+                Some(v) => {
+                    env.charge(self.cost.digest(v.len()));
+                    leaf_digest(idx, v)
+                }
+                None => Digest::ZERO,
+            };
+            self.tree.set_leaf(idx, digest);
+        }
+    }
+}
+
+impl<W: Wrapper> Service for BaseService<W> {
+    fn execute(
+        &mut self,
+        op: &[u8],
+        client: u32,
+        nondet: &[u8],
+        read_only: bool,
+        env: &mut ExecEnv<'_>,
+    ) -> Vec<u8> {
+        let before = self.mods.dirty_count();
+        let result = self.wrapper.execute(op, client, nondet, read_only, &mut self.mods, env);
+        self.stats.preimage_copies += (self.mods.dirty_count() - before) as u64;
+        result
+    }
+
+    fn propose_nondet(&mut self, env: &mut ExecEnv<'_>) -> Vec<u8> {
+        self.wrapper.propose_nondet(env)
+    }
+
+    fn check_nondet(&self, nondet: &[u8], env: &mut ExecEnv<'_>) -> bool {
+        self.wrapper.check_nondet(nondet, env)
+    }
+
+    fn take_checkpoint(&mut self, seq: u64, env: &mut ExecEnv<'_>) -> Digest {
+        self.flush_tree(env);
+        // Finalize the epoch's pre-images as the previous checkpoint's
+        // reverse-delta record. Before the first checkpoint there is no
+        // retained checkpoint to attach them to.
+        let copies = self.mods.drain();
+        if let Some(prev) = self.last_ckpt {
+            self.records.insert(prev, copies);
+        }
+        self.ckpt_trees.insert(seq, self.tree.clone());
+        self.last_ckpt = Some(seq);
+        self.stats.checkpoints += 1;
+        self.tree.root_digest()
+    }
+
+    fn discard_checkpoints_below(&mut self, seq: u64) {
+        self.ckpt_trees = self.ckpt_trees.split_off(&seq);
+        // A record keyed `k` only answers queries for checkpoints `<= k`;
+        // with every retained checkpoint now `>= seq`, records below `seq`
+        // are unreachable.
+        self.records = self.records.split_off(&seq);
+    }
+
+    fn checkpoint_meta(&self, seq: u64, level: u32, index: u64) -> Option<Vec<Digest>> {
+        self.ckpt_trees.get(&seq)?.children_digests(level, index)
+    }
+
+    fn checkpoint_object(&mut self, seq: u64, index: u64) -> Option<Vec<u8>> {
+        if !self.ckpt_trees.contains_key(&seq) {
+            return None;
+        }
+        // Value at checkpoint `seq` = the pre-image in the first record at
+        // or after `seq` that contains the object (the object was unchanged
+        // between `seq` and that record's checkpoint) ...
+        for (_, record) in self.records.range(seq..) {
+            if let Some(value) = record.get(&index) {
+                return value.clone();
+            }
+        }
+        // ... or the pre-image of the open epoch if it was modified since
+        // the newest checkpoint ...
+        if let Some(copy) = self.mods.copy_of(index) {
+            return copy.clone();
+        }
+        // ... or the current value (unmodified since `seq`).
+        self.wrapper.get_obj(index)
+    }
+
+    fn current_tree(&self) -> &PartitionTree {
+        &self.tree
+    }
+
+    fn prepare_for_transfer(&mut self, env: &mut ExecEnv<'_>) {
+        // The fetcher diffs against `tree`; make it reflect reality.
+        self.flush_tree(env);
+    }
+
+    fn install_checkpoint(
+        &mut self,
+        seq: u64,
+        root: Digest,
+        objs: Vec<(u64, Option<Vec<u8>>)>,
+        env: &mut ExecEnv<'_>,
+    ) {
+        self.stats.objects_installed += objs.len() as u64;
+        self.wrapper.put_objs(&objs, env);
+        for (idx, value) in &objs {
+            let digest = match value {
+                Some(v) => leaf_digest(*idx, v),
+                None => Digest::ZERO,
+            };
+            self.tree.set_leaf(*idx, digest);
+        }
+        debug_assert_eq!(
+            self.tree.root_digest(),
+            root,
+            "verified fetch must reproduce the checkpoint root"
+        );
+        // The current state *is* the checkpoint now.
+        let _ = self.mods.drain();
+        self.records.clear();
+        self.ckpt_trees.insert(seq, self.tree.clone());
+        self.last_ckpt = Some(seq);
+    }
+
+    fn reboot(&mut self, clean: bool, env: &mut ExecEnv<'_>) {
+        if clean {
+            // Paper §2.2: restart the implementation from a clean initial
+            // concrete state; the abstract state is then brought up to date
+            // from the group, which hides corrupt concrete state entirely.
+            self.wrapper.reset(env);
+            self.tree = PartitionTree::new(self.wrapper.n_objects(), BRANCHING);
+            let _ = self.mods.drain();
+            self.records.clear();
+            self.ckpt_trees.clear();
+            self.last_ckpt = None;
+        } else {
+            // Warm reboot (§3.4): the concrete state survived; rebuild the
+            // conformance rep and recompute the abstraction function over
+            // every object so corrupt or stale objects show up as digest
+            // mismatches and get repaired by the fetch.
+            self.wrapper.rebuild_rep(env);
+            self.stats.rebuild_scans += 1;
+            for idx in 0..self.wrapper.n_objects() {
+                let value = self.wrapper.get_obj(idx);
+                let digest = match &value {
+                    Some(v) => {
+                        env.charge(self.cost.digest(v.len()));
+                        leaf_digest(idx, v)
+                    }
+                    None => Digest::ZERO,
+                };
+                self.tree.set_leaf(idx, digest);
+            }
+        }
+    }
+}

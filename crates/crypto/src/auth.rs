@@ -1,0 +1,184 @@
+//! PBFT-style MAC authenticators.
+//!
+//! Normal-case protocol messages are multicast to all replicas. Instead of
+//! a signature, the sender appends an *authenticator*: a vector with one
+//! truncated MAC per replica, where entry `j` is computed under the session
+//! key shared between the sender and replica `j`. Each receiver checks only
+//! its own entry. This is PBFT's key performance optimization — MACs are
+//! orders of magnitude cheaper than signatures.
+
+use crate::digest::Digest;
+use crate::keys::NodeKeys;
+use base_xdr::{XdrDecode, XdrDecoder, XdrEncode, XdrEncoder, XdrError};
+
+/// Length of a truncated MAC in bytes (PBFT used 8/10-byte UMAC tags).
+pub const MAC_LEN: usize = 8;
+
+/// A truncated HMAC-SHA256 tag.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Mac(pub [u8; MAC_LEN]);
+
+impl Mac {
+    /// Computes the truncated MAC of `digest` under `key`.
+    fn compute(key: &crate::keys::SessionKey, digest: &Digest) -> Mac {
+        let full = key.mac(digest.as_bytes());
+        let mut out = [0u8; MAC_LEN];
+        out.copy_from_slice(&full[..MAC_LEN]);
+        Mac(out)
+    }
+}
+
+impl XdrEncode for Mac {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_opaque_fixed(&self.0);
+    }
+}
+
+impl XdrDecode for Mac {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        let bytes = dec.get_opaque_fixed(MAC_LEN)?;
+        let mut out = [0u8; MAC_LEN];
+        out.copy_from_slice(bytes);
+        Ok(Mac(out))
+    }
+}
+
+/// An authenticator: one MAC per receiver, indexed by node id.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Authenticator {
+    macs: Vec<Mac>,
+}
+
+impl Authenticator {
+    /// Generates an authenticator over `digest` for receivers `0..n`.
+    ///
+    /// The sender's own slot is filled with a self-MAC so indices line up;
+    /// it is never checked.
+    pub fn generate(keys: &NodeKeys, n: usize, digest: &Digest) -> Self {
+        let macs = (0..n).map(|j| Mac::compute(&keys.key_to(j), digest)).collect();
+        Self { macs }
+    }
+
+    /// Computes a single point-to-point MAC (used for replies to clients).
+    pub fn point(keys: &NodeKeys, to: usize, digest: &Digest) -> Mac {
+        Mac::compute(&keys.key_to(to), digest)
+    }
+
+    /// Checks a point-to-point MAC received from `from`.
+    pub fn check_point(keys: &NodeKeys, from: usize, digest: &Digest, mac: &Mac) -> bool {
+        Mac::compute(&keys.key_from(from), digest) == *mac
+    }
+
+    /// Checks this receiver's entry, for a message received from `from`.
+    pub fn check(&self, keys: &NodeKeys, from: usize, digest: &Digest) -> bool {
+        let me = keys.id();
+        match self.macs.get(me) {
+            Some(mac) => Mac::compute(&keys.key_from(from), digest) == *mac,
+            None => false,
+        }
+    }
+
+    /// Number of MAC entries.
+    pub fn len(&self) -> usize {
+        self.macs.len()
+    }
+
+    /// Returns true if the authenticator carries no entries.
+    pub fn is_empty(&self) -> bool {
+        self.macs.is_empty()
+    }
+
+    /// Corrupts every entry (test/fault-injection helper).
+    pub fn corrupt(&mut self) {
+        for mac in &mut self.macs {
+            mac.0[0] ^= 0xff;
+        }
+    }
+}
+
+impl XdrEncode for Authenticator {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        base_xdr::encode_vec(&self.macs, enc);
+    }
+}
+
+impl XdrDecode for Authenticator {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self { macs: base_xdr::decode_vec(dec)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sig::KeyDirectory;
+
+    fn setup() -> (NodeKeys, NodeKeys, NodeKeys) {
+        let dir = KeyDirectory::generate(4, 3);
+        (
+            NodeKeys::new(dir.clone(), 0),
+            NodeKeys::new(dir.clone(), 1),
+            NodeKeys::new(dir, 2),
+        )
+    }
+
+    #[test]
+    fn every_receiver_accepts_its_entry() {
+        let (a, b, c) = setup();
+        let d = Digest::of(b"msg");
+        let auth = Authenticator::generate(&a, 4, &d);
+        assert!(auth.check(&b, 0, &d));
+        assert!(auth.check(&c, 0, &d));
+    }
+
+    #[test]
+    fn wrong_digest_rejected() {
+        let (a, b, _) = setup();
+        let auth = Authenticator::generate(&a, 4, &Digest::of(b"msg"));
+        assert!(!auth.check(&b, 0, &Digest::of(b"other")));
+    }
+
+    #[test]
+    fn wrong_claimed_sender_rejected() {
+        let (a, b, _) = setup();
+        let d = Digest::of(b"msg");
+        let auth = Authenticator::generate(&a, 4, &d);
+        // Claiming the message came from node 2 must fail.
+        assert!(!auth.check(&b, 2, &d));
+    }
+
+    #[test]
+    fn corrupted_authenticator_rejected() {
+        let (a, b, _) = setup();
+        let d = Digest::of(b"msg");
+        let mut auth = Authenticator::generate(&a, 4, &d);
+        auth.corrupt();
+        assert!(!auth.check(&b, 0, &d));
+    }
+
+    #[test]
+    fn short_authenticator_rejected() {
+        let (a, _, c) = setup();
+        let d = Digest::of(b"msg");
+        // Authenticator only covers nodes 0 and 1; node 2 must reject.
+        let auth = Authenticator::generate(&a, 2, &d);
+        assert!(!auth.check(&c, 0, &d));
+    }
+
+    #[test]
+    fn point_mac_round_trip() {
+        let (a, b, _) = setup();
+        let d = Digest::of(b"reply");
+        let mac = Authenticator::point(&a, 1, &d);
+        assert!(Authenticator::check_point(&b, 0, &d, &mac));
+        assert!(!Authenticator::check_point(&b, 2, &d, &mac));
+    }
+
+    #[test]
+    fn xdr_round_trip() {
+        let (a, _, _) = setup();
+        let auth = Authenticator::generate(&a, 4, &Digest::of(b"m"));
+        let bytes = base_xdr::to_bytes(&auth);
+        assert_eq!(base_xdr::from_bytes::<Authenticator>(&bytes).unwrap(), auth);
+    }
+}

@@ -1,0 +1,43 @@
+//! Cryptographic substrate for the BASE reproduction.
+//!
+//! The BFT/BASE libraries authenticate every protocol message and digest
+//! every abstract-state object. The allowed dependency set contains no
+//! crypto crates, so this crate implements the primitives from scratch:
+//!
+//! - [`sha256`]: FIPS 180-4 SHA-256 (one-shot and incremental), validated
+//!   against the official test vectors.
+//! - [`hmac`]: HMAC-SHA256 (RFC 2104), validated against RFC 4231 vectors.
+//! - [`digest`]: the 32-byte [`Digest`] type used throughout the system.
+//! - [`auth`]: PBFT-style *authenticators* — vectors of pairwise MACs, one
+//!   per replica — used for normal-case point-to-point and multicast
+//!   authentication.
+//! - [`keys`]: per-node key material, pairwise session-key derivation, and
+//!   the key-refresh used by proactive recovery.
+//! - [`sig`]: transferable signatures for view-change and checkpoint
+//!   certificates. These are *simulated*: signing is HMAC under the
+//!   signer's private key, and verification goes through a
+//!   simulation-trusted [`sig::KeyDirectory`] oracle. The substitution is
+//!   documented in `DESIGN.md` §5 — it preserves unforgeability and
+//!   third-party verifiability, the two properties the protocol relies on,
+//!   without importing a bignum library.
+//!
+//! Nothing in this crate is intended for production use outside the
+//! simulation; it exists so the reproduction exercises *real* hashing and
+//! MAC computation on every message, making CPU-cost measurements
+//! meaningful.
+
+#![warn(missing_docs)]
+
+pub mod auth;
+pub mod digest;
+pub mod hmac;
+pub mod keys;
+pub mod sha256;
+pub mod sig;
+
+pub use auth::{Authenticator, Mac, MAC_LEN};
+pub use digest::{digest_of, Digest, DIGEST_LEN};
+pub use hmac::{hmac_sha256, HmacSha256};
+pub use keys::{KeyPair, NodeKeys, SessionKey, SECRET_LEN};
+pub use sha256::Sha256;
+pub use sig::{KeyDirectory, Signature, SIG_LEN};

@@ -1,0 +1,84 @@
+//! Property tests for the crypto substrate.
+
+use base_crypto::{hmac_sha256, Authenticator, Digest, KeyDirectory, NodeKeys, Sha256};
+use proptest::prelude::*;
+
+proptest! {
+    /// Incremental hashing with arbitrary chunk boundaries matches one-shot.
+    #[test]
+    fn sha256_incremental_matches_oneshot(data: Vec<u8>, splits in proptest::collection::vec(0usize..64, 0..8)) {
+        let mut h = Sha256::new();
+        let mut rest: &[u8] = &data;
+        for s in splits {
+            let take = s.min(rest.len());
+            let (head, tail) = rest.split_at(take);
+            h.update(head);
+            rest = tail;
+        }
+        h.update(rest);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    /// Different messages (virtually) never collide.
+    #[test]
+    fn sha256_distinguishes_inputs(a: Vec<u8>, b: Vec<u8>) {
+        prop_assume!(a != b);
+        prop_assert_ne!(Sha256::digest(&a), Sha256::digest(&b));
+    }
+
+    /// HMAC distinguishes keys and messages.
+    #[test]
+    fn hmac_binds_key_and_message(k1: Vec<u8>, k2: Vec<u8>, m1: Vec<u8>, m2: Vec<u8>) {
+        if k1 != k2 {
+            prop_assert_ne!(hmac_sha256(&k1, &m1), hmac_sha256(&k2, &m1));
+        }
+        if m1 != m2 {
+            prop_assert_ne!(hmac_sha256(&k1, &m1), hmac_sha256(&k1, &m2));
+        }
+    }
+
+    /// Authenticators verify for every honest receiver and reject digest or
+    /// sender substitution, for any system size.
+    #[test]
+    fn authenticator_sound_and_complete(
+        n in 2usize..9,
+        sender_raw: usize,
+        msg: Vec<u8>,
+        other_msg: Vec<u8>,
+        seed: u64,
+    ) {
+        let sender = sender_raw % n;
+        let dir = KeyDirectory::generate(n, seed);
+        let keys: Vec<NodeKeys> = (0..n).map(|i| NodeKeys::new(dir.clone(), i)).collect();
+        let d = Digest::of(&msg);
+        let auth = Authenticator::generate(&keys[sender], n, &d);
+
+        for (i, k) in keys.iter().enumerate() {
+            if i != sender {
+                prop_assert!(auth.check(k, sender, &d));
+                // A different claimed sender must fail.
+                let imposter = (sender + 1) % n;
+                if imposter != i {
+                    prop_assert!(!auth.check(k, imposter, &d));
+                }
+                if other_msg != msg {
+                    prop_assert!(!auth.check(k, sender, &Digest::of(&other_msg)));
+                }
+            }
+        }
+    }
+
+    /// Signatures verify for all parties and bind signer + message.
+    #[test]
+    fn signature_sound_and_complete(n in 2usize..6, signer_raw: usize, msg: Vec<u8>, seed: u64) {
+        let signer_id = signer_raw % n;
+        let dir = KeyDirectory::generate(n, seed);
+        let signer = NodeKeys::new(dir.clone(), signer_id);
+        let sig = signer.sign(&msg);
+        for i in 0..n {
+            let v = NodeKeys::new(dir.clone(), i);
+            prop_assert!(v.verify(signer_id, &msg, &sig));
+            prop_assert!(!v.verify((signer_id + 1) % n, &msg, &sig));
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! The NFS operation/reply language used between clients and the
+//! replicated file service. File handles are abstract [`Oid`]s.
+
+use crate::spec::{Fattr, NfsStatus, Oid};
+use base_xdr::{
+    decode_vec, encode_vec, from_bytes, to_bytes, XdrDecode, XdrDecoder, XdrEncode, XdrEncoder,
+    XdrError,
+};
+
+/// Attribute updates for `setattr` (unset fields are unchanged).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SetAttrs {
+    /// New permission bits.
+    pub mode: Option<u32>,
+    /// New owner.
+    pub uid: Option<u32>,
+    /// New group.
+    pub gid: Option<u32>,
+    /// New size (truncate / extend with zeros).
+    pub size: Option<u64>,
+}
+
+impl XdrEncode for SetAttrs {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        self.mode.encode(enc);
+        self.uid.encode(enc);
+        self.gid.encode(enc);
+        self.size.encode(enc);
+    }
+}
+
+impl XdrDecode for SetAttrs {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(SetAttrs {
+            mode: Option::decode(dec)?,
+            uid: Option::decode(dec)?,
+            gid: Option::decode(dec)?,
+            size: Option::decode(dec)?,
+        })
+    }
+}
+
+/// An NFS operation (the subset of RFC 1094 the example exercises).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NfsOp {
+    /// Read attributes.
+    Getattr {
+        /// Target object.
+        fh: Oid,
+    },
+    /// Update attributes.
+    Setattr {
+        /// Target object.
+        fh: Oid,
+        /// Fields to change.
+        attrs: SetAttrs,
+    },
+    /// Look a name up in a directory.
+    Lookup {
+        /// Directory to search.
+        dir: Oid,
+        /// Entry name.
+        name: String,
+    },
+    /// Read file data. Updates the abstract atime, so it runs through the
+    /// full protocol (not the read-only path).
+    Read {
+        /// File to read.
+        fh: Oid,
+        /// Byte offset.
+        offset: u64,
+        /// Maximum bytes to return.
+        count: u32,
+    },
+    /// Write file data.
+    Write {
+        /// File to write.
+        fh: Oid,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes to store.
+        data: Vec<u8>,
+    },
+    /// Create a regular file.
+    Create {
+        /// Parent directory.
+        dir: Oid,
+        /// New entry name.
+        name: String,
+        /// Permission bits.
+        mode: u32,
+    },
+    /// Remove a file or symlink.
+    Remove {
+        /// Parent directory.
+        dir: Oid,
+        /// Entry name to remove.
+        name: String,
+    },
+    /// Rename (moves files, symlinks and directories).
+    Rename {
+        /// Source directory.
+        from_dir: Oid,
+        /// Source entry name.
+        from_name: String,
+        /// Destination directory.
+        to_dir: Oid,
+        /// Destination entry name.
+        to_name: String,
+    },
+    /// Create a hard link to a file.
+    Link {
+        /// Existing file.
+        fh: Oid,
+        /// Directory receiving the new link.
+        dir: Oid,
+        /// New entry name.
+        name: String,
+    },
+    /// Create a symbolic link.
+    Symlink {
+        /// Parent directory.
+        dir: Oid,
+        /// New entry name.
+        name: String,
+        /// Link target path.
+        target: String,
+    },
+    /// Read a symlink target.
+    Readlink {
+        /// The symlink.
+        fh: Oid,
+    },
+    /// Create a directory.
+    Mkdir {
+        /// Parent directory.
+        dir: Oid,
+        /// New entry name.
+        name: String,
+        /// Permission bits.
+        mode: u32,
+    },
+    /// Remove an empty directory.
+    Rmdir {
+        /// Parent directory.
+        dir: Oid,
+        /// Entry name to remove.
+        name: String,
+    },
+    /// List a directory (lexicographically sorted, per the common spec).
+    Readdir {
+        /// Directory to list.
+        dir: Oid,
+    },
+    /// File-system statistics (computed over the abstract state).
+    Statfs,
+}
+
+impl NfsOp {
+    /// True for operations that can take the read-only optimization path
+    /// (they change no abstract object; note `Read` changes atime).
+    pub fn is_read_only(&self) -> bool {
+        matches!(
+            self,
+            NfsOp::Getattr { .. }
+                | NfsOp::Lookup { .. }
+                | NfsOp::Readlink { .. }
+                | NfsOp::Readdir { .. }
+                | NfsOp::Statfs
+        )
+    }
+
+    /// Encodes to protocol op bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        to_bytes(self)
+    }
+
+    /// Decodes from protocol op bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Option<NfsOp> {
+        from_bytes(bytes).ok()
+    }
+}
+
+impl XdrEncode for NfsOp {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        match self {
+            NfsOp::Getattr { fh } => {
+                enc.put_u32(0);
+                fh.encode(enc);
+            }
+            NfsOp::Setattr { fh, attrs } => {
+                enc.put_u32(1);
+                fh.encode(enc);
+                attrs.encode(enc);
+            }
+            NfsOp::Lookup { dir, name } => {
+                enc.put_u32(2);
+                dir.encode(enc);
+                enc.put_string(name);
+            }
+            NfsOp::Read { fh, offset, count } => {
+                enc.put_u32(3);
+                fh.encode(enc);
+                enc.put_u64(*offset);
+                enc.put_u32(*count);
+            }
+            NfsOp::Write { fh, offset, data } => {
+                enc.put_u32(4);
+                fh.encode(enc);
+                enc.put_u64(*offset);
+                enc.put_opaque(data);
+            }
+            NfsOp::Create { dir, name, mode } => {
+                enc.put_u32(5);
+                dir.encode(enc);
+                enc.put_string(name);
+                enc.put_u32(*mode);
+            }
+            NfsOp::Remove { dir, name } => {
+                enc.put_u32(6);
+                dir.encode(enc);
+                enc.put_string(name);
+            }
+            NfsOp::Rename { from_dir, from_name, to_dir, to_name } => {
+                enc.put_u32(7);
+                from_dir.encode(enc);
+                enc.put_string(from_name);
+                to_dir.encode(enc);
+                enc.put_string(to_name);
+            }
+            NfsOp::Link { fh, dir, name } => {
+                enc.put_u32(8);
+                fh.encode(enc);
+                dir.encode(enc);
+                enc.put_string(name);
+            }
+            NfsOp::Symlink { dir, name, target } => {
+                enc.put_u32(9);
+                dir.encode(enc);
+                enc.put_string(name);
+                enc.put_string(target);
+            }
+            NfsOp::Readlink { fh } => {
+                enc.put_u32(10);
+                fh.encode(enc);
+            }
+            NfsOp::Mkdir { dir, name, mode } => {
+                enc.put_u32(11);
+                dir.encode(enc);
+                enc.put_string(name);
+                enc.put_u32(*mode);
+            }
+            NfsOp::Rmdir { dir, name } => {
+                enc.put_u32(12);
+                dir.encode(enc);
+                enc.put_string(name);
+            }
+            NfsOp::Readdir { dir } => {
+                enc.put_u32(13);
+                dir.encode(enc);
+            }
+            NfsOp::Statfs => {
+                enc.put_u32(14);
+            }
+        }
+    }
+}
+
+impl XdrDecode for NfsOp {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(match dec.get_u32()? {
+            0 => NfsOp::Getattr { fh: Oid::decode(dec)? },
+            1 => NfsOp::Setattr { fh: Oid::decode(dec)?, attrs: SetAttrs::decode(dec)? },
+            2 => NfsOp::Lookup { dir: Oid::decode(dec)?, name: dec.get_string()? },
+            3 => NfsOp::Read {
+                fh: Oid::decode(dec)?,
+                offset: dec.get_u64()?,
+                count: dec.get_u32()?,
+            },
+            4 => NfsOp::Write {
+                fh: Oid::decode(dec)?,
+                offset: dec.get_u64()?,
+                data: dec.get_opaque()?,
+            },
+            5 => NfsOp::Create {
+                dir: Oid::decode(dec)?,
+                name: dec.get_string()?,
+                mode: dec.get_u32()?,
+            },
+            6 => NfsOp::Remove { dir: Oid::decode(dec)?, name: dec.get_string()? },
+            7 => NfsOp::Rename {
+                from_dir: Oid::decode(dec)?,
+                from_name: dec.get_string()?,
+                to_dir: Oid::decode(dec)?,
+                to_name: dec.get_string()?,
+            },
+            8 => NfsOp::Link {
+                fh: Oid::decode(dec)?,
+                dir: Oid::decode(dec)?,
+                name: dec.get_string()?,
+            },
+            9 => NfsOp::Symlink {
+                dir: Oid::decode(dec)?,
+                name: dec.get_string()?,
+                target: dec.get_string()?,
+            },
+            10 => NfsOp::Readlink { fh: Oid::decode(dec)? },
+            11 => NfsOp::Mkdir {
+                dir: Oid::decode(dec)?,
+                name: dec.get_string()?,
+                mode: dec.get_u32()?,
+            },
+            12 => NfsOp::Rmdir { dir: Oid::decode(dec)?, name: dec.get_string()? },
+            13 => NfsOp::Readdir { dir: Oid::decode(dec)? },
+            14 => NfsOp::Statfs,
+            v => return Err(XdrError::InvalidDiscriminant { type_name: "NfsOp", value: v }),
+        })
+    }
+}
+
+/// A reply from the file service.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NfsReply {
+    /// The operation failed.
+    Error(NfsStatus),
+    /// Attributes (getattr, setattr, write).
+    Attr(Fattr),
+    /// A handle plus attributes (lookup, create, mkdir, symlink).
+    Handle {
+        /// The object's oid (its NFS file handle).
+        fh: Oid,
+        /// The object's abstract attributes.
+        attr: Fattr,
+    },
+    /// File data (read).
+    Data(Vec<u8>),
+    /// A symlink target (readlink).
+    Target(String),
+    /// Directory entries, lexicographically sorted (readdir).
+    Entries(Vec<(String, Oid)>),
+    /// File-system statistics: (capacity, objects in use).
+    Stats(u64, u64),
+    /// Success with no payload (remove, rename, link, rmdir).
+    Ok,
+}
+
+impl NfsReply {
+    /// Encodes to reply bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        to_bytes(self)
+    }
+
+    /// Decodes from reply bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Option<NfsReply> {
+        from_bytes(bytes).ok()
+    }
+
+    /// True unless this is an [`NfsReply::Error`].
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, NfsReply::Error(_))
+    }
+}
+
+impl XdrEncode for NfsReply {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        match self {
+            NfsReply::Error(s) => {
+                enc.put_u32(0);
+                s.encode(enc);
+            }
+            NfsReply::Attr(a) => {
+                enc.put_u32(1);
+                a.encode(enc);
+            }
+            NfsReply::Handle { fh, attr } => {
+                enc.put_u32(2);
+                fh.encode(enc);
+                attr.encode(enc);
+            }
+            NfsReply::Data(d) => {
+                enc.put_u32(3);
+                enc.put_opaque(d);
+            }
+            NfsReply::Target(t) => {
+                enc.put_u32(4);
+                enc.put_string(t);
+            }
+            NfsReply::Entries(e) => {
+                enc.put_u32(5);
+                encode_vec(e, enc);
+            }
+            NfsReply::Stats(cap, used) => {
+                enc.put_u32(6);
+                enc.put_u64(*cap);
+                enc.put_u64(*used);
+            }
+            NfsReply::Ok => {
+                enc.put_u32(7);
+            }
+        }
+    }
+}
+
+impl XdrDecode for NfsReply {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(match dec.get_u32()? {
+            0 => NfsReply::Error(NfsStatus::decode(dec)?),
+            1 => NfsReply::Attr(Fattr::decode(dec)?),
+            2 => NfsReply::Handle { fh: Oid::decode(dec)?, attr: Fattr::decode(dec)? },
+            3 => NfsReply::Data(dec.get_opaque()?),
+            4 => NfsReply::Target(dec.get_string()?),
+            5 => NfsReply::Entries(decode_vec(dec)?),
+            6 => NfsReply::Stats(dec.get_u64()?, dec.get_u64()?),
+            7 => NfsReply::Ok,
+            v => return Err(XdrError::InvalidDiscriminant { type_name: "NfsReply", value: v }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ObjKind;
+
+    #[test]
+    fn ops_round_trip() {
+        let oid = Oid { index: 5, gen: 2 };
+        let ops = vec![
+            NfsOp::Getattr { fh: oid },
+            NfsOp::Setattr { fh: oid, attrs: SetAttrs { size: Some(10), ..Default::default() } },
+            NfsOp::Lookup { dir: Oid::ROOT, name: "f".into() },
+            NfsOp::Read { fh: oid, offset: 4, count: 8 },
+            NfsOp::Write { fh: oid, offset: 0, data: vec![1, 2] },
+            NfsOp::Create { dir: Oid::ROOT, name: "f".into(), mode: 0o644 },
+            NfsOp::Remove { dir: Oid::ROOT, name: "f".into() },
+            NfsOp::Rename {
+                from_dir: Oid::ROOT,
+                from_name: "a".into(),
+                to_dir: oid,
+                to_name: "b".into(),
+            },
+            NfsOp::Link { fh: oid, dir: Oid::ROOT, name: "l".into() },
+            NfsOp::Symlink { dir: Oid::ROOT, name: "s".into(), target: "/t".into() },
+            NfsOp::Readlink { fh: oid },
+            NfsOp::Mkdir { dir: Oid::ROOT, name: "d".into(), mode: 0o755 },
+            NfsOp::Rmdir { dir: Oid::ROOT, name: "d".into() },
+            NfsOp::Readdir { dir: Oid::ROOT },
+            NfsOp::Statfs,
+        ];
+        for op in ops {
+            let decoded = NfsOp::from_bytes(&op.to_bytes()).unwrap();
+            assert_eq!(decoded, op);
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let attr = Fattr::new(ObjKind::File, 0o644, 1, 2, 77);
+        let replies = vec![
+            NfsReply::Error(NfsStatus::NoEnt),
+            NfsReply::Attr(attr),
+            NfsReply::Handle { fh: Oid { index: 3, gen: 9 }, attr },
+            NfsReply::Data(vec![0xde, 0xad]),
+            NfsReply::Target("/x".into()),
+            NfsReply::Entries(vec![("a".into(), Oid::ROOT)]),
+            NfsReply::Stats(65536, 12),
+            NfsReply::Ok,
+        ];
+        for r in replies {
+            assert_eq!(NfsReply::from_bytes(&r.to_bytes()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn read_only_classification() {
+        assert!(NfsOp::Getattr { fh: Oid::ROOT }.is_read_only());
+        assert!(NfsOp::Readdir { dir: Oid::ROOT }.is_read_only());
+        assert!(NfsOp::Statfs.is_read_only());
+        // Read updates the abstract atime: full protocol.
+        assert!(!NfsOp::Read { fh: Oid::ROOT, offset: 0, count: 1 }.is_read_only());
+        assert!(!NfsOp::Write { fh: Oid::ROOT, offset: 0, data: vec![] }.is_read_only());
+    }
+
+    #[test]
+    fn malformed_ops_rejected() {
+        assert!(NfsOp::from_bytes(&[0, 0, 0, 99]).is_none());
+        assert!(NfsOp::from_bytes(&[]).is_none());
+    }
+}

@@ -1,0 +1,588 @@
+//! A POSIX-flavoured, path-based client shim.
+//!
+//! In the paper's Figure 2 the application talks paths to the kernel NFS
+//! client, which turns them into handle-based NFS calls (lookups walk the
+//! path, a dentry cache avoids re-walking). [`PosixDriver`] plays that
+//! role: it executes a program of path-level [`FsCall`]s by expanding each
+//! into handle-based [`NfsOp`]s, maintaining a path → oid cache, and
+//! collecting path-level results. It implements [`NfsDriver`], so the same
+//! program runs unchanged against the replicated service (via
+//! [`crate::relay::RelayActor`]) or the unreplicated baseline
+//! ([`crate::relay::DirectActor`]).
+
+use crate::ops::{NfsOp, NfsReply, SetAttrs};
+use crate::relay::NfsDriver;
+use crate::spec::{Fattr, NfsStatus, Oid};
+use std::collections::{HashMap, VecDeque};
+
+/// Write/read transfer size (NFS-style 8 KiB).
+const CHUNK: u32 = 8192;
+
+/// A path-level file-system call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsCall {
+    /// `mkdir -p`: creates every missing component.
+    MkdirP(String),
+    /// Creates (or truncates) a file and writes its contents.
+    WriteFile(String, Vec<u8>),
+    /// Reads a whole file.
+    ReadFile(String),
+    /// Reads attributes.
+    Stat(String),
+    /// Lists a directory (names only, sorted — the common spec guarantees
+    /// the order).
+    List(String),
+    /// Removes a file or symlink.
+    Remove(String),
+    /// Removes an empty directory.
+    Rmdir(String),
+    /// Renames/moves (parents must exist).
+    Rename(String, String),
+    /// Creates a symlink at the first path pointing at the second.
+    Symlink(String, String),
+}
+
+/// The path-level outcome of one [`FsCall`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsOut {
+    /// Success with no payload.
+    Ok,
+    /// File contents.
+    Data(Vec<u8>),
+    /// Attributes.
+    Attr(Fattr),
+    /// Directory entries.
+    Names(Vec<String>),
+    /// Failure.
+    Err(NfsStatus),
+}
+
+/// Splits a path into components, ignoring empty segments.
+fn components(path: &str) -> Vec<String> {
+    path.split('/').filter(|c| !c.is_empty()).map(str::to_owned).collect()
+}
+
+fn parent_and_name(path: &str) -> (String, String) {
+    let mut parts = components(path);
+    let name = parts.pop().unwrap_or_default();
+    (format!("/{}", parts.join("/")), name)
+}
+
+#[derive(Debug)]
+enum Stage {
+    /// Walking path components; `create` turns NoEnt into Mkdir along the
+    /// way (for MkdirP) or into Create at the final component (for
+    /// WriteFile).
+    Walk { walked: String, remaining: VecDeque<String>, create: CreateMode },
+    /// Executing the call body once paths are resolved.
+    Action,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CreateMode {
+    No,
+    Dirs,
+    FinalFile,
+}
+
+/// One call mid-execution.
+#[derive(Debug)]
+struct Active {
+    call: FsCall,
+    stage: Stage,
+    /// For WriteFile: remaining data offset. For ReadFile: accumulated
+    /// data + next offset.
+    cursor: u64,
+    buf: Vec<u8>,
+    /// For Rename: whether the source parent has been resolved.
+    second_walk_done: bool,
+}
+
+/// Executes a program of path-level calls over the NFS op stream.
+pub struct PosixDriver {
+    program: VecDeque<FsCall>,
+    cache: HashMap<String, Oid>,
+    active: Option<Active>,
+    /// `(call, outcome)` log, one entry per program step.
+    pub results: Vec<(FsCall, FsOut)>,
+}
+
+impl PosixDriver {
+    /// Creates a driver for `program`.
+    pub fn new(program: Vec<FsCall>) -> Self {
+        let mut cache = HashMap::new();
+        cache.insert("/".to_owned(), Oid::ROOT);
+        Self { program: program.into(), cache, active: None, results: Vec::new() }
+    }
+
+    /// The cached oid of `path`, if resolved.
+    pub fn resolved(&self, path: &str) -> Option<Oid> {
+        self.cache.get(&normalize(path)).copied()
+    }
+
+    fn finish(&mut self, out: FsOut) {
+        let active = self.active.take().expect("finishing an active call");
+        self.results.push((active.call, out));
+    }
+
+    /// Starts walking toward `path`; returns the first op, or None if the
+    /// path is fully cached already.
+    fn start_walk(&mut self, path: &str, create: CreateMode) -> Option<NfsOp> {
+        let norm = normalize(path);
+        // Longest cached prefix.
+        let mut walked = "/".to_owned();
+        let mut remaining: VecDeque<String> = components(&norm).into();
+        while let Some(next) = remaining.front() {
+            let candidate = join(&walked, next);
+            if !self.cache.contains_key(&candidate) {
+                break;
+            }
+            walked = candidate;
+            remaining.pop_front();
+        }
+        if remaining.is_empty() {
+            return None;
+        }
+        let dir = self.cache[&walked];
+        let name = remaining.front().expect("checked non-empty").clone();
+        if let Some(a) = self.active.as_mut() {
+            a.stage = Stage::Walk { walked, remaining, create };
+        }
+        Some(NfsOp::Lookup { dir, name })
+    }
+
+    /// Emits the action ops once the relevant paths are cached. Returns
+    /// `None` if the call finished immediately.
+    fn action_op(&mut self) -> Option<NfsOp> {
+        let active = self.active.as_mut().expect("active call");
+        active.stage = Stage::Action;
+        match &active.call {
+            FsCall::MkdirP(_) => {
+                self.finish(FsOut::Ok);
+                None
+            }
+            FsCall::WriteFile(path, _) => {
+                // Truncate first (the file may pre-exist with longer
+                // contents), then stream the chunks from `absorb`.
+                let fh = self.cache[&normalize(path)];
+                Some(NfsOp::Setattr {
+                    fh,
+                    attrs: SetAttrs { size: Some(0), ..Default::default() },
+                })
+            }
+            FsCall::ReadFile(path) => {
+                let fh = self.cache[&normalize(path)];
+                Some(NfsOp::Read { fh, offset: active.cursor, count: CHUNK })
+            }
+            FsCall::Stat(path) => Some(NfsOp::Getattr { fh: self.cache[&normalize(path)] }),
+            FsCall::List(path) => Some(NfsOp::Readdir { dir: self.cache[&normalize(path)] }),
+            FsCall::Remove(path) => {
+                let (parent, name) = parent_and_name(path);
+                Some(NfsOp::Remove { dir: self.cache[&parent], name })
+            }
+            FsCall::Rmdir(path) => {
+                let (parent, name) = parent_and_name(path);
+                Some(NfsOp::Rmdir { dir: self.cache[&parent], name })
+            }
+            FsCall::Rename(from, to) => {
+                let (fp, fname) = parent_and_name(from);
+                let (tp, tname) = parent_and_name(to);
+                Some(NfsOp::Rename {
+                    from_dir: self.cache[&fp],
+                    from_name: fname,
+                    to_dir: self.cache[&tp],
+                    to_name: tname,
+                })
+            }
+            FsCall::Symlink(at, target) => {
+                let (parent, name) = parent_and_name(at);
+                Some(NfsOp::Symlink { dir: self.cache[&parent], name, target: target.clone() })
+            }
+        }
+    }
+
+    /// Begins the next program call. Returns its first op, or records an
+    /// immediate result and returns None (caller loops).
+    fn begin(&mut self, call: FsCall) -> Option<NfsOp> {
+        let (walk_path, create) = match &call {
+            FsCall::MkdirP(p) => (p.clone(), CreateMode::Dirs),
+            FsCall::WriteFile(p, _) => (p.clone(), CreateMode::FinalFile),
+            FsCall::ReadFile(p) | FsCall::Stat(p) | FsCall::List(p) => (p.clone(), CreateMode::No),
+            // Structural ops only need the parents resolved.
+            FsCall::Remove(p) | FsCall::Rmdir(p) | FsCall::Symlink(p, _) => {
+                (parent_and_name(p).0, CreateMode::No)
+            }
+            FsCall::Rename(from, _) => (parent_and_name(from).0, CreateMode::No),
+        };
+        self.active = Some(Active {
+            call,
+            stage: Stage::Action, // start_walk overwrites when walking
+            cursor: 0,
+            buf: Vec::new(),
+            second_walk_done: false,
+        });
+        match self.start_walk(&walk_path, create) {
+            Some(op) => Some(op),
+            None => self.walk_complete(),
+        }
+    }
+
+    /// Called when the current walk has everything cached; may start the
+    /// second walk (Rename) or move to the action.
+    fn walk_complete(&mut self) -> Option<NfsOp> {
+        let needs_second = {
+            let a = self.active.as_ref().expect("active");
+            matches!(a.call, FsCall::Rename(_, _)) && !a.second_walk_done
+        };
+        if needs_second {
+            let to_parent = {
+                let a = self.active.as_mut().expect("active");
+                a.second_walk_done = true;
+                let FsCall::Rename(_, to) = &a.call else { unreachable!() };
+                parent_and_name(to).0
+            };
+            if let Some(op) = self.start_walk(&to_parent, CreateMode::No) {
+                return Some(op);
+            }
+        }
+        self.action_op()
+    }
+
+    /// Digests the reply to the op we issued; returns the next op or None
+    /// if the current call completed.
+    fn absorb(&mut self, op: &NfsOp, reply: &NfsReply) -> Option<NfsOp> {
+        enum WalkEvent {
+            Resolved { child: String, oid: Oid },
+            Missing { create: CreateMode, is_final: bool, dir: Oid, name: String },
+            Fail(NfsStatus),
+        }
+
+        // Phase 1: extract what happened under a short borrow.
+        let walk_event = {
+            let active = self.active.as_ref()?;
+            match &active.stage {
+                Stage::Walk { walked, remaining, create, .. } => Some(match (op, reply) {
+                    (
+                        NfsOp::Lookup { name, .. }
+                        | NfsOp::Mkdir { name, .. }
+                        | NfsOp::Create { name, .. },
+                        NfsReply::Handle { fh, .. },
+                    ) => WalkEvent::Resolved { child: join(walked, name), oid: *fh },
+                    (NfsOp::Lookup { dir, name }, NfsReply::Error(NfsStatus::NoEnt)) => {
+                        WalkEvent::Missing {
+                            create: *create,
+                            is_final: remaining.len() == 1,
+                            dir: *dir,
+                            name: name.clone(),
+                        }
+                    }
+                    (_, NfsReply::Error(s)) => WalkEvent::Fail(*s),
+                    _ => WalkEvent::Fail(NfsStatus::Io),
+                }),
+                Stage::Action => None,
+            }
+        };
+
+        // Phase 2: act on it.
+        if let Some(event) = walk_event {
+            return match event {
+                WalkEvent::Resolved { child, oid } => {
+                    self.cache.insert(child.clone(), oid);
+                    let empty = {
+                        let a = self.active.as_mut().expect("active");
+                        let Stage::Walk { walked, remaining, .. } = &mut a.stage else {
+                            unreachable!("walk event implies walk stage")
+                        };
+                        *walked = child;
+                        remaining.pop_front();
+                        remaining.is_empty()
+                    };
+                    if empty {
+                        self.walk_complete()
+                    } else {
+                        self.next_walk_op()
+                    }
+                }
+                WalkEvent::Missing { create, is_final, dir, name } => match (create, is_final) {
+                    (CreateMode::Dirs, _) => Some(NfsOp::Mkdir { dir, name, mode: 0o755 }),
+                    (CreateMode::FinalFile, true) => {
+                        Some(NfsOp::Create { dir, name, mode: 0o644 })
+                    }
+                    _ => {
+                        self.finish(FsOut::Err(NfsStatus::NoEnt));
+                        None
+                    }
+                },
+                WalkEvent::Fail(s) => {
+                    self.finish(FsOut::Err(s));
+                    None
+                }
+            };
+        }
+
+        // Action stage.
+        let active = self.active.as_mut().expect("checked above");
+        match (&active.call, op, reply) {
+            // WriteFile: the truncating setattr completed; start writing.
+            (FsCall::WriteFile(path, data), NfsOp::Setattr { .. }, NfsReply::Attr(_)) => {
+                if data.is_empty() {
+                    self.finish(FsOut::Ok);
+                    return None;
+                }
+                let fh = self.cache[&normalize(path)];
+                let len = (data.len() as u64).min(u64::from(CHUNK)) as usize;
+                let chunk = data[..len].to_vec();
+                active.cursor = len as u64;
+                Some(NfsOp::Write { fh, offset: 0, data: chunk })
+            }
+            (FsCall::WriteFile(path, data), NfsOp::Write { .. }, NfsReply::Attr(_)) => {
+                if active.cursor < data.len() as u64 {
+                    let fh = self.cache[&normalize(path)];
+                    let off = active.cursor;
+                    let len = (data.len() as u64 - off).min(u64::from(CHUNK)) as usize;
+                    let chunk = data[off as usize..off as usize + len].to_vec();
+                    active.cursor += len as u64;
+                    Some(NfsOp::Write { fh, offset: off, data: chunk })
+                } else {
+                    self.finish(FsOut::Ok);
+                    None
+                }
+            }
+            (FsCall::ReadFile(path), _, NfsReply::Data(d)) => {
+                active.buf.extend_from_slice(d);
+                if d.len() == CHUNK as usize {
+                    let fh = self.cache[&normalize(path)];
+                    active.cursor += d.len() as u64;
+                    Some(NfsOp::Read { fh, offset: active.cursor, count: CHUNK })
+                } else {
+                    let data = std::mem::take(&mut active.buf);
+                    self.finish(FsOut::Data(data));
+                    None
+                }
+            }
+            (FsCall::Stat(_), _, NfsReply::Attr(a)) => {
+                let a = *a;
+                self.finish(FsOut::Attr(a));
+                None
+            }
+            (FsCall::List(_), _, NfsReply::Entries(es)) => {
+                let names = es.iter().map(|(n, _)| n.clone()).collect();
+                self.finish(FsOut::Names(names));
+                None
+            }
+            (FsCall::Remove(p) | FsCall::Rmdir(p), _, NfsReply::Ok) => {
+                let gone = normalize(p);
+                self.cache
+                    .retain(|path, _| path != &gone && !path.starts_with(&format!("{gone}/")));
+                self.finish(FsOut::Ok);
+                None
+            }
+            (FsCall::Rename(from, to), _, NfsReply::Ok) => {
+                // Move the cache entries under the old path; drop whatever
+                // the destination replaced.
+                let old = normalize(from);
+                let new = normalize(to);
+                let moved: Vec<(String, Oid)> = self
+                    .cache
+                    .iter()
+                    .filter(|(p, _)| **p == old || p.starts_with(&format!("{old}/")))
+                    .map(|(p, o)| (format!("{new}{}", &p[old.len()..]), *o))
+                    .collect();
+                self.cache.retain(|p, _| {
+                    p != &old
+                        && !p.starts_with(&format!("{old}/"))
+                        && p != &new
+                        && !p.starts_with(&format!("{new}/"))
+                });
+                self.cache.extend(moved);
+                self.finish(FsOut::Ok);
+                None
+            }
+            (FsCall::Symlink(at, _), _, NfsReply::Handle { fh, .. }) => {
+                let p = normalize(at);
+                let fh = *fh;
+                self.cache.insert(p, fh);
+                self.finish(FsOut::Ok);
+                None
+            }
+            (_, _, NfsReply::Error(s)) => {
+                let s = *s;
+                self.finish(FsOut::Err(s));
+                None
+            }
+            _ => {
+                self.finish(FsOut::Err(NfsStatus::Io));
+                None
+            }
+        }
+    }
+
+
+    fn next_walk_op(&mut self) -> Option<NfsOp> {
+        let (dir, name) = match &self.active.as_ref().expect("active").stage {
+            Stage::Walk { walked, remaining, .. } => {
+                (self.cache[walked], remaining.front().expect("non-empty").clone())
+            }
+            _ => unreachable!("only called mid-walk"),
+        };
+        Some(NfsOp::Lookup { dir, name })
+    }
+}
+
+fn normalize(path: &str) -> String {
+    let c = components(path);
+    if c.is_empty() {
+        "/".to_owned()
+    } else {
+        format!("/{}", c.join("/"))
+    }
+}
+
+fn join(dir: &str, name: &str) -> String {
+    if dir == "/" {
+        format!("/{name}")
+    } else {
+        format!("{dir}/{name}")
+    }
+}
+
+impl NfsDriver for PosixDriver {
+    fn next(&mut self, last: Option<(&NfsOp, &NfsReply)>) -> Option<NfsOp> {
+        if let Some((op, reply)) = last {
+            if let Some(next) = self.absorb(op, reply) {
+                return Some(next);
+            }
+        }
+        loop {
+            if self.active.is_some() {
+                // An active call that produced no op means it finished in
+                // absorb(); `active` would be None. Getting here with an
+                // active call is a walk that found everything cached.
+                if let Some(op) = self.walk_complete() {
+                    return Some(op);
+                }
+                continue;
+            }
+            let call = self.program.pop_front()?;
+            if let Some(op) = self.begin(call) {
+                return Some(op);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inode_fs::InodeFs;
+    use crate::wrapper::NfsWrapper;
+    use base::{ModifyLog, Wrapper};
+    use base_pbft::ExecEnv;
+    use rand::SeedableRng;
+
+    /// Runs a program directly against one wrapper (no network).
+    fn run(program: Vec<FsCall>) -> Vec<(FsCall, FsOut)> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut w = NfsWrapper::with_capacity(InodeFs::new(0x77, &mut rng), 512);
+        let mut mods = ModifyLog::new();
+        let mut driver = PosixDriver::new(program);
+        let mut last: Option<(NfsOp, NfsReply)> = None;
+        let mut ts = 0u64;
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            assert!(guard < 100_000, "driver did not terminate");
+            let next = driver.next(last.as_ref().map(|(o, r)| (o, r)));
+            let Some(op) = next else { break };
+            ts += 1;
+            let mut env = ExecEnv::new(ts * 3, &mut rng);
+            let bytes = w.execute(&op.to_bytes(), 1, &ts.to_be_bytes(), false, &mut mods, &mut env);
+            let reply = NfsReply::from_bytes(&bytes).expect("reply");
+            last = Some((op, reply));
+        }
+        driver.results
+    }
+
+    #[test]
+    fn mkdir_p_creates_nested_paths() {
+        let results = run(vec![
+            FsCall::MkdirP("/a/b/c".into()),
+            FsCall::List("/a".into()),
+            FsCall::List("/a/b".into()),
+        ]);
+        assert_eq!(results[0].1, FsOut::Ok);
+        assert_eq!(results[1].1, FsOut::Names(vec!["b".into()]));
+        assert_eq!(results[2].1, FsOut::Names(vec!["c".into()]));
+    }
+
+    #[test]
+    fn write_then_read_round_trips_large_files() {
+        let data: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
+        let results = run(vec![
+            FsCall::MkdirP("/docs".into()),
+            FsCall::WriteFile("/docs/big.bin".into(), data.clone()),
+            FsCall::ReadFile("/docs/big.bin".into()),
+            FsCall::Stat("/docs/big.bin".into()),
+        ]);
+        assert_eq!(results[1].1, FsOut::Ok);
+        assert_eq!(results[2].1, FsOut::Data(data));
+        match &results[3].1 {
+            FsOut::Attr(a) => assert_eq!(a.size, 40_000),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_and_missing_paths() {
+        let results = run(vec![
+            FsCall::WriteFile("/f.txt".into(), b"x".to_vec()),
+            FsCall::Remove("/f.txt".into()),
+            FsCall::ReadFile("/f.txt".into()),
+            FsCall::Stat("/never/existed".into()),
+        ]);
+        assert_eq!(results[1].1, FsOut::Ok);
+        assert_eq!(results[2].1, FsOut::Err(NfsStatus::NoEnt));
+        assert_eq!(results[3].1, FsOut::Err(NfsStatus::NoEnt));
+    }
+
+    #[test]
+    fn rename_moves_files_and_updates_cache() {
+        let results = run(vec![
+            FsCall::MkdirP("/a".into()),
+            FsCall::MkdirP("/b".into()),
+            FsCall::WriteFile("/a/x".into(), b"payload".to_vec()),
+            FsCall::Rename("/a/x".into(), "/b/y".into()),
+            FsCall::ReadFile("/b/y".into()),
+            FsCall::ReadFile("/a/x".into()),
+        ]);
+        assert_eq!(results[3].1, FsOut::Ok);
+        assert_eq!(results[4].1, FsOut::Data(b"payload".to_vec()));
+        assert_eq!(results[5].1, FsOut::Err(NfsStatus::NoEnt));
+    }
+
+    #[test]
+    fn overwrite_truncates() {
+        let results = run(vec![
+            FsCall::WriteFile("/f".into(), b"a long first version".to_vec()),
+            FsCall::WriteFile("/f".into(), b"v2".to_vec()),
+            FsCall::ReadFile("/f".into()),
+        ]);
+        assert_eq!(results[2].1, FsOut::Data(b"v2".to_vec()));
+    }
+
+    #[test]
+    fn symlink_and_rmdir() {
+        let results = run(vec![
+            FsCall::MkdirP("/d".into()),
+            FsCall::Symlink("/d/link".into(), "/elsewhere".into()),
+            FsCall::List("/d".into()),
+            FsCall::Remove("/d/link".into()),
+            FsCall::Rmdir("/d".into()),
+            FsCall::List("/".into()),
+        ]);
+        assert_eq!(results[1].1, FsOut::Ok);
+        assert_eq!(results[2].1, FsOut::Names(vec!["link".into()]));
+        assert_eq!(results[4].1, FsOut::Ok);
+        assert_eq!(results[5].1, FsOut::Names(vec![]));
+    }
+}

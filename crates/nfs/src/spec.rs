@@ -1,0 +1,420 @@
+//! The common abstract specification of the file service (paper §3.1).
+//!
+//! The abstract state is a fixed-size array of `<object, generation>`
+//! pairs. Each object is identified by an *oid* — the concatenation of its
+//! array index and generation number, used as the file handle visible to
+//! clients. Objects are files (byte arrays), directories (name → oid
+//! pairs, ordered lexicographically), symbolic links (a path string), or
+//! null (the entry is free). Non-null objects carry the NFS `fattr`
+//! metadata *minus* everything implementation-specific: `fsid`/`fileid`
+//! are replaced by the oid, and all timestamps are the *abstract* (agreed)
+//! ones. Every entry is XDR-encoded.
+
+use base_xdr::{decode_vec, encode_vec, XdrDecode, XdrDecoder, XdrEncode, XdrEncoder, XdrError};
+
+/// Default capacity of the abstract object array.
+pub const DEFAULT_CAPACITY: u64 = 1 << 16;
+
+/// An abstract object identifier: array index + generation number.
+///
+/// Clients use oids as NFS file handles; the generation number makes
+/// handles of reallocated entries stale, exactly like NFS generation
+/// numbers — but chosen *deterministically* so all replicas agree.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Oid {
+    /// Index into the abstract object array.
+    pub index: u32,
+    /// Generation number of the entry.
+    pub gen: u32,
+}
+
+impl Oid {
+    /// The root directory's oid (entry 0, first generation).
+    pub const ROOT: Oid = Oid { index: 0, gen: 1 };
+
+    /// Packs the oid into a u64 (`index` in the high half).
+    pub fn as_u64(&self) -> u64 {
+        (u64::from(self.index) << 32) | u64::from(self.gen)
+    }
+
+    /// Unpacks an oid from a u64.
+    pub fn from_u64(v: u64) -> Oid {
+        Oid { index: (v >> 32) as u32, gen: v as u32 }
+    }
+}
+
+impl std::fmt::Display for Oid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.index, self.gen)
+    }
+}
+
+impl XdrEncode for Oid {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u32(self.index);
+        enc.put_u32(self.gen);
+    }
+}
+
+impl XdrDecode for Oid {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Oid { index: dec.get_u32()?, gen: dec.get_u32()? })
+    }
+}
+
+/// Object kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ObjKind {
+    /// Regular file.
+    File,
+    /// Directory.
+    Dir,
+    /// Symbolic link.
+    Symlink,
+}
+
+impl XdrEncode for ObjKind {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u32(match self {
+            ObjKind::File => 0,
+            ObjKind::Dir => 1,
+            ObjKind::Symlink => 2,
+        });
+    }
+}
+
+impl XdrDecode for ObjKind {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        match dec.get_u32()? {
+            0 => Ok(ObjKind::File),
+            1 => Ok(ObjKind::Dir),
+            2 => Ok(ObjKind::Symlink),
+            v => Err(XdrError::InvalidDiscriminant { type_name: "ObjKind", value: v }),
+        }
+    }
+}
+
+/// Abstract file attributes (the NFS `fattr` with implementation-specific
+/// fields removed; timestamps are abstract nanoseconds).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Fattr {
+    /// Object kind.
+    pub kind: ObjKind,
+    /// Permission bits.
+    pub mode: u32,
+    /// Hard-link count.
+    pub nlink: u32,
+    /// Owner.
+    pub uid: u32,
+    /// Group.
+    pub gid: u32,
+    /// Size in bytes (file data length / directory entry count).
+    pub size: u64,
+    /// Abstract access time (ns).
+    pub atime_ns: u64,
+    /// Abstract modification time (ns).
+    pub mtime_ns: u64,
+    /// Abstract attribute-change time (ns).
+    pub ctime_ns: u64,
+}
+
+impl Fattr {
+    /// A fresh attribute record for a new object.
+    pub fn new(kind: ObjKind, mode: u32, uid: u32, gid: u32, now_ns: u64) -> Self {
+        Fattr {
+            kind,
+            mode,
+            nlink: 1,
+            uid,
+            gid,
+            size: 0,
+            atime_ns: now_ns,
+            mtime_ns: now_ns,
+            ctime_ns: now_ns,
+        }
+    }
+}
+
+impl XdrEncode for Fattr {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        self.kind.encode(enc);
+        enc.put_u32(self.mode);
+        enc.put_u32(self.nlink);
+        enc.put_u32(self.uid);
+        enc.put_u32(self.gid);
+        enc.put_u64(self.size);
+        enc.put_u64(self.atime_ns);
+        enc.put_u64(self.mtime_ns);
+        enc.put_u64(self.ctime_ns);
+    }
+}
+
+impl XdrDecode for Fattr {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Fattr {
+            kind: ObjKind::decode(dec)?,
+            mode: dec.get_u32()?,
+            nlink: dec.get_u32()?,
+            uid: dec.get_u32()?,
+            gid: dec.get_u32()?,
+            size: dec.get_u64()?,
+            atime_ns: dec.get_u64()?,
+            mtime_ns: dec.get_u64()?,
+            ctime_ns: dec.get_u64()?,
+        })
+    }
+}
+
+/// A non-null abstract object.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AbstractObject {
+    /// A regular file: metadata + contents.
+    File {
+        /// Attributes.
+        attr: Fattr,
+        /// File contents.
+        data: Vec<u8>,
+    },
+    /// A directory: metadata + entries sorted lexicographically by name.
+    Dir {
+        /// Attributes.
+        attr: Fattr,
+        /// `(name, oid)` pairs, strictly sorted by name.
+        entries: Vec<(String, Oid)>,
+    },
+    /// A symbolic link: metadata + target path.
+    Symlink {
+        /// Attributes.
+        attr: Fattr,
+        /// Link target.
+        target: String,
+    },
+}
+
+impl AbstractObject {
+    /// The object's attributes.
+    pub fn attr(&self) -> &Fattr {
+        match self {
+            AbstractObject::File { attr, .. }
+            | AbstractObject::Dir { attr, .. }
+            | AbstractObject::Symlink { attr, .. } => attr,
+        }
+    }
+
+    /// Mutable attributes.
+    pub fn attr_mut(&mut self) -> &mut Fattr {
+        match self {
+            AbstractObject::File { attr, .. }
+            | AbstractObject::Dir { attr, .. }
+            | AbstractObject::Symlink { attr, .. } => attr,
+        }
+    }
+
+    /// The object's kind.
+    pub fn kind(&self) -> ObjKind {
+        self.attr().kind
+    }
+
+    /// Encodes the abstract array entry: `(generation, object)` in XDR
+    /// (paper: "Each entry in the array is encoded using XDR").
+    pub fn encode_entry(&self, gen: u32) -> Vec<u8> {
+        let mut enc = XdrEncoder::new();
+        enc.put_u32(gen);
+        self.encode(&mut enc);
+        enc.finish()
+    }
+
+    /// Decodes an abstract array entry.
+    pub fn decode_entry(bytes: &[u8]) -> Result<(u32, AbstractObject), XdrError> {
+        let mut dec = XdrDecoder::new(bytes);
+        let gen = dec.get_u32()?;
+        let obj = AbstractObject::decode(&mut dec)?;
+        dec.finish()?;
+        Ok((gen, obj))
+    }
+}
+
+impl XdrEncode for AbstractObject {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        match self {
+            AbstractObject::File { attr, data } => {
+                enc.put_u32(0);
+                attr.encode(enc);
+                enc.put_opaque(data);
+            }
+            AbstractObject::Dir { attr, entries } => {
+                enc.put_u32(1);
+                attr.encode(enc);
+                encode_vec(entries, enc);
+            }
+            AbstractObject::Symlink { attr, target } => {
+                enc.put_u32(2);
+                attr.encode(enc);
+                enc.put_string(target);
+            }
+        }
+    }
+}
+
+impl XdrDecode for AbstractObject {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        match dec.get_u32()? {
+            0 => Ok(AbstractObject::File {
+                attr: Fattr::decode(dec)?,
+                data: dec.get_opaque()?,
+            }),
+            1 => Ok(AbstractObject::Dir {
+                attr: Fattr::decode(dec)?,
+                entries: decode_vec(dec)?,
+            }),
+            2 => Ok(AbstractObject::Symlink {
+                attr: Fattr::decode(dec)?,
+                target: dec.get_string()?,
+            }),
+            v => Err(XdrError::InvalidDiscriminant { type_name: "AbstractObject", value: v }),
+        }
+    }
+}
+
+/// NFS-style status codes for the abstract operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NfsStatus {
+    /// No such file or directory.
+    NoEnt,
+    /// Name already exists.
+    Exist,
+    /// Not a directory.
+    NotDir,
+    /// Is a directory.
+    IsDir,
+    /// Directory not empty.
+    NotEmpty,
+    /// Stale file handle (generation mismatch).
+    Stale,
+    /// Invalid argument.
+    Inval,
+    /// Name too long.
+    NameTooLong,
+    /// No space (abstract array exhausted).
+    NoSpace,
+    /// Generic I/O error.
+    Io,
+}
+
+impl NfsStatus {
+    fn code(&self) -> u32 {
+        match self {
+            NfsStatus::NoEnt => 2,
+            NfsStatus::Io => 5,
+            NfsStatus::Exist => 17,
+            NfsStatus::NotDir => 20,
+            NfsStatus::IsDir => 21,
+            NfsStatus::Inval => 22,
+            NfsStatus::NoSpace => 28,
+            NfsStatus::NameTooLong => 63,
+            NfsStatus::NotEmpty => 66,
+            NfsStatus::Stale => 70,
+        }
+    }
+
+    fn from_code(v: u32) -> Result<Self, XdrError> {
+        Ok(match v {
+            2 => NfsStatus::NoEnt,
+            5 => NfsStatus::Io,
+            17 => NfsStatus::Exist,
+            20 => NfsStatus::NotDir,
+            21 => NfsStatus::IsDir,
+            22 => NfsStatus::Inval,
+            28 => NfsStatus::NoSpace,
+            63 => NfsStatus::NameTooLong,
+            66 => NfsStatus::NotEmpty,
+            70 => NfsStatus::Stale,
+            _ => return Err(XdrError::InvalidDiscriminant { type_name: "NfsStatus", value: v }),
+        })
+    }
+}
+
+impl XdrEncode for NfsStatus {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u32(self.code());
+    }
+}
+
+impl XdrDecode for NfsStatus {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        NfsStatus::from_code(dec.get_u32()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use base_xdr::{from_bytes, to_bytes};
+
+    fn attr() -> Fattr {
+        Fattr::new(ObjKind::File, 0o644, 10, 20, 1_000)
+    }
+
+    #[test]
+    fn oid_packs_and_unpacks() {
+        let oid = Oid { index: 7, gen: 3 };
+        assert_eq!(Oid::from_u64(oid.as_u64()), oid);
+        assert_eq!(from_bytes::<Oid>(&to_bytes(&oid)).unwrap(), oid);
+    }
+
+    #[test]
+    fn objects_round_trip() {
+        let objs = vec![
+            AbstractObject::File { attr: attr(), data: vec![1, 2, 3] },
+            AbstractObject::Dir {
+                attr: Fattr::new(ObjKind::Dir, 0o755, 0, 0, 5),
+                entries: vec![
+                    ("a".to_owned(), Oid { index: 1, gen: 1 }),
+                    ("b".to_owned(), Oid { index: 2, gen: 4 }),
+                ],
+            },
+            AbstractObject::Symlink {
+                attr: Fattr::new(ObjKind::Symlink, 0o777, 0, 0, 5),
+                target: "/somewhere/else".to_owned(),
+            },
+        ];
+        for obj in objs {
+            let bytes = obj.encode_entry(9);
+            let (gen, decoded) = AbstractObject::decode_entry(&bytes).unwrap();
+            assert_eq!(gen, 9);
+            assert_eq!(decoded, obj);
+        }
+    }
+
+    #[test]
+    fn entry_encoding_is_deterministic() {
+        let d1 = AbstractObject::Dir {
+            attr: Fattr::new(ObjKind::Dir, 0o755, 0, 0, 5),
+            entries: vec![("x".to_owned(), Oid { index: 3, gen: 1 })],
+        };
+        assert_eq!(d1.encode_entry(1), d1.clone().encode_entry(1));
+    }
+
+    #[test]
+    fn status_round_trip() {
+        for s in [
+            NfsStatus::NoEnt,
+            NfsStatus::Exist,
+            NfsStatus::NotDir,
+            NfsStatus::IsDir,
+            NfsStatus::NotEmpty,
+            NfsStatus::Stale,
+            NfsStatus::Inval,
+            NfsStatus::NameTooLong,
+            NfsStatus::NoSpace,
+            NfsStatus::Io,
+        ] {
+            assert_eq!(from_bytes::<NfsStatus>(&to_bytes(&s)).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn malformed_object_rejected() {
+        assert!(AbstractObject::decode_entry(&[0, 0, 0, 1, 0, 0, 0, 9]).is_err());
+    }
+}

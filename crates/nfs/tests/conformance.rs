@@ -1,0 +1,351 @@
+//! Cross-implementation conformance: the heart of opportunistic N-version
+//! programming. The same operation sequence applied to the three wrapped
+//! file systems must produce byte-identical replies and byte-identical
+//! abstract states, despite wildly different concrete internals.
+
+use base::{ModifyLog, Wrapper};
+use base_nfs::ops::{NfsOp, NfsReply, SetAttrs};
+use base_nfs::spec::Oid;
+use base_nfs::{BtreeFs, FlatFs, InodeFs, LogFs, NfsWrapper};
+use base_pbft::ExecEnv;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One wrapped implementation under test, with its own rng/clock world.
+type ExecFn = Box<dyn FnMut(&NfsOp, u64) -> NfsReply>;
+type GetFn = Box<dyn FnMut(u64) -> Option<Vec<u8>>>;
+type PutFn = Box<dyn FnMut(&[(u64, Option<Vec<u8>>)])>;
+
+struct World {
+    name: &'static str,
+    exec: ExecFn,
+    get: GetFn,
+    put: PutFn,
+}
+
+const CAP: u64 = 512;
+
+fn make_world<S: base_nfs::NfsServer>(
+    server: S,
+    seed: u64,
+    clock_skew: u64,
+    name: &'static str,
+) -> World {
+    let wrapper = std::rc::Rc::new(std::cell::RefCell::new((
+        NfsWrapper::with_capacity(server, CAP),
+        ModifyLog::new(),
+        StdRng::seed_from_u64(seed),
+        0u64,
+    )));
+    let w1 = wrapper.clone();
+    let w2 = wrapper.clone();
+    let w3 = wrapper;
+    World {
+        name,
+        exec: Box::new(move |op, ts| {
+            let mut g = w1.borrow_mut();
+            let (wrap, mods, rng, steps) = &mut *g;
+            *steps += 1;
+            let clock = clock_skew + *steps * 1000;
+            let mut env = ExecEnv::new(clock, rng);
+            let bytes = wrap.execute(&op.to_bytes(), 1, &ts.to_be_bytes(), false, mods, &mut env);
+            NfsReply::from_bytes(&bytes).expect("well-formed reply")
+        }),
+        get: Box::new(move |i| w2.borrow_mut().0.get_obj(i)),
+        put: Box::new(move |objs| {
+            let mut g = w3.borrow_mut();
+            let (wrap, _, rng, steps) = &mut *g;
+            *steps += 1;
+            let clock = clock_skew + *steps * 1000;
+            let mut env = ExecEnv::new(clock, rng);
+            wrap.put_objs(objs, &mut env);
+        }),
+    }
+}
+
+fn three_worlds() -> Vec<World> {
+    let mut r1 = StdRng::seed_from_u64(101);
+    let mut r2 = StdRng::seed_from_u64(202);
+    let mut r3 = StdRng::seed_from_u64(303);
+    let mut r4 = StdRng::seed_from_u64(404);
+    vec![
+        make_world(InodeFs::new(0x11, &mut r1), 1, 0, "inode-fs"),
+        make_world(LogFs::new(0x22, &mut r2), 2, 5_000_000, "log-fs"),
+        make_world(BtreeFs::new(0x33, &mut r3), 3, 11_111_111, "btree-fs"),
+        make_world(FlatFs::new(0x44, &mut r4), 4, 7_777, "flat-fs"),
+    ]
+}
+
+/// Runs `op` on every world; asserts identical replies; returns the reply.
+fn step(worlds: &mut [World], op: NfsOp, ts: u64) -> NfsReply {
+    let first = (worlds[0].exec)(&op, ts);
+    for w in &mut worlds[1..] {
+        let r = (w.exec)(&op, ts);
+        assert_eq!(r, first, "{}: divergent reply for {op:?}", w.name);
+    }
+    first
+}
+
+/// Asserts all worlds have identical abstract states.
+fn assert_same_abstract(worlds: &mut [World]) {
+    for i in 0..CAP {
+        let a = (worlds[0].get)(i);
+        for w in &mut worlds[1..] {
+            let b = (w.get)(i);
+            assert_eq!(b, a, "{}: abstract object {i} diverged", w.name);
+        }
+    }
+}
+
+fn handle(reply: &NfsReply) -> Oid {
+    match reply {
+        NfsReply::Handle { fh, .. } => *fh,
+        other => panic!("expected handle, got {other:?}"),
+    }
+}
+
+#[test]
+fn identical_replies_and_abstract_state_across_implementations() {
+    let mut worlds = three_worlds();
+    let root = Oid::ROOT;
+    let mut ts = 0u64;
+    let mut t = || {
+        ts += 1;
+        ts
+    };
+
+    // Build a small tree with every object kind.
+    let d1 = handle(&step(&mut worlds, NfsOp::Mkdir { dir: root, name: "src".into(), mode: 0o755 }, t()));
+    let d2 = handle(&step(&mut worlds, NfsOp::Mkdir { dir: root, name: "doc".into(), mode: 0o755 }, t()));
+    let f1 = handle(&step(&mut worlds, NfsOp::Create { dir: d1, name: "main.rs".into(), mode: 0o644 }, t()));
+    step(&mut worlds, NfsOp::Write { fh: f1, offset: 0, data: b"fn main() {}".to_vec() }, t());
+    let f2 = handle(&step(&mut worlds, NfsOp::Create { dir: d1, name: "lib.rs".into(), mode: 0o644 }, t()));
+    step(&mut worlds, NfsOp::Write { fh: f2, offset: 0, data: vec![7u8; 9000] }, t());
+    step(&mut worlds, NfsOp::Symlink { dir: d2, name: "link".into(), target: "../src/main.rs".into() }, t());
+    step(&mut worlds, NfsOp::Link { fh: f1, dir: d2, name: "hardlink".into() }, t());
+
+    // Reads, lookups, listings.
+    step(&mut worlds, NfsOp::Read { fh: f2, offset: 100, count: 64 }, t());
+    step(&mut worlds, NfsOp::Lookup { dir: d1, name: "main.rs".into() }, t());
+    step(&mut worlds, NfsOp::Readdir { dir: root }, t());
+    step(&mut worlds, NfsOp::Readdir { dir: d1 }, t());
+    step(&mut worlds, NfsOp::Getattr { fh: f1 }, t());
+    step(&mut worlds, NfsOp::Statfs, t());
+
+    // Mutations: truncate, rename (file and dir), removals.
+    step(&mut worlds, NfsOp::Setattr { fh: f2, attrs: SetAttrs { size: Some(100), ..Default::default() } }, t());
+    step(&mut worlds, NfsOp::Rename { from_dir: d1, from_name: "lib.rs".into(), to_dir: d2, to_name: "lib.rs".into() }, t());
+    step(&mut worlds, NfsOp::Rename { from_dir: root, from_name: "doc".into(), to_dir: root, to_name: "docs".into() }, t());
+    step(&mut worlds, NfsOp::Remove { dir: d2, name: "hardlink".into() }, t());
+
+    // Error paths must also be identical.
+    step(&mut worlds, NfsOp::Lookup { dir: d1, name: "missing".into() }, t());
+    step(&mut worlds, NfsOp::Create { dir: d1, name: "main.rs".into(), mode: 0o644 }, t());
+    step(&mut worlds, NfsOp::Rmdir { dir: root, name: "src".into() }, t());
+    step(&mut worlds, NfsOp::Remove { dir: root, name: "src".into() }, t());
+    step(&mut worlds, NfsOp::Getattr { fh: Oid { index: 99, gen: 1 } }, t());
+
+    assert_same_abstract(&mut worlds);
+}
+
+#[test]
+fn reuse_and_generation_bumps_match() {
+    let mut worlds = three_worlds();
+    let root = Oid::ROOT;
+    let mut ts = 0u64;
+    let mut t = || {
+        ts += 1;
+        ts
+    };
+    let a = handle(&step(&mut worlds, NfsOp::Create { dir: root, name: "a".into(), mode: 0o644 }, t()));
+    let _b = handle(&step(&mut worlds, NfsOp::Create { dir: root, name: "b".into(), mode: 0o644 }, t()));
+    step(&mut worlds, NfsOp::Remove { dir: root, name: "a".into() }, t());
+    let c = handle(&step(&mut worlds, NfsOp::Create { dir: root, name: "c".into(), mode: 0o644 }, t()));
+    assert_eq!(c.index, a.index, "freed index reused deterministically");
+    assert_eq!(c.gen, a.gen + 1, "generation bumped identically everywhere");
+    // The stale handle fails identically everywhere.
+    step(&mut worlds, NfsOp::Getattr { fh: a }, t());
+    assert_same_abstract(&mut worlds);
+}
+
+/// Builds a moderately complex state via ops on world A, then installs A's
+/// full abstract state into a *fresh* world B of a different implementation
+/// through `put_objs`, and checks B now computes the identical abstraction.
+#[test]
+fn put_objs_transfers_state_across_implementations() {
+    let mut worlds = three_worlds();
+    let root = Oid::ROOT;
+    let mut ts = 0u64;
+    let mut t = || {
+        ts += 1;
+        ts
+    };
+    let d = handle(&step(&mut worlds, NfsOp::Mkdir { dir: root, name: "dir".into(), mode: 0o755 }, t()));
+    let sub = handle(&step(&mut worlds, NfsOp::Mkdir { dir: d, name: "sub".into(), mode: 0o700 }, t()));
+    let f = handle(&step(&mut worlds, NfsOp::Create { dir: sub, name: "deep.txt".into(), mode: 0o600 }, t()));
+    step(&mut worlds, NfsOp::Write { fh: f, offset: 0, data: b"deep content".to_vec() }, t());
+    step(&mut worlds, NfsOp::Symlink { dir: root, name: "s".into(), target: "dir/sub".into() }, t());
+    let g = handle(&step(&mut worlds, NfsOp::Create { dir: root, name: "top".into(), mode: 0o644 }, t()));
+    step(&mut worlds, NfsOp::Write { fh: g, offset: 0, data: vec![3u8; 5000] }, t());
+    step(&mut worlds, NfsOp::Link { fh: g, dir: d, name: "top-link".into() }, t());
+
+    // Collect A's full abstract state.
+    let full: Vec<(u64, Option<Vec<u8>>)> = (0..CAP).map(|i| (i, (worlds[0].get)(i))).collect();
+
+    // Install into fresh worlds of each implementation.
+    let mut r = StdRng::seed_from_u64(999);
+    let fresh: Vec<World> = vec![
+        make_world(InodeFs::new(0x44, &mut r), 71, 1, "fresh-inode"),
+        make_world(LogFs::new(0x55, &mut r), 72, 2, "fresh-log"),
+        make_world(BtreeFs::new(0x66, &mut r), 73, 3, "fresh-btree"),
+    ];
+    for mut fw in fresh {
+        (fw.put)(&full);
+        for i in 0..CAP {
+            let a = full[i as usize].1.clone();
+            let b = (fw.get)(i);
+            assert_eq!(b, a, "{}: object {i} after install", fw.name);
+        }
+        // The installed world keeps working: execute more ops on it.
+        let r = (fw.exec)(&NfsOp::Lookup { dir: root, name: "top".into() }, 500);
+        assert!(matches!(r, NfsReply::Handle { .. }), "{}: {r:?}", fw.name);
+        let r = (fw.exec)(&NfsOp::Read { fh: f, offset: 0, count: 100 }, 501);
+        assert_eq!(r, NfsReply::Data(b"deep content".to_vec()), "{}", fw.name);
+    }
+}
+
+/// Installs a *delta* onto a diverged copy: world B has the same history as
+/// A up to a point, then A moves ahead (including deletions, moves and
+/// reuse); applying the changed objects to B must reconverge it.
+#[test]
+fn put_objs_applies_deltas_including_moves_and_deletes() {
+    let mut worlds = three_worlds();
+    let root = Oid::ROOT;
+    let mut ts = 0u64;
+    let mut t = || {
+        ts += 1;
+        ts
+    };
+    // Shared prefix on all three worlds.
+    let d1 = handle(&step(&mut worlds, NfsOp::Mkdir { dir: root, name: "a".into(), mode: 0o755 }, t()));
+    let d2 = handle(&step(&mut worlds, NfsOp::Mkdir { dir: root, name: "b".into(), mode: 0o755 }, t()));
+    let f = handle(&step(&mut worlds, NfsOp::Create { dir: d1, name: "f".into(), mode: 0o644 }, t()));
+    step(&mut worlds, NfsOp::Write { fh: f, offset: 0, data: b"v1".to_vec() }, t());
+    let dead = handle(&step(&mut worlds, NfsOp::Create { dir: d2, name: "dead".into(), mode: 0o644 }, t()));
+    let _ = dead;
+
+    // Snapshot "before" on world 0 (this is what B still has).
+    let before: Vec<(u64, Option<Vec<u8>>)> = (0..CAP).map(|i| (i, (worlds[0].get)(i))).collect();
+
+    // World 0 moves ahead alone: move the file, delete "dead", move dir b
+    // into dir a, create something new reusing the dead index.
+    let w0 = &mut worlds[0];
+    (w0.exec)(&NfsOp::Rename { from_dir: d1, from_name: "f".into(), to_dir: d2, to_name: "g".into() }, 100);
+    (w0.exec)(&NfsOp::Remove { dir: d2, name: "dead".into() }, 101);
+    (w0.exec)(&NfsOp::Rename { from_dir: root, from_name: "b".into(), to_dir: d1, to_name: "bb".into() }, 102);
+    let created = (w0.exec)(&NfsOp::Create { dir: root, name: "new".into(), mode: 0o644 }, 103);
+    let new_fh = handle(&created);
+    (w0.exec)(&NfsOp::Write { fh: new_fh, offset: 0, data: b"fresh".to_vec() }, 104);
+
+    // Compute the delta (after vs before).
+    let mut delta: Vec<(u64, Option<Vec<u8>>)> = Vec::new();
+    let mut after: Vec<(u64, Option<Vec<u8>>)> = Vec::new();
+    for i in 0..CAP {
+        let now = (worlds[0].get)(i);
+        if now != before[i as usize].1 {
+            delta.push((i, now.clone()));
+        }
+        after.push((i, now));
+    }
+    assert!(!delta.is_empty());
+
+    // Apply the delta to every other world; all must match world 0.
+    for w in worlds.iter_mut().skip(1) {
+        (w.put)(&delta);
+        for i in 0..CAP {
+            let b = (w.get)(i);
+            assert_eq!(b, after[i as usize].1, "{}: object {i} after delta install", w.name);
+        }
+    }
+
+    // And the reconverged worlds continue to agree on live traffic.
+    let r = step(&mut worlds, NfsOp::Readdir { dir: root }, 200);
+    assert!(matches!(r, NfsReply::Entries(_)));
+    let r = step(&mut worlds, NfsOp::Read { fh: new_fh, offset: 0, count: 10 }, 201);
+    assert_eq!(r, NfsReply::Data(b"fresh".to_vec()));
+}
+
+#[test]
+fn rename_into_own_subtree_is_rejected_everywhere() {
+    // POSIX forbids making a directory its own descendant (EINVAL). All
+    // four implementations must agree — both on the error and on the
+    // untouched state afterwards.
+    let mut worlds = three_worlds();
+    let root = Oid::ROOT;
+    let mut ts = 0u64;
+    let mut t = || {
+        ts += 1;
+        ts
+    };
+    let a = handle(&step(&mut worlds, NfsOp::Mkdir { dir: root, name: "a".into(), mode: 0o755 }, t()));
+    let b = handle(&step(&mut worlds, NfsOp::Mkdir { dir: a, name: "b".into(), mode: 0o755 }, t()));
+    let _c = handle(&step(&mut worlds, NfsOp::Mkdir { dir: b, name: "c".into(), mode: 0o755 }, t()));
+
+    // a → a/b/a: direct cycle, two levels deep.
+    let r = step(
+        &mut worlds,
+        NfsOp::Rename { from_dir: root, from_name: "a".into(), to_dir: b, to_name: "a".into() },
+        t(),
+    );
+    assert_eq!(r, NfsReply::Error(base_nfs::NfsStatus::Inval));
+
+    // a → a/a: immediate self-adoption.
+    let r = step(
+        &mut worlds,
+        NfsOp::Rename { from_dir: root, from_name: "a".into(), to_dir: a, to_name: "x".into() },
+        t(),
+    );
+    assert_eq!(r, NfsReply::Error(base_nfs::NfsStatus::Inval));
+
+    // Renaming a directory onto ITSELF within the same parent is a no-op
+    // rename to the same name — allowed (it is its own destination, not a
+    // descendant). A sibling move still works afterwards.
+    let r = step(
+        &mut worlds,
+        NfsOp::Rename { from_dir: a, from_name: "b".into(), to_dir: a, to_name: "b2".into() },
+        t(),
+    );
+    assert!(matches!(r, NfsReply::Ok | NfsReply::Attr(_)), "sibling rename failed: {r:?}");
+    assert_same_abstract(&mut worlds);
+}
+
+#[test]
+fn warm_rebuild_preserves_abstraction() {
+    let mut r = StdRng::seed_from_u64(7);
+    let mut wrapper = NfsWrapper::with_capacity(InodeFs::new(0x77, &mut r), CAP);
+    let mut mods = ModifyLog::new();
+    let mut rng = StdRng::seed_from_u64(8);
+    let exec = |w: &mut NfsWrapper<InodeFs>, mods: &mut ModifyLog, rng: &mut StdRng, op: NfsOp, ts: u64| {
+        let mut env = ExecEnv::new(ts * 7, rng);
+        let bytes = w.execute(&op.to_bytes(), 1, &ts.to_be_bytes(), false, mods, &mut env);
+        NfsReply::from_bytes(&bytes).expect("reply")
+    };
+    let root = Oid::ROOT;
+    let d = handle(&exec(&mut wrapper, &mut mods, &mut rng, NfsOp::Mkdir { dir: root, name: "d".into(), mode: 0o755 }, 1));
+    let f = handle(&exec(&mut wrapper, &mut mods, &mut rng, NfsOp::Create { dir: d, name: "f".into(), mode: 0o644 }, 2));
+    exec(&mut wrapper, &mut mods, &mut rng, NfsOp::Write { fh: f, offset: 0, data: b"survives".to_vec() }, 3);
+
+    let before: Vec<Option<Vec<u8>>> = (0..CAP).map(|i| wrapper.get_obj(i)).collect();
+
+    // Warm reboot: all server handles go stale; the rep is rebuilt from the
+    // <fsid,fileid> map by walking the concrete tree (§3.4).
+    let mut env = ExecEnv::new(0, &mut rng);
+    wrapper.rebuild_rep(&mut env);
+
+    let after: Vec<Option<Vec<u8>>> = (0..CAP).map(|i| wrapper.get_obj(i)).collect();
+    assert_eq!(after, before, "abstraction must be unchanged by a warm reboot");
+
+    // And operations still work on the rebuilt handles.
+    let r = exec(&mut wrapper, &mut mods, &mut rng, NfsOp::Read { fh: f, offset: 0, count: 100 }, 4);
+    assert_eq!(r, NfsReply::Data(b"survives".to_vec()));
+}

@@ -1,0 +1,218 @@
+//! Edge-case unit tests for the OODB wrapper: error codes, cycles and
+//! self-references, oid generation reuse, traversal bounds, GC survival
+//! under live references, and wire-format robustness for ops and replies.
+
+use base::{ModifyLog, Wrapper};
+use base_oodb::{err, Oid, OodbOp, OodbReply, OodbWrapper};
+use base_pbft::ExecEnv;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct W {
+    w: OodbWrapper,
+    rng: StdRng,
+    mods: ModifyLog,
+    ts: u64,
+}
+
+impl W {
+    fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = OodbWrapper::new(base_oodb::ObjStore::new(&mut rng));
+        Self { w, rng, mods: ModifyLog::new(), ts: 0 }
+    }
+
+    fn exec(&mut self, op: OodbOp) -> OodbReply {
+        self.ts += 1;
+        let mut env = ExecEnv::new(self.ts * 7, &mut self.rng);
+        let bytes = self.w.execute(
+            &op.to_bytes(),
+            1,
+            &self.ts.to_be_bytes(),
+            false,
+            &mut self.mods,
+            &mut env,
+        );
+        OodbReply::from_bytes(&bytes).expect("reply decodes")
+    }
+
+    fn alloc(&mut self) -> Oid {
+        match self.exec(OodbOp::New) {
+            OodbReply::Handle(o) => o,
+            other => panic!("alloc failed: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn field_and_slot_range_errors() {
+    let mut w = W::new(1);
+    let a = w.alloc();
+    assert_eq!(
+        w.exec(OodbOp::Put { oid: a, field: base_oodb::FIELDS as u32, data: vec![1] }),
+        OodbReply::Err(err::RANGE)
+    );
+    assert_eq!(
+        w.exec(OodbOp::Get { oid: a, field: 99 }),
+        OodbReply::Err(err::RANGE)
+    );
+    assert_eq!(
+        w.exec(OodbOp::SetRef { from: a, slot: base_oodb::REF_SLOTS as u32, to: None }),
+        OodbReply::Err(err::RANGE)
+    );
+    assert_eq!(w.exec(OodbOp::GetRef { from: a, slot: 77 }), OodbReply::Err(err::RANGE));
+}
+
+#[test]
+fn stale_generation_is_rejected_after_index_reuse() {
+    let mut w = W::new(2);
+    let a = w.alloc();
+    assert_eq!(w.exec(OodbOp::Delete { oid: a }), OodbReply::Ok);
+    // The lowest free index is reused with a bumped generation.
+    let b = w.alloc();
+    assert_eq!(b.index, a.index, "allocator reuses the lowest index");
+    assert_ne!(b.gen, a.gen, "generation must be bumped on reuse");
+    assert_eq!(
+        w.exec(OodbOp::Get { oid: a, field: 0 }),
+        OodbReply::Err(err::STALE),
+        "the old oid must dangle"
+    );
+    assert_eq!(w.exec(OodbOp::Get { oid: b, field: 0 }), OodbReply::Data(Vec::new()));
+}
+
+#[test]
+fn self_reference_pins_and_releases() {
+    let mut w = W::new(3);
+    let a = w.alloc();
+    assert_eq!(w.exec(OodbOp::SetRef { from: a, slot: 0, to: Some(a) }), OodbReply::Ok);
+    assert_eq!(
+        w.exec(OodbOp::Delete { oid: a }),
+        OodbReply::Err(err::IN_USE),
+        "a self-referenced object is still referenced"
+    );
+    assert_eq!(w.exec(OodbOp::SetRef { from: a, slot: 0, to: None }), OodbReply::Ok);
+    assert_eq!(w.exec(OodbOp::Delete { oid: a }), OodbReply::Ok);
+}
+
+#[test]
+fn reference_cycles_traverse_without_looping() {
+    let mut w = W::new(4);
+    let a = w.alloc();
+    let b = w.alloc();
+    let c = w.alloc();
+    w.exec(OodbOp::SetRef { from: a, slot: 0, to: Some(b) });
+    w.exec(OodbOp::SetRef { from: b, slot: 0, to: Some(c) });
+    w.exec(OodbOp::SetRef { from: c, slot: 0, to: Some(a) });
+    // A cycle of three: traversal must count each distinct object once.
+    assert_eq!(w.exec(OodbOp::Traverse { root: a, depth: 100 }), OodbReply::Count(3));
+    // Depth counts levels: 0 visits nothing, 1 visits only the root.
+    assert_eq!(w.exec(OodbOp::Traverse { root: a, depth: 0 }), OodbReply::Count(0));
+    assert_eq!(w.exec(OodbOp::Traverse { root: a, depth: 1 }), OodbReply::Count(1));
+    // Diamond: a second path to the same node is not double-counted.
+    w.exec(OodbOp::SetRef { from: a, slot: 1, to: Some(c) });
+    assert_eq!(w.exec(OodbOp::Traverse { root: a, depth: 100 }), OodbReply::Count(3));
+}
+
+#[test]
+fn overwriting_a_ref_slot_moves_the_refcount() {
+    let mut w = W::new(5);
+    let a = w.alloc();
+    let b = w.alloc();
+    let c = w.alloc();
+    w.exec(OodbOp::SetRef { from: a, slot: 0, to: Some(b) });
+    // Redirect the same slot from b to c: b's refcount must drop to zero.
+    w.exec(OodbOp::SetRef { from: a, slot: 0, to: Some(c) });
+    assert_eq!(w.exec(OodbOp::Delete { oid: b }), OodbReply::Ok, "b is unreferenced again");
+    assert_eq!(w.exec(OodbOp::Delete { oid: c }), OodbReply::Err(err::IN_USE));
+}
+
+#[test]
+fn deleted_objects_release_their_outgoing_references() {
+    let mut w = W::new(6);
+    let a = w.alloc();
+    let b = w.alloc();
+    w.exec(OodbOp::SetRef { from: a, slot: 2, to: Some(b) });
+    assert_eq!(w.exec(OodbOp::Delete { oid: b }), OodbReply::Err(err::IN_USE));
+    // Deleting the referrer must release its outgoing edge.
+    assert_eq!(w.exec(OodbOp::Delete { oid: a }), OodbReply::Ok);
+    assert_eq!(w.exec(OodbOp::Delete { oid: b }), OodbReply::Ok);
+}
+
+#[test]
+fn data_survives_garbage_collections() {
+    // Enough churn to trigger several relocating collections; the live
+    // object's contents and identity must survive every move.
+    let mut w = W::new(7);
+    let keeper = w.alloc();
+    w.exec(OodbOp::Put { oid: keeper, field: 1, data: b"survivor".to_vec() });
+    for _ in 0..400 {
+        let t = w.alloc();
+        w.exec(OodbOp::Put { oid: t, field: 0, data: vec![0xaa; 64] });
+        w.exec(OodbOp::Delete { oid: t });
+    }
+    assert_eq!(
+        w.exec(OodbOp::Get { oid: keeper, field: 1 }),
+        OodbReply::Data(b"survivor".to_vec())
+    );
+    assert_eq!(w.w.allocated(), 1);
+}
+
+#[test]
+fn abstract_objects_are_stable_across_gc() {
+    // get_obj output must not depend on concrete addresses (which GC
+    // changes): snapshot, churn through collections, snapshot again.
+    let mut w = W::new(8);
+    let a = w.alloc();
+    let b = w.alloc();
+    w.exec(OodbOp::Put { oid: a, field: 0, data: b"alpha".to_vec() });
+    w.exec(OodbOp::SetRef { from: a, slot: 0, to: Some(b) });
+    let before_a = w.w.get_obj(a.index as u64);
+    let before_b = w.w.get_obj(b.index as u64);
+    for _ in 0..300 {
+        let t = w.alloc();
+        w.exec(OodbOp::Delete { oid: t });
+    }
+    assert_eq!(w.w.get_obj(a.index as u64), before_a);
+    assert_eq!(w.w.get_obj(b.index as u64), before_b);
+}
+
+#[test]
+fn malformed_op_bytes_reply_inval() {
+    let mut w = W::new(9);
+    let mut env = ExecEnv::new(1, &mut w.rng);
+    let bytes = w.w.execute(b"\xff\xff\xff\xff", 1, &1u64.to_be_bytes(), false, &mut w.mods, &mut env);
+    assert_eq!(OodbReply::from_bytes(&bytes), Some(OodbReply::Err(err::INVAL)));
+}
+
+#[test]
+fn op_and_reply_wire_roundtrip() {
+    let oid = Oid { index: 7, gen: 3 };
+    let ops = [
+        OodbOp::New,
+        OodbOp::Put { oid, field: 2, data: b"payload".to_vec() },
+        OodbOp::Get { oid, field: 0 },
+        OodbOp::SetRef { from: oid, slot: 1, to: Some(Oid { index: 9, gen: 1 }) },
+        OodbOp::SetRef { from: oid, slot: 1, to: None },
+        OodbOp::GetRef { from: oid, slot: 3 },
+        OodbOp::Delete { oid },
+        OodbOp::Traverse { root: oid, depth: 5 },
+    ];
+    for op in ops {
+        assert_eq!(OodbOp::from_bytes(&op.to_bytes()), Some(op.clone()), "{op:?}");
+    }
+    let replies = [
+        OodbReply::Handle(oid),
+        OodbReply::Data(b"abc".to_vec()),
+        OodbReply::Ref(Some(oid)),
+        OodbReply::Ref(None),
+        OodbReply::Count(42),
+        OodbReply::Ok,
+        OodbReply::Err(err::STALE),
+    ];
+    for r in replies {
+        assert_eq!(OodbReply::from_bytes(&r.to_bytes()), Some(r.clone()), "{r:?}");
+    }
+    // Garbage never decodes to Some.
+    assert_eq!(OodbOp::from_bytes(b""), None);
+    assert_eq!(OodbReply::from_bytes(b"\x01\x02"), None);
+}

@@ -1,0 +1,49 @@
+//! Canned Byzantine replica behaviours for fault-injection experiments.
+//!
+//! A replica configured with a non-honest mode misbehaves in a specific,
+//! reproducible way. These behaviours drive experiment E6 (the fault
+//! injection study the paper lists as future work) and the integration
+//! tests that check the protocol masks up to `f` faults.
+
+/// How a replica misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ByzMode {
+    /// Follows the protocol.
+    #[default]
+    Honest,
+    /// Sends nothing at all (fail-silent without crashing the process).
+    Mute,
+    /// Executes correctly but flips bits in every reply to clients.
+    CorruptReplies,
+    /// As primary, sends different batches to different backups
+    /// (equivocation); as backup, behaves honestly.
+    EquivocatePrimary,
+    /// Lies in checkpoint messages (claims a bogus state digest), which
+    /// also poisons any state a fetcher would get from it.
+    CorruptCheckpoints,
+    /// Executes requests but never sends commit messages (slows the group
+    /// to the quorum without it).
+    WithholdCommits,
+    /// As primary, proposes wildly wrong non-deterministic timestamps
+    /// (backups must reject them and depose the primary).
+    BadTimestamps,
+}
+
+impl ByzMode {
+    /// True for any non-honest mode.
+    pub fn is_faulty(&self) -> bool {
+        !matches!(self, ByzMode::Honest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honesty_check() {
+        assert!(!ByzMode::Honest.is_faulty());
+        assert!(ByzMode::Mute.is_faulty());
+        assert!(ByzMode::CorruptReplies.is_faulty());
+    }
+}

@@ -1,0 +1,333 @@
+//! The PBFT client: `invoke` semantics, reply quorum matching,
+//! retransmission, and the read-only optimization.
+
+use crate::config::Config;
+use crate::cost::CostModel;
+use crate::messages::{Message, ReplyMsg, RequestMsg};
+use base_crypto::{Authenticator, NodeKeys};
+use base_simnet::{Actor, Context, NodeId, SimDuration, TimerId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Timer token used by the embedded client core (high bit set so embedding
+/// actors can use low token values freely).
+pub const TOKEN_CLIENT_RETRANS: u64 = 1 << 63;
+/// Timer token for the [`ClientActor`] pump.
+const TOKEN_PUMP: u64 = (1 << 63) | 1;
+
+/// A completed invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// The operation with this timestamp completed with this result.
+    Completed {
+        /// Request timestamp (invocation id).
+        timestamp: u64,
+        /// Agreed result (matched by a quorum of replies).
+        result: Vec<u8>,
+    },
+}
+
+#[derive(Debug)]
+struct Pending {
+    ts: u64,
+    op: Vec<u8>,
+    read_only: bool,
+    /// result digest → replicas that vouched for it (digest replies and
+    /// full replies both vote by digest).
+    votes: HashMap<Vec<u8>, HashSet<u32>>,
+    /// Full result bodies received, keyed by their digest.
+    full: HashMap<Vec<u8>, Vec<u8>>,
+    attempts: u32,
+    timer: Option<TimerId>,
+    submitted_at_ns: u64,
+}
+
+/// The client-side replication protocol, embeddable in any actor (the NFS
+/// relay embeds one; [`ClientActor`] is a ready-made standalone driver).
+///
+/// This realizes the `invoke` entry point of the BASE interface (paper
+/// Figure 1): one outstanding operation at a time, completion when `f+1`
+/// matching replies arrive (`2f+1` for read-only operations).
+pub struct ClientCore {
+    cfg: Config,
+    keys: NodeKeys,
+    cost: CostModel,
+    id: u32,
+    next_ts: u64,
+    view_guess: u64,
+    pending: Option<Pending>,
+    queue: VecDeque<(Vec<u8>, bool)>,
+    /// Completed-operation latencies in nanoseconds (for experiments).
+    pub latencies_ns: Vec<u64>,
+    /// Number of retransmissions performed.
+    pub retransmissions: u64,
+}
+
+impl ClientCore {
+    /// Creates a client core. The node id is taken from `keys` and must be
+    /// `>= n` (clients are not replicas).
+    pub fn new(cfg: Config, keys: NodeKeys) -> Self {
+        let id = keys.id() as u32;
+        assert!(id as usize >= cfg.n, "client ids start after replica ids");
+        Self {
+            cfg,
+            keys,
+            cost: CostModel::default(),
+            id,
+            next_ts: 0,
+            view_guess: 0,
+            pending: None,
+            queue: VecDeque::new(),
+            latencies_ns: Vec::new(),
+            retransmissions: 0,
+        }
+    }
+
+    /// Overrides the CPU cost model (ablations).
+    pub fn set_cost_model(&mut self, cost: CostModel) {
+        self.cost = cost;
+    }
+
+    /// Queues an operation. Call [`ClientCore::pump`] afterwards (with a
+    /// context) to actually send it.
+    pub fn submit(&mut self, op: Vec<u8>, read_only: bool) {
+        self.queue.push_back((op, read_only));
+    }
+
+    /// True if an operation is in flight.
+    pub fn busy(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Number of queued (unsent) operations.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Sends the next queued operation if none is in flight.
+    pub fn pump(&mut self, ctx: &mut Context<'_>) {
+        if self.pending.is_some() {
+            return;
+        }
+        let Some((op, read_only)) = self.queue.pop_front() else { return };
+        self.next_ts += 1;
+        let ts = self.next_ts;
+        let req = self.build_request(ts, op.clone(), read_only, 0, ctx);
+        if read_only {
+            // Read-only requests go straight to all replicas.
+            self.broadcast(&req, ctx);
+        } else {
+            let primary = self.cfg.primary_of(self.view_guess);
+            ctx.send(NodeId(primary), Message::Request(req).to_wire());
+        }
+        let timer = ctx.set_timer(self.cfg.client_timeout, TOKEN_CLIENT_RETRANS);
+        self.pending = Some(Pending {
+            ts,
+            op,
+            read_only,
+            votes: HashMap::new(),
+            full: HashMap::new(),
+            attempts: 0,
+            timer: Some(timer),
+            submitted_at_ns: ctx.now().as_nanos(),
+        });
+    }
+
+    fn build_request(
+        &mut self,
+        ts: u64,
+        op: Vec<u8>,
+        read_only: bool,
+        attempts: u32,
+        ctx: &mut Context<'_>,
+    ) -> RequestMsg {
+        let mut req = RequestMsg {
+            client: self.id,
+            timestamp: ts,
+            read_only,
+            // Rotate the designated full-replier across retransmissions so
+            // a faulty designee cannot starve us of the full result.
+            full_replier: ((ts + u64::from(attempts)) % self.cfg.n as u64) as u32,
+            op,
+            auth: Authenticator::default(),
+        };
+        ctx.charge(self.cost.digest(req.op.len()) + self.cost.authenticator(self.cfg.n));
+        req.auth = Authenticator::generate(&self.keys, self.cfg.n, &req.digest());
+        req
+    }
+
+    fn broadcast(&self, req: &RequestMsg, ctx: &mut Context<'_>) {
+        let wire = Message::Request(req.clone()).to_wire();
+        for i in 0..self.cfg.n {
+            ctx.send(NodeId(i), wire.clone());
+        }
+    }
+
+    /// Processes an incoming message. Returns a completion event when the
+    /// pending operation gathers its reply quorum.
+    pub fn on_message(
+        &mut self,
+        _from: NodeId,
+        payload: &[u8],
+        ctx: &mut Context<'_>,
+    ) -> Option<ClientEvent> {
+        let Some(Message::Reply(reply)) = Message::from_wire(payload) else {
+            return None;
+        };
+        self.on_reply(reply, ctx)
+    }
+
+    fn on_reply(&mut self, reply: ReplyMsg, ctx: &mut Context<'_>) -> Option<ClientEvent> {
+        if reply.client != self.id || reply.replica as usize >= self.cfg.n {
+            return None;
+        }
+        ctx.charge(self.cost.mac + self.cost.digest(reply.result.len()));
+        if !Authenticator::check_point(
+            &self.keys,
+            reply.replica as usize,
+            &reply.digest(),
+            &reply.mac,
+        ) {
+            return None;
+        }
+        self.view_guess = self.view_guess.max(reply.view);
+
+        let needed = {
+            let pending = self.pending.as_ref()?;
+            if reply.timestamp != pending.ts {
+                return None;
+            }
+            if pending.read_only {
+                self.cfg.quorum()
+            } else {
+                self.cfg.reply_quorum()
+            }
+        };
+        let pending = self.pending.as_mut()?;
+        // Digest and full replies both vote by result digest; a full reply
+        // additionally supplies the body.
+        let digest = if reply.digest_only {
+            reply.result.clone()
+        } else {
+            let d = base_crypto::Digest::of(&reply.result).0.to_vec();
+            pending.full.insert(d.clone(), reply.result.clone());
+            d
+        };
+        pending.votes.entry(digest.clone()).or_default().insert(reply.replica);
+        let enough_votes = pending.votes[&digest].len() >= needed;
+        let Some(result) = pending.full.get(&digest).cloned() else {
+            // Votes may be complete, but we still need the full body from
+            // the designated replica (retransmission rotates it if the
+            // designee is faulty).
+            return None;
+        };
+        if !enough_votes {
+            return None;
+        }
+
+        // Quorum reached with a matching full result: complete.
+        let done = self.pending.take().expect("checked above");
+        if let Some(t) = done.timer {
+            ctx.cancel_timer(t);
+        }
+        self.latencies_ns
+            .push(ctx.now().as_nanos().saturating_sub(done.submitted_at_ns));
+        self.pump(ctx);
+        Some(ClientEvent::Completed { timestamp: done.ts, result })
+    }
+
+    /// Handles the retransmission timer. Returns true if the token belonged
+    /// to this core.
+    pub fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) -> bool {
+        if token != TOKEN_CLIENT_RETRANS {
+            return false;
+        }
+        let Some(pending) = self.pending.as_mut() else { return true };
+        pending.attempts += 1;
+        pending.timer = None;
+        self.retransmissions += 1;
+
+        // Read-only fallback: after two failed attempts, reissue the same
+        // operation through the full protocol.
+        let (ts, op, read_only, attempts) =
+            (pending.ts, pending.op.clone(), pending.read_only, pending.attempts);
+        let effective_ro = read_only && attempts < 2;
+        if read_only && !effective_ro {
+            pending.read_only = false;
+            pending.votes.clear();
+            pending.full.clear();
+        }
+        let req = self.build_request(ts, op, effective_ro, attempts, ctx);
+        // Retransmissions are broadcast so backups can nudge the primary
+        // (or trigger a view change if it is faulty).
+        self.broadcast(&req, ctx);
+
+        let backoff = self
+            .cfg
+            .client_timeout
+            .saturating_mul(1 << (self.pending.as_ref().map(|p| p.attempts).unwrap_or(1)).min(6));
+        let timer = ctx.set_timer(backoff, TOKEN_CLIENT_RETRANS);
+        if let Some(p) = self.pending.as_mut() {
+            p.timer = Some(timer);
+        }
+        true
+    }
+}
+
+/// A standalone client actor for tests and examples: enqueue operations,
+/// run the simulation, then read `completed`.
+pub struct ClientActor {
+    core: ClientCore,
+    /// Completed operations as (timestamp, result) pairs, in order.
+    pub completed: Vec<(u64, Vec<u8>)>,
+}
+
+impl ClientActor {
+    /// Creates a client actor.
+    pub fn new(cfg: Config, keys: NodeKeys) -> Self {
+        Self { core: ClientCore::new(cfg, keys), completed: Vec::new() }
+    }
+
+    /// Queues an operation; it is picked up by the pump timer.
+    pub fn enqueue(&mut self, op: Vec<u8>, read_only: bool) {
+        self.core.submit(op, read_only);
+    }
+
+    /// Access to the embedded core (latency stats etc.).
+    pub fn core(&self) -> &ClientCore {
+        &self.core
+    }
+
+    /// Mutable access to the embedded core (cost-model overrides).
+    pub fn core_mut(&mut self) -> &mut ClientCore {
+        &mut self.core
+    }
+
+    /// True when nothing is queued or in flight.
+    pub fn idle(&self) -> bool {
+        !self.core.busy() && self.core.queued() == 0
+    }
+}
+
+impl Actor for ClientActor {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.core.pump(ctx);
+        ctx.set_timer(SimDuration::from_millis(1), TOKEN_PUMP);
+    }
+
+    fn on_message(&mut self, from: NodeId, payload: &[u8], ctx: &mut Context<'_>) {
+        if let Some(ClientEvent::Completed { timestamp, result }) =
+            self.core.on_message(from, payload, ctx)
+        {
+            self.completed.push((timestamp, result));
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        if token == TOKEN_PUMP {
+            self.core.pump(ctx);
+            ctx.set_timer(SimDuration::from_millis(1), TOKEN_PUMP);
+            return;
+        }
+        self.core.on_timer(token, ctx);
+    }
+}

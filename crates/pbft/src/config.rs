@@ -1,0 +1,138 @@
+//! Replication group configuration.
+
+use base_simnet::{NodeId, SimDuration};
+
+/// Static configuration shared by all replicas and clients of one group.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of replicas (`n >= 3f + 1`).
+    pub n: usize,
+    /// Checkpoint interval: a checkpoint is taken every `k`-th sequence
+    /// number (the paper uses k = 128).
+    pub checkpoint_interval: u64,
+    /// Log window size: the primary may propose sequence numbers in
+    /// `(h, h + log_window]` where `h` is the last stable checkpoint.
+    pub log_window: u64,
+    /// Maximum requests batched into one pre-prepare.
+    pub batch_max: usize,
+    /// Maximum unexecuted proposals the primary keeps in flight; arrivals
+    /// beyond it accumulate and get batched (the BFT library's behaviour:
+    /// batch whatever arrives while earlier batches are in the pipeline).
+    pub max_inflight: u64,
+    /// Base view-change timeout; doubles for each consecutive failed view.
+    pub view_change_timeout: SimDuration,
+    /// Client retransmission timeout.
+    pub client_timeout: SimDuration,
+    /// Periodic retransmission/housekeeping tick at replicas.
+    pub tick_interval: SimDuration,
+    /// Proactive recovery: full rotation period (every replica recovers
+    /// once per period, staggered). `None` disables proactive recovery.
+    pub recovery_period: Option<SimDuration>,
+    /// Simulated reboot time during proactive recovery.
+    pub reboot_time: SimDuration,
+    /// Tolerance when backups validate the primary's proposed timestamp
+    /// non-determinism.
+    pub nondet_skew_tolerance: SimDuration,
+}
+
+impl Config {
+    /// Creates a configuration for `n` replicas with defaults matching the
+    /// paper's setup (k = 128, LAN-scale timeouts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4` (at least one fault must be tolerable).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 4, "PBFT needs n >= 3f + 1 >= 4 replicas");
+        Self {
+            n,
+            checkpoint_interval: 128,
+            log_window: 256,
+            batch_max: 16,
+            max_inflight: 16,
+            view_change_timeout: SimDuration::from_millis(500),
+            client_timeout: SimDuration::from_millis(300),
+            tick_interval: SimDuration::from_millis(100),
+            recovery_period: None,
+            reboot_time: SimDuration::from_secs(30),
+            nondet_skew_tolerance: SimDuration::from_secs(10),
+        }
+    }
+
+    /// Maximum number of Byzantine faults tolerated: `f = (n - 1) / 3`.
+    pub fn f(&self) -> usize {
+        (self.n - 1) / 3
+    }
+
+    /// Quorum size for certificates: `2f + 1`.
+    pub fn quorum(&self) -> usize {
+        2 * self.f() + 1
+    }
+
+    /// Replies needed by a client for a read-write operation: `f + 1`.
+    pub fn reply_quorum(&self) -> usize {
+        self.f() + 1
+    }
+
+    /// The primary replica of `view`.
+    pub fn primary_of(&self, view: u64) -> usize {
+        (view % self.n as u64) as usize
+    }
+
+    /// Simulator node of replica `i` (replicas occupy nodes `0..n`).
+    pub fn replica_node(&self, i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Iterator over all replica nodes.
+    pub fn replica_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n).map(NodeId)
+    }
+
+    /// True if `node` hosts a replica.
+    pub fn is_replica(&self, node: NodeId) -> bool {
+        node.0 < self.n
+    }
+
+    /// Highest sequence number the group accepts given stable checkpoint
+    /// `h`.
+    pub fn high_watermark(&self, h: u64) -> u64 {
+        h + self.log_window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_math() {
+        let c4 = Config::new(4);
+        assert_eq!(c4.f(), 1);
+        assert_eq!(c4.quorum(), 3);
+        assert_eq!(c4.reply_quorum(), 2);
+
+        let c7 = Config::new(7);
+        assert_eq!(c7.f(), 2);
+        assert_eq!(c7.quorum(), 5);
+
+        let c10 = Config::new(10);
+        assert_eq!(c10.f(), 3);
+        assert_eq!(c10.quorum(), 7);
+    }
+
+    #[test]
+    fn primary_rotates() {
+        let c = Config::new(4);
+        assert_eq!(c.primary_of(0), 0);
+        assert_eq!(c.primary_of(1), 1);
+        assert_eq!(c.primary_of(4), 0);
+        assert_eq!(c.primary_of(7), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 3f + 1")]
+    fn too_few_replicas_panics() {
+        Config::new(3);
+    }
+}

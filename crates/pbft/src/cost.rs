@@ -1,0 +1,78 @@
+//! Simulated CPU cost model.
+//!
+//! Real crypto is computed on every message, but the simulator's virtual
+//! clock needs explicit charges to reflect that work in measured latencies.
+//! The constants below approximate a ~1 GHz-era server of the paper's
+//! vintage running SHA-256-based MACs; they are deliberately configurable
+//! so experiments can ablate the cost model.
+
+use base_simnet::SimDuration;
+
+/// CPU cost constants used by replicas and clients.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Cost of one MAC computation or verification.
+    pub mac: SimDuration,
+    /// Cost of one (simulated) signature or verification.
+    pub signature: SimDuration,
+    /// Fixed cost of hashing a message.
+    pub digest_base: SimDuration,
+    /// Per-byte cost of hashing.
+    pub digest_per_byte_ns: u64,
+    /// Fixed protocol bookkeeping cost per handled message.
+    pub handle: SimDuration,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            mac: SimDuration::from_nanos(700),
+            signature: SimDuration::from_micros(3),
+            digest_base: SimDuration::from_nanos(400),
+            digest_per_byte_ns: 3,
+            handle: SimDuration::from_micros(2),
+        }
+    }
+}
+
+impl CostModel {
+    /// An ablation cost model where every message authentication is a
+    /// public-key signature instead of a MAC (the baseline the BFT
+    /// library's authenticators are measured against). 200 µs per
+    /// signature operation approximates paper-era RSA/Rabin hardware;
+    /// MACs are three orders of magnitude cheaper.
+    pub fn signatures_only() -> Self {
+        Self { mac: SimDuration::from_micros(200), ..Self::default() }
+    }
+
+    /// Cost of hashing `len` bytes.
+    pub fn digest(&self, len: usize) -> SimDuration {
+        self.digest_base + SimDuration::from_nanos(self.digest_per_byte_ns * len as u64)
+    }
+
+    /// Cost of generating an authenticator for `n` receivers.
+    pub fn authenticator(&self, n: usize) -> SimDuration {
+        self.mac.saturating_mul(n as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_cost_scales_with_length() {
+        let c = CostModel::default();
+        assert!(c.digest(10_000) > c.digest(10));
+        assert_eq!(
+            c.digest(1000),
+            c.digest_base + SimDuration::from_nanos(3000)
+        );
+    }
+
+    #[test]
+    fn authenticator_scales_with_replicas() {
+        let c = CostModel::default();
+        assert_eq!(c.authenticator(4), c.mac.saturating_mul(4));
+    }
+}

@@ -1,0 +1,404 @@
+//! The replica message log: per-sequence certificates, checkpoint
+//! certificates, and the client reply cache.
+
+use crate::messages::{CheckpointMsg, CommitMsg, PrePrepareMsg, PrepareMsg};
+use base_crypto::Digest;
+use std::collections::{BTreeMap, HashMap};
+
+/// Log state for one sequence number in one view.
+#[derive(Debug, Default, Clone)]
+pub struct SeqEntry {
+    /// Accepted pre-prepare (at most one per view; conflicting ones are
+    /// rejected on receipt).
+    pub pre_prepare: Option<PrePrepareMsg>,
+    /// Prepares received, keyed by sender (first one wins).
+    pub prepares: BTreeMap<u32, PrepareMsg>,
+    /// Commits received, keyed by sender.
+    pub commits: BTreeMap<u32, CommitMsg>,
+    /// This replica multicast its prepare.
+    pub prepare_sent: bool,
+    /// This replica multicast its commit.
+    pub commit_sent: bool,
+    /// The batch has been executed.
+    pub executed: bool,
+}
+
+impl SeqEntry {
+    /// Digest of the accepted pre-prepare's batch, if any.
+    pub fn accepted_digest(&self) -> Option<Digest> {
+        self.pre_prepare.as_ref().map(|p| p.batch_digest())
+    }
+
+    /// Number of logged prepares matching the accepted pre-prepare
+    /// (view + digest), excluding the primary (whose pre-prepare already
+    /// counts).
+    pub fn matching_prepares(&self, view: u64) -> usize {
+        let digest = match self.accepted_digest() {
+            Some(d) => d,
+            None => return 0,
+        };
+        self.prepares
+            .values()
+            .filter(|p| p.view == view && p.digest == digest)
+            .count()
+    }
+
+    /// The *prepared* predicate: pre-prepare plus `2f` matching prepares
+    /// from distinct replicas.
+    pub fn prepared(&self, view: u64, f: usize) -> bool {
+        match &self.pre_prepare {
+            Some(pp) if pp.view == view => self.matching_prepares(view) >= 2 * f,
+            _ => false,
+        }
+    }
+
+    /// Number of logged commits matching (view, digest).
+    pub fn matching_commits(&self, view: u64) -> usize {
+        let digest = match self.accepted_digest() {
+            Some(d) => d,
+            None => return 0,
+        };
+        self.commits
+            .values()
+            .filter(|c| c.view == view && c.digest == digest)
+            .count()
+    }
+
+    /// The *committed-local* predicate: prepared plus `2f + 1` matching
+    /// commits.
+    pub fn committed(&self, view: u64, f: usize) -> bool {
+        self.prepared(view, f) && self.matching_commits(view) > 2 * f
+    }
+
+    /// The matching prepare messages (for view-change proofs).
+    pub fn prepare_proof(&self, view: u64) -> Vec<PrepareMsg> {
+        let digest = match self.accepted_digest() {
+            Some(d) => d,
+            None => return Vec::new(),
+        };
+        self.prepares
+            .values()
+            .filter(|p| p.view == view && p.digest == digest)
+            .cloned()
+            .collect()
+    }
+}
+
+/// The sequence-number log with watermark-based garbage collection.
+#[derive(Debug, Default)]
+pub struct Log {
+    entries: BTreeMap<u64, SeqEntry>,
+    /// Low watermark: the last stable checkpoint.
+    pub low: u64,
+}
+
+impl Log {
+    /// Mutable access to the entry for `seq`, creating it if absent.
+    pub fn entry_mut(&mut self, seq: u64) -> &mut SeqEntry {
+        self.entries.entry(seq).or_default()
+    }
+
+    /// Read access to the entry for `seq`.
+    pub fn entry(&self, seq: u64) -> Option<&SeqEntry> {
+        self.entries.get(&seq)
+    }
+
+    /// Discards entries at or below the new stable checkpoint `h` and
+    /// advances the low watermark.
+    pub fn gc_up_to(&mut self, h: u64) {
+        self.low = self.low.max(h);
+        self.entries = self.entries.split_off(&(h + 1));
+    }
+
+    /// Iterates over logged entries above the low watermark.
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &SeqEntry)> {
+        self.entries.iter()
+    }
+
+    /// Drops every entry (used when a view change installs a new log).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Collects checkpoint messages into certificates.
+#[derive(Debug, Default)]
+pub struct CheckpointCollector {
+    /// seq → digest → sender → message.
+    by_seq: BTreeMap<u64, HashMap<Digest, HashMap<u32, CheckpointMsg>>>,
+}
+
+impl CheckpointCollector {
+    /// Adds a (verified) checkpoint message. Returns the certificate if
+    /// this message completed a quorum of `quorum` matching messages.
+    pub fn add(&mut self, msg: CheckpointMsg, quorum: usize) -> Option<Vec<CheckpointMsg>> {
+        let senders = self
+            .by_seq
+            .entry(msg.seq)
+            .or_default()
+            .entry(msg.digest)
+            .or_default();
+        senders.insert(msg.replica, msg.clone());
+        if senders.len() >= quorum {
+            Some(senders.values().cloned().collect())
+        } else {
+            None
+        }
+    }
+
+    /// Discards state for checkpoints at or below `seq`.
+    pub fn gc_up_to(&mut self, seq: u64) {
+        self.by_seq = self.by_seq.split_off(&(seq + 1));
+    }
+
+    /// Highest sequence number with at least `count` matching messages.
+    pub fn highest_with(&self, count: usize) -> Option<(u64, Digest)> {
+        self.by_seq
+            .iter()
+            .rev()
+            .find_map(|(seq, by_digest)| {
+                by_digest
+                    .iter()
+                    .find(|(_, senders)| senders.len() >= count)
+                    .map(|(digest, _)| (*seq, *digest))
+            })
+    }
+}
+
+/// Per-client cache of the last executed request and its result.
+///
+/// PBFT assumes each client has at most one outstanding request; the cache
+/// answers retransmissions of the last request and filters stale ones.
+///
+/// The cache is part of the replicated state: its canonical serialization
+/// ([`ReplyCache::to_blob`]) is covered by the checkpoint digest and
+/// travels with state transfer. Only `(client, timestamp, result)` is
+/// stored — never replica-specific fields like the view or MAC, which would
+/// make the blob diverge across replicas.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ReplyCache {
+    by_client: BTreeMap<u32, (u64, Vec<u8>)>,
+}
+
+impl ReplyCache {
+    /// Last executed timestamp for `client`.
+    pub fn last_timestamp(&self, client: u32) -> Option<u64> {
+        self.by_client.get(&client).map(|(t, _)| *t)
+    }
+
+    /// Cached result if `timestamp` matches the last executed request.
+    pub fn cached_result(&self, client: u32, timestamp: u64) -> Option<&[u8]> {
+        match self.by_client.get(&client) {
+            Some((t, result)) if *t == timestamp => Some(result),
+            _ => None,
+        }
+    }
+
+    /// Records the result of `client`'s request `timestamp`.
+    pub fn record(&mut self, client: u32, timestamp: u64, result: Vec<u8>) {
+        self.by_client.insert(client, (timestamp, result));
+    }
+
+    /// True if `timestamp` is newer than anything executed for `client`.
+    pub fn is_new(&self, client: u32, timestamp: u64) -> bool {
+        match self.last_timestamp(client) {
+            Some(t) => timestamp > t,
+            None => true,
+        }
+    }
+
+    /// Canonical serialization (sorted by client id, so identical logical
+    /// content produces identical bytes at every replica).
+    pub fn to_blob(&self) -> Vec<u8> {
+        let mut enc = base_xdr::XdrEncoder::new();
+        enc.put_u32(self.by_client.len() as u32);
+        for (client, (ts, result)) in &self.by_client {
+            enc.put_u32(*client);
+            enc.put_u64(*ts);
+            enc.put_opaque(result);
+        }
+        enc.finish()
+    }
+
+    /// Rebuilds a cache from its canonical serialization.
+    pub fn from_blob(blob: &[u8]) -> Option<Self> {
+        let mut dec = base_xdr::XdrDecoder::new(blob);
+        let n = dec.get_count(16).ok()?;
+        let mut by_client = BTreeMap::new();
+        for _ in 0..n {
+            let client = dec.get_u32().ok()?;
+            let ts = dec.get_u64().ok()?;
+            let result = dec.get_opaque().ok()?;
+            by_client.insert(client, (ts, result));
+        }
+        dec.finish().ok()?;
+        Some(Self { by_client })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::RequestMsg;
+    use base_crypto::{Authenticator, Signature};
+
+    fn pp(view: u64, seq: u64) -> PrePrepareMsg {
+        PrePrepareMsg {
+            view,
+            seq,
+            requests: vec![RequestMsg {
+                client: 9,
+                timestamp: 1,
+                read_only: false,
+                full_replier: 0,
+                op: b"x".to_vec(),
+                auth: Authenticator::default(),
+            }],
+            nondet: Vec::new(),
+            auth: Authenticator::default(),
+            sig: Signature([0; 32]),
+        }
+    }
+
+
+    fn prep(view: u64, seq: u64, digest: Digest, replica: u32) -> PrepareMsg {
+        PrepareMsg { view, seq, digest, replica, auth: Authenticator::default(), sig: Signature([0; 32]) }
+    }
+
+    fn com(view: u64, seq: u64, digest: Digest, replica: u32) -> CommitMsg {
+        CommitMsg { view, seq, digest, replica, auth: Authenticator::default() }
+    }
+
+    #[test]
+    fn prepared_needs_preprepare_and_2f_prepares() {
+        let f = 1;
+        let mut e = SeqEntry::default();
+        let p = pp(0, 1);
+        let d = p.batch_digest();
+        assert!(!e.prepared(0, f));
+        e.pre_prepare = Some(p);
+        assert!(!e.prepared(0, f));
+        e.prepares.insert(1, prep(0, 1, d, 1));
+        assert!(!e.prepared(0, f));
+        e.prepares.insert(2, prep(0, 1, d, 2));
+        assert!(e.prepared(0, f));
+    }
+
+    #[test]
+    fn mismatched_digest_prepares_do_not_count() {
+        let f = 1;
+        let mut e = SeqEntry { pre_prepare: Some(pp(0, 1)), ..Default::default() };
+        e.prepares.insert(1, prep(0, 1, Digest::of(b"other"), 1));
+        e.prepares.insert(2, prep(0, 1, Digest::of(b"other"), 2));
+        assert!(!e.prepared(0, f));
+    }
+
+    #[test]
+    fn wrong_view_prepares_do_not_count() {
+        let f = 1;
+        let mut e = SeqEntry::default();
+        let p = pp(0, 1);
+        let d = p.batch_digest();
+        e.pre_prepare = Some(p);
+        e.prepares.insert(1, prep(1, 1, d, 1));
+        e.prepares.insert(2, prep(1, 1, d, 2));
+        assert!(!e.prepared(0, f));
+    }
+
+    #[test]
+    fn committed_needs_quorum_commits() {
+        let f = 1;
+        let mut e = SeqEntry::default();
+        let p = pp(0, 1);
+        let d = p.batch_digest();
+        e.pre_prepare = Some(p);
+        e.prepares.insert(1, prep(0, 1, d, 1));
+        e.prepares.insert(2, prep(0, 1, d, 2));
+        e.commits.insert(0, com(0, 1, d, 0));
+        e.commits.insert(1, com(0, 1, d, 1));
+        assert!(!e.committed(0, f));
+        e.commits.insert(2, com(0, 1, d, 2));
+        assert!(e.committed(0, f));
+    }
+
+    #[test]
+    fn log_gc_drops_old_entries() {
+        let mut log = Log::default();
+        for seq in 1..=10 {
+            log.entry_mut(seq);
+        }
+        log.gc_up_to(7);
+        assert_eq!(log.low, 7);
+        assert!(log.entry(7).is_none());
+        assert!(log.entry(8).is_some());
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn checkpoint_collector_builds_certificate() {
+        let mut c = CheckpointCollector::default();
+        let d = Digest::of(b"state");
+        let msg = |replica| CheckpointMsg { seq: 128, digest: d, replica, sig: Signature([0; 32]) };
+        assert!(c.add(msg(0), 3).is_none());
+        assert!(c.add(msg(1), 3).is_none());
+        // A divergent digest does not help the quorum.
+        assert!(c
+            .add(CheckpointMsg { seq: 128, digest: Digest::of(b"bad"), replica: 3, sig: Signature([0; 32]) }, 3)
+            .is_none());
+        let cert = c.add(msg(2), 3).expect("quorum reached");
+        assert_eq!(cert.len(), 3);
+        assert_eq!(c.highest_with(3), Some((128, d)));
+    }
+
+    #[test]
+    fn checkpoint_collector_dedups_senders() {
+        let mut c = CheckpointCollector::default();
+        let d = Digest::of(b"state");
+        let msg = CheckpointMsg { seq: 128, digest: d, replica: 0, sig: Signature([0; 32]) };
+        assert!(c.add(msg.clone(), 2).is_none());
+        assert!(c.add(msg, 2).is_none(), "duplicate sender must not complete a quorum");
+    }
+
+    #[test]
+    fn reply_cache_semantics() {
+        let mut cache = ReplyCache::default();
+        assert!(cache.is_new(5, 1));
+        cache.record(5, 1, b"r".to_vec());
+        assert!(!cache.is_new(5, 1));
+        assert!(cache.is_new(5, 2));
+        assert_eq!(cache.cached_result(5, 1), Some(&b"r"[..]));
+        assert!(cache.cached_result(5, 2).is_none());
+        assert!(cache.is_new(6, 1), "other clients unaffected");
+    }
+
+    #[test]
+    fn reply_cache_blob_round_trip() {
+        let mut cache = ReplyCache::default();
+        cache.record(5, 1, b"r1".to_vec());
+        cache.record(3, 9, b"r2".to_vec());
+        let blob = cache.to_blob();
+        assert_eq!(ReplyCache::from_blob(&blob).unwrap(), cache);
+        assert!(ReplyCache::from_blob(&[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn reply_cache_blob_is_insertion_order_independent() {
+        let mut a = ReplyCache::default();
+        a.record(5, 1, b"x".to_vec());
+        a.record(3, 2, b"y".to_vec());
+        let mut b = ReplyCache::default();
+        b.record(3, 2, b"y".to_vec());
+        b.record(5, 1, b"x".to_vec());
+        assert_eq!(a.to_blob(), b.to_blob());
+    }
+}

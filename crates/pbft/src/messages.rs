@@ -1,0 +1,1082 @@
+//! Protocol messages and their XDR wire format.
+//!
+//! Every message type carries its authentication inline (a MAC
+//! [`Authenticator`], a point [`Mac`], and/or a [`Signature`]). Digests and
+//! signatures are computed over the message's *signed portion* — all fields
+//! except the authentication itself — prefixed with a per-type domain-
+//! separation tag so a digest of one message type can never validate as
+//! another.
+
+use base_crypto::{Authenticator, Digest, Mac, Signature};
+use base_xdr::{
+    decode_vec, encode_vec, from_bytes, to_bytes, XdrDecode, XdrDecoder, XdrEncode, XdrEncoder,
+    XdrError,
+};
+
+/// The digest of a *null request batch* (no requests, no non-deterministic
+/// values), used by view changes to fill sequence-number gaps.
+pub fn null_batch_digest() -> Digest {
+    PrePrepareMsg::batch_digest_of(&[], &[])
+}
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestMsg {
+    /// Client node id.
+    pub client: u32,
+    /// Per-client monotone request number.
+    pub timestamp: u64,
+    /// True for the read-only optimization path.
+    pub read_only: bool,
+    /// Replica designated to send the *full* result; the others reply
+    /// with a digest (the BFT library's reply optimization).
+    pub full_replier: u32,
+    /// Opaque operation bytes, interpreted by the service.
+    pub op: Vec<u8>,
+    /// MAC vector over the request digest, one entry per replica.
+    pub auth: Authenticator,
+}
+
+impl RequestMsg {
+    /// Bytes covered by authentication.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut enc = XdrEncoder::new();
+        enc.put_string("pbft:request");
+        enc.put_u32(self.client);
+        enc.put_u64(self.timestamp);
+        enc.put_bool(self.read_only);
+        enc.put_opaque(&self.op);
+        enc.finish()
+        // `full_replier` is deliberately NOT covered: it is a liveness
+        // hint the client may rotate between retransmissions without
+        // changing the request's identity.
+    }
+
+    /// Digest identifying this request.
+    pub fn digest(&self) -> Digest {
+        Digest::of(&self.signed_bytes())
+    }
+}
+
+impl XdrEncode for RequestMsg {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u32(self.client);
+        enc.put_u64(self.timestamp);
+        enc.put_bool(self.read_only);
+        enc.put_u32(self.full_replier);
+        enc.put_opaque(&self.op);
+        self.auth.encode(enc);
+    }
+}
+
+impl XdrDecode for RequestMsg {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self {
+            client: dec.get_u32()?,
+            timestamp: dec.get_u64()?,
+            read_only: dec.get_bool()?,
+            full_replier: dec.get_u32()?,
+            op: dec.get_opaque()?,
+            auth: Authenticator::decode(dec)?,
+        })
+    }
+}
+
+/// A reply from one replica to a client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplyMsg {
+    /// View in which the request executed (tells the client the primary).
+    pub view: u64,
+    /// Echo of the request timestamp.
+    pub timestamp: u64,
+    /// Client node id.
+    pub client: u32,
+    /// Replying replica.
+    pub replica: u32,
+    /// True if `result` holds only the 32-byte digest of the result (the
+    /// reply optimization: one designated replica sends the full result).
+    pub digest_only: bool,
+    /// Execution result, or its digest when `digest_only`.
+    pub result: Vec<u8>,
+    /// Point MAC to the client.
+    pub mac: Mac,
+}
+
+impl ReplyMsg {
+    /// Bytes covered by the MAC.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut enc = XdrEncoder::new();
+        enc.put_string("pbft:reply");
+        enc.put_u64(self.view);
+        enc.put_u64(self.timestamp);
+        enc.put_u32(self.client);
+        enc.put_u32(self.replica);
+        enc.put_bool(self.digest_only);
+        enc.put_opaque(&self.result);
+        enc.finish()
+    }
+
+    /// Digest of the signed portion.
+    pub fn digest(&self) -> Digest {
+        Digest::of(&self.signed_bytes())
+    }
+}
+
+impl XdrEncode for ReplyMsg {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u64(self.view);
+        enc.put_u64(self.timestamp);
+        enc.put_u32(self.client);
+        enc.put_u32(self.replica);
+        enc.put_bool(self.digest_only);
+        enc.put_opaque(&self.result);
+        self.mac.encode(enc);
+    }
+}
+
+impl XdrDecode for ReplyMsg {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self {
+            view: dec.get_u64()?,
+            timestamp: dec.get_u64()?,
+            client: dec.get_u32()?,
+            replica: dec.get_u32()?,
+            digest_only: dec.get_bool()?,
+            result: dec.get_opaque()?,
+            mac: Mac::decode(dec)?,
+        })
+    }
+}
+
+/// The primary's ordering proposal for one batch of requests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrePrepareMsg {
+    /// View this proposal belongs to.
+    pub view: u64,
+    /// Sequence number assigned to the batch.
+    pub seq: u64,
+    /// The batched requests (piggybacked on the pre-prepare).
+    pub requests: Vec<RequestMsg>,
+    /// Non-deterministic values chosen by the primary for this batch
+    /// (e.g. the agreed timestamp for NFS mtimes).
+    pub nondet: Vec<u8>,
+    /// MAC vector from the primary.
+    pub auth: Authenticator,
+    /// Primary signature over the header, kept for view-change proofs.
+    pub sig: Signature,
+}
+
+impl PrePrepareMsg {
+    /// Digest of the request batch + non-deterministic values.
+    ///
+    /// Deliberately excludes view and sequence number: after a view change
+    /// the new primary re-proposes the same batch digest under a new view.
+    pub fn batch_digest_of(requests: &[RequestMsg], nondet: &[u8]) -> Digest {
+        let mut enc = XdrEncoder::new();
+        enc.put_string("pbft:batch");
+        enc.put_opaque(nondet);
+        enc.put_u32(requests.len() as u32);
+        for r in requests {
+            r.digest().encode(&mut enc);
+        }
+        Digest::of(enc.as_bytes())
+    }
+
+    /// Digest of the carried batch.
+    pub fn batch_digest(&self) -> Digest {
+        Self::batch_digest_of(&self.requests, &self.nondet)
+    }
+
+    /// Bytes covered by the primary's authentication: view, seq and batch
+    /// digest.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        header_bytes("pbft:pre-prepare", self.view, self.seq, &self.batch_digest())
+    }
+}
+
+/// Canonical byte string for (tag, view, seq, digest) headers.
+fn header_bytes(tag: &str, view: u64, seq: u64, digest: &Digest) -> Vec<u8> {
+    let mut enc = XdrEncoder::new();
+    enc.put_string(tag);
+    enc.put_u64(view);
+    enc.put_u64(seq);
+    digest.encode(&mut enc);
+    enc.finish()
+}
+
+impl XdrEncode for PrePrepareMsg {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u64(self.view);
+        enc.put_u64(self.seq);
+        encode_vec(&self.requests, enc);
+        enc.put_opaque(&self.nondet);
+        self.auth.encode(enc);
+        self.sig.encode(enc);
+    }
+}
+
+impl XdrDecode for PrePrepareMsg {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self {
+            view: dec.get_u64()?,
+            seq: dec.get_u64()?,
+            requests: decode_vec(dec)?,
+            nondet: dec.get_opaque()?,
+            auth: Authenticator::decode(dec)?,
+            sig: Signature::decode(dec)?,
+        })
+    }
+}
+
+/// A backup's agreement to the primary's proposal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrepareMsg {
+    /// View of the proposal.
+    pub view: u64,
+    /// Sequence number of the proposal.
+    pub seq: u64,
+    /// Batch digest being prepared.
+    pub digest: Digest,
+    /// Sending replica.
+    pub replica: u32,
+    /// MAC vector.
+    pub auth: Authenticator,
+    /// Signature, kept for view-change proofs.
+    pub sig: Signature,
+}
+
+impl PrepareMsg {
+    /// Bytes covered by authentication.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut enc = XdrEncoder::new();
+        enc.put_raw(&header_bytes("pbft:prepare", self.view, self.seq, &self.digest));
+        enc.put_u32(self.replica);
+        enc.finish()
+    }
+}
+
+impl XdrEncode for PrepareMsg {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u64(self.view);
+        enc.put_u64(self.seq);
+        self.digest.encode(enc);
+        enc.put_u32(self.replica);
+        self.auth.encode(enc);
+        self.sig.encode(enc);
+    }
+}
+
+impl XdrDecode for PrepareMsg {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self {
+            view: dec.get_u64()?,
+            seq: dec.get_u64()?,
+            digest: Digest::decode(dec)?,
+            replica: dec.get_u32()?,
+            auth: Authenticator::decode(dec)?,
+            sig: Signature::decode(dec)?,
+        })
+    }
+}
+
+/// A replica's commitment to a prepared proposal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitMsg {
+    /// View of the proposal.
+    pub view: u64,
+    /// Sequence number of the proposal.
+    pub seq: u64,
+    /// Batch digest being committed.
+    pub digest: Digest,
+    /// Sending replica.
+    pub replica: u32,
+    /// MAC vector.
+    pub auth: Authenticator,
+}
+
+impl CommitMsg {
+    /// Bytes covered by authentication.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut enc = XdrEncoder::new();
+        enc.put_raw(&header_bytes("pbft:commit", self.view, self.seq, &self.digest));
+        enc.put_u32(self.replica);
+        enc.finish()
+    }
+}
+
+impl XdrEncode for CommitMsg {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u64(self.view);
+        enc.put_u64(self.seq);
+        self.digest.encode(enc);
+        enc.put_u32(self.replica);
+        self.auth.encode(enc);
+    }
+}
+
+impl XdrDecode for CommitMsg {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self {
+            view: dec.get_u64()?,
+            seq: dec.get_u64()?,
+            digest: Digest::decode(dec)?,
+            replica: dec.get_u32()?,
+            auth: Authenticator::decode(dec)?,
+        })
+    }
+}
+
+/// A replica's announcement that it took a checkpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointMsg {
+    /// Sequence number of the checkpoint.
+    pub seq: u64,
+    /// Root digest of the (abstract) state at `seq`.
+    pub digest: Digest,
+    /// Sending replica.
+    pub replica: u32,
+    /// Signature (checkpoint certificates must be transferable).
+    pub sig: Signature,
+}
+
+impl CheckpointMsg {
+    /// Bytes covered by the signature.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut enc = XdrEncoder::new();
+        enc.put_string("pbft:checkpoint");
+        enc.put_u64(self.seq);
+        self.digest.encode(&mut enc);
+        enc.put_u32(self.replica);
+        enc.finish()
+    }
+}
+
+impl XdrEncode for CheckpointMsg {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u64(self.seq);
+        self.digest.encode(enc);
+        enc.put_u32(self.replica);
+        self.sig.encode(enc);
+    }
+}
+
+impl XdrDecode for CheckpointMsg {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self {
+            seq: dec.get_u64()?,
+            digest: Digest::decode(dec)?,
+            replica: dec.get_u32()?,
+            sig: Signature::decode(dec)?,
+        })
+    }
+}
+
+/// Proof that a request prepared at the sender: the pre-prepare plus `2f`
+/// signed prepares from distinct backups.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PreparedProof {
+    /// The pre-prepare (carries the request bodies, so a new primary can
+    /// re-propose them).
+    pub pre_prepare: PrePrepareMsg,
+    /// Matching prepares.
+    pub prepares: Vec<PrepareMsg>,
+}
+
+impl XdrEncode for PreparedProof {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        self.pre_prepare.encode(enc);
+        encode_vec(&self.prepares, enc);
+    }
+}
+
+impl XdrDecode for PreparedProof {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self { pre_prepare: PrePrepareMsg::decode(dec)?, prepares: decode_vec(dec)? })
+    }
+}
+
+/// A replica's vote to move to a new view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViewChangeMsg {
+    /// The view being proposed.
+    pub new_view: u64,
+    /// The sender's last stable checkpoint.
+    pub stable_seq: u64,
+    /// Digest of the stable checkpoint.
+    pub stable_digest: Digest,
+    /// 2f+1 signed checkpoint messages proving the stable checkpoint.
+    /// Empty when `stable_seq` is 0 (the genesis state needs no proof).
+    pub stable_proof: Vec<CheckpointMsg>,
+    /// Prepared certificates for requests above `stable_seq`.
+    pub prepared: Vec<PreparedProof>,
+    /// Sending replica.
+    pub replica: u32,
+    /// Signature.
+    pub sig: Signature,
+}
+
+impl ViewChangeMsg {
+    /// Bytes covered by the signature.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut enc = XdrEncoder::new();
+        enc.put_string("pbft:view-change");
+        enc.put_u64(self.new_view);
+        enc.put_u64(self.stable_seq);
+        self.stable_digest.encode(&mut enc);
+        // Bind the P-set by content: (seq, view, batch digest) triples.
+        enc.put_u32(self.prepared.len() as u32);
+        for p in &self.prepared {
+            enc.put_u64(p.pre_prepare.seq);
+            enc.put_u64(p.pre_prepare.view);
+            p.pre_prepare.batch_digest().encode(&mut enc);
+        }
+        enc.put_u32(self.replica);
+        enc.finish()
+    }
+
+    /// Digest identifying this view-change message.
+    pub fn digest(&self) -> Digest {
+        Digest::of(&self.signed_bytes())
+    }
+}
+
+impl XdrEncode for ViewChangeMsg {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u64(self.new_view);
+        enc.put_u64(self.stable_seq);
+        self.stable_digest.encode(enc);
+        encode_vec(&self.stable_proof, enc);
+        encode_vec(&self.prepared, enc);
+        enc.put_u32(self.replica);
+        self.sig.encode(enc);
+    }
+}
+
+impl XdrDecode for ViewChangeMsg {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self {
+            new_view: dec.get_u64()?,
+            stable_seq: dec.get_u64()?,
+            stable_digest: Digest::decode(dec)?,
+            stable_proof: decode_vec(dec)?,
+            prepared: decode_vec(dec)?,
+            replica: dec.get_u32()?,
+            sig: Signature::decode(dec)?,
+        })
+    }
+}
+
+/// The new primary's announcement of a view, carrying the 2f+1 view-change
+/// messages from which every replica deterministically recomputes the
+/// re-proposed pre-prepares.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NewViewMsg {
+    /// The view being started.
+    pub view: u64,
+    /// 2f+1 valid view-change messages.
+    pub view_changes: Vec<ViewChangeMsg>,
+    /// The re-proposed pre-prepares (the set `O`). Every replica recomputes
+    /// `O` from `view_changes` and verifies this list matches; carrying the
+    /// signed pre-prepares lets them serve in later prepared-certificate
+    /// proofs.
+    pub pre_prepares: Vec<PrePrepareMsg>,
+    /// Sending replica (the new primary).
+    pub replica: u32,
+    /// Signature.
+    pub sig: Signature,
+}
+
+impl NewViewMsg {
+    /// Bytes covered by the signature.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut enc = XdrEncoder::new();
+        enc.put_string("pbft:new-view");
+        enc.put_u64(self.view);
+        enc.put_u32(self.view_changes.len() as u32);
+        for vc in &self.view_changes {
+            vc.digest().encode(&mut enc);
+        }
+        enc.put_u32(self.pre_prepares.len() as u32);
+        for pp in &self.pre_prepares {
+            enc.put_u64(pp.seq);
+            pp.batch_digest().encode(&mut enc);
+        }
+        enc.put_u32(self.replica);
+        enc.finish()
+    }
+}
+
+impl XdrEncode for NewViewMsg {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u64(self.view);
+        encode_vec(&self.view_changes, enc);
+        encode_vec(&self.pre_prepares, enc);
+        enc.put_u32(self.replica);
+        self.sig.encode(enc);
+    }
+}
+
+impl XdrDecode for NewViewMsg {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self {
+            view: dec.get_u64()?,
+            view_changes: decode_vec(dec)?,
+            pre_prepares: decode_vec(dec)?,
+            replica: dec.get_u32()?,
+            sig: Signature::decode(dec)?,
+        })
+    }
+}
+
+/// State-transfer request for the children digests of one partition-tree
+/// node of a checkpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FetchMetaMsg {
+    /// Checkpoint sequence number.
+    pub seq: u64,
+    /// Tree level (root = tree depth, leaves = 0).
+    pub level: u32,
+    /// Node index within the level.
+    pub index: u64,
+    /// Requesting replica.
+    pub replica: u32,
+}
+
+impl XdrEncode for FetchMetaMsg {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u64(self.seq);
+        enc.put_u32(self.level);
+        enc.put_u64(self.index);
+        enc.put_u32(self.replica);
+    }
+}
+
+impl XdrDecode for FetchMetaMsg {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self {
+            seq: dec.get_u64()?,
+            level: dec.get_u32()?,
+            index: dec.get_u64()?,
+            replica: dec.get_u32()?,
+        })
+    }
+}
+
+/// Reply to [`FetchMetaMsg`]: digests of the node's children. Verified by
+/// hashing, so it needs no authentication.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetaReplyMsg {
+    /// Checkpoint sequence number.
+    pub seq: u64,
+    /// Tree level of the parent node.
+    pub level: u32,
+    /// Parent node index.
+    pub index: u64,
+    /// Child digests, in child order.
+    pub digests: Vec<Digest>,
+    /// Replying replica.
+    pub replica: u32,
+}
+
+impl XdrEncode for MetaReplyMsg {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u64(self.seq);
+        enc.put_u32(self.level);
+        enc.put_u64(self.index);
+        encode_vec(&self.digests, enc);
+        enc.put_u32(self.replica);
+    }
+}
+
+impl XdrDecode for MetaReplyMsg {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self {
+            seq: dec.get_u64()?,
+            level: dec.get_u32()?,
+            index: dec.get_u64()?,
+            digests: decode_vec(dec)?,
+            replica: dec.get_u32()?,
+        })
+    }
+}
+
+/// State-transfer request for the value of one abstract object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FetchObjectMsg {
+    /// Checkpoint sequence number.
+    pub seq: u64,
+    /// Object (leaf) index.
+    pub index: u64,
+    /// Requesting replica.
+    pub replica: u32,
+}
+
+impl XdrEncode for FetchObjectMsg {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u64(self.seq);
+        enc.put_u64(self.index);
+        enc.put_u32(self.replica);
+    }
+}
+
+impl XdrDecode for FetchObjectMsg {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self { seq: dec.get_u64()?, index: dec.get_u64()?, replica: dec.get_u32()? })
+    }
+}
+
+/// Reply to [`FetchObjectMsg`]: the object value, verified by hashing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObjectReplyMsg {
+    /// Checkpoint sequence number.
+    pub seq: u64,
+    /// Object (leaf) index.
+    pub index: u64,
+    /// Object value.
+    pub data: Vec<u8>,
+    /// Replying replica.
+    pub replica: u32,
+}
+
+impl XdrEncode for ObjectReplyMsg {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u64(self.seq);
+        enc.put_u64(self.index);
+        enc.put_opaque(&self.data);
+        enc.put_u32(self.replica);
+    }
+}
+
+impl XdrDecode for ObjectReplyMsg {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self {
+            seq: dec.get_u64()?,
+            index: dec.get_u64()?,
+            data: dec.get_opaque()?,
+            replica: dec.get_u32()?,
+        })
+    }
+}
+
+/// Periodic status report (PBFT's status messages, simplified): lets peers
+/// detect that this replica is missing messages and retransmit them.
+/// Unauthenticated by design — a forged status can only trigger bounded
+/// retransmission of messages that are themselves authenticated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatusMsg {
+    /// Sender's current view.
+    pub view: u64,
+    /// Sender's last executed sequence number.
+    pub last_exec: u64,
+    /// Sender's last stable checkpoint.
+    pub stable_seq: u64,
+    /// Sending replica.
+    pub replica: u32,
+}
+
+impl XdrEncode for StatusMsg {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u64(self.view);
+        enc.put_u64(self.last_exec);
+        enc.put_u64(self.stable_seq);
+        enc.put_u32(self.replica);
+    }
+}
+
+impl XdrDecode for StatusMsg {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self {
+            view: dec.get_u64()?,
+            last_exec: dec.get_u64()?,
+            stable_seq: dec.get_u64()?,
+            replica: dec.get_u32()?,
+        })
+    }
+}
+
+/// Request for the latest stable checkpoint certificate (sent by lagging
+/// or recovering replicas).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FetchCertMsg {
+    /// Requesting replica.
+    pub replica: u32,
+}
+
+impl XdrEncode for FetchCertMsg {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u32(self.replica);
+    }
+}
+
+impl XdrDecode for FetchCertMsg {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self { replica: dec.get_u32()? })
+    }
+}
+
+/// Reply to [`FetchCertMsg`]: 2f+1 signed checkpoint messages for the
+/// sender's latest stable checkpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CertReplyMsg {
+    /// The checkpoint certificate.
+    pub msgs: Vec<CheckpointMsg>,
+    /// Replying replica.
+    pub replica: u32,
+}
+
+impl XdrEncode for CertReplyMsg {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        encode_vec(&self.msgs, enc);
+        enc.put_u32(self.replica);
+    }
+}
+
+impl XdrDecode for CertReplyMsg {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self { msgs: decode_vec(dec)?, replica: dec.get_u32()? })
+    }
+}
+
+/// Top-level message envelope.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// Client request.
+    Request(RequestMsg),
+    /// Replica reply to a client.
+    Reply(ReplyMsg),
+    /// Primary ordering proposal.
+    PrePrepare(PrePrepareMsg),
+    /// Backup agreement.
+    Prepare(PrepareMsg),
+    /// Commit vote.
+    Commit(CommitMsg),
+    /// Checkpoint announcement.
+    Checkpoint(CheckpointMsg),
+    /// View-change vote.
+    ViewChange(ViewChangeMsg),
+    /// New-view announcement.
+    NewView(NewViewMsg),
+    /// State transfer: fetch partition metadata.
+    FetchMeta(FetchMetaMsg),
+    /// State transfer: partition metadata reply.
+    MetaReply(MetaReplyMsg),
+    /// State transfer: fetch object value.
+    FetchObject(FetchObjectMsg),
+    /// State transfer: object value reply.
+    ObjectReply(ObjectReplyMsg),
+    /// Fetch latest stable checkpoint certificate.
+    FetchCert(FetchCertMsg),
+    /// Checkpoint certificate reply.
+    CertReply(CertReplyMsg),
+    /// Periodic status report.
+    Status(StatusMsg),
+}
+
+impl Message {
+    /// Encodes to wire bytes.
+    pub fn to_wire(&self) -> Vec<u8> {
+        to_bytes(self)
+    }
+
+    /// Decodes from wire bytes; `None` on any malformed input (Byzantine
+    /// senders can produce arbitrary bytes).
+    pub fn from_wire(bytes: &[u8]) -> Option<Message> {
+        from_bytes(bytes).ok()
+    }
+
+    /// Short name for tracing.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Request(_) => "request",
+            Message::Reply(_) => "reply",
+            Message::PrePrepare(_) => "pre-prepare",
+            Message::Prepare(_) => "prepare",
+            Message::Commit(_) => "commit",
+            Message::Checkpoint(_) => "checkpoint",
+            Message::ViewChange(_) => "view-change",
+            Message::NewView(_) => "new-view",
+            Message::FetchMeta(_) => "fetch-meta",
+            Message::MetaReply(_) => "meta-reply",
+            Message::FetchObject(_) => "fetch-object",
+            Message::ObjectReply(_) => "object-reply",
+            Message::FetchCert(_) => "fetch-cert",
+            Message::CertReply(_) => "cert-reply",
+            Message::Status(_) => "status",
+        }
+    }
+}
+
+impl XdrEncode for Message {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        match self {
+            Message::Request(m) => {
+                enc.put_u32(0);
+                m.encode(enc);
+            }
+            Message::Reply(m) => {
+                enc.put_u32(1);
+                m.encode(enc);
+            }
+            Message::PrePrepare(m) => {
+                enc.put_u32(2);
+                m.encode(enc);
+            }
+            Message::Prepare(m) => {
+                enc.put_u32(3);
+                m.encode(enc);
+            }
+            Message::Commit(m) => {
+                enc.put_u32(4);
+                m.encode(enc);
+            }
+            Message::Checkpoint(m) => {
+                enc.put_u32(5);
+                m.encode(enc);
+            }
+            Message::ViewChange(m) => {
+                enc.put_u32(6);
+                m.encode(enc);
+            }
+            Message::NewView(m) => {
+                enc.put_u32(7);
+                m.encode(enc);
+            }
+            Message::FetchMeta(m) => {
+                enc.put_u32(8);
+                m.encode(enc);
+            }
+            Message::MetaReply(m) => {
+                enc.put_u32(9);
+                m.encode(enc);
+            }
+            Message::FetchObject(m) => {
+                enc.put_u32(10);
+                m.encode(enc);
+            }
+            Message::ObjectReply(m) => {
+                enc.put_u32(11);
+                m.encode(enc);
+            }
+            Message::FetchCert(m) => {
+                enc.put_u32(12);
+                m.encode(enc);
+            }
+            Message::CertReply(m) => {
+                enc.put_u32(13);
+                m.encode(enc);
+            }
+            Message::Status(m) => {
+                enc.put_u32(14);
+                m.encode(enc);
+            }
+        }
+    }
+}
+
+impl XdrDecode for Message {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        let tag = dec.get_u32()?;
+        Ok(match tag {
+            0 => Message::Request(RequestMsg::decode(dec)?),
+            1 => Message::Reply(ReplyMsg::decode(dec)?),
+            2 => Message::PrePrepare(PrePrepareMsg::decode(dec)?),
+            3 => Message::Prepare(PrepareMsg::decode(dec)?),
+            4 => Message::Commit(CommitMsg::decode(dec)?),
+            5 => Message::Checkpoint(CheckpointMsg::decode(dec)?),
+            6 => Message::ViewChange(ViewChangeMsg::decode(dec)?),
+            7 => Message::NewView(NewViewMsg::decode(dec)?),
+            8 => Message::FetchMeta(FetchMetaMsg::decode(dec)?),
+            9 => Message::MetaReply(MetaReplyMsg::decode(dec)?),
+            10 => Message::FetchObject(FetchObjectMsg::decode(dec)?),
+            11 => Message::ObjectReply(ObjectReplyMsg::decode(dec)?),
+            12 => Message::FetchCert(FetchCertMsg::decode(dec)?),
+            13 => Message::CertReply(CertReplyMsg::decode(dec)?),
+            14 => Message::Status(StatusMsg::decode(dec)?),
+            v => {
+                return Err(XdrError::InvalidDiscriminant { type_name: "Message", value: v })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use base_crypto::{KeyDirectory, NodeKeys};
+
+    fn keys() -> NodeKeys {
+        NodeKeys::new(KeyDirectory::generate(5, 1), 0)
+    }
+
+    fn sample_request(k: &NodeKeys) -> RequestMsg {
+        let mut r = RequestMsg {
+            client: 4,
+            timestamp: 9,
+            read_only: false,
+            full_replier: 0,
+            op: b"op-bytes".to_vec(),
+            auth: Authenticator::default(),
+        };
+        r.auth = Authenticator::generate(k, 4, &r.digest());
+        r
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let r = sample_request(&keys());
+        let m = Message::Request(r.clone());
+        let decoded = Message::from_wire(&m.to_wire()).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn digest_ignores_auth() {
+        let k = keys();
+        let mut r = sample_request(&k);
+        let d1 = r.digest();
+        r.auth.corrupt();
+        assert_eq!(r.digest(), d1);
+    }
+
+    #[test]
+    fn batch_digest_excludes_view_and_seq() {
+        let k = keys();
+        let r = sample_request(&k);
+        let make = |view, seq| PrePrepareMsg {
+            view,
+            seq,
+            requests: vec![r.clone()],
+            nondet: b"nd".to_vec(),
+            auth: Authenticator::default(),
+            sig: Signature([0; 32]),
+        };
+        assert_eq!(make(0, 5).batch_digest(), make(3, 9).batch_digest());
+    }
+
+    #[test]
+    fn batch_digest_depends_on_requests_and_nondet() {
+        let k = keys();
+        let r = sample_request(&k);
+        let d1 = PrePrepareMsg::batch_digest_of(std::slice::from_ref(&r), b"a");
+        let d2 = PrePrepareMsg::batch_digest_of(std::slice::from_ref(&r), b"b");
+        let d3 = PrePrepareMsg::batch_digest_of(&[], b"a");
+        assert_ne!(d1, d2);
+        assert_ne!(d1, d3);
+    }
+
+    #[test]
+    fn all_message_kinds_round_trip() {
+        let k = keys();
+        let r = sample_request(&k);
+        let pp = PrePrepareMsg {
+            view: 1,
+            seq: 2,
+            requests: vec![r.clone()],
+            nondet: vec![1, 2],
+            auth: Authenticator::generate(&k, 4, &Digest::of(b"x")),
+            sig: k.sign(b"pp"),
+        };
+        let prepare = PrepareMsg {
+            view: 1,
+            seq: 2,
+            digest: pp.batch_digest(),
+            replica: 1,
+            auth: Authenticator::generate(&k, 4, &Digest::of(b"y")),
+            sig: k.sign(b"p"),
+        };
+        let commit = CommitMsg {
+            view: 1,
+            seq: 2,
+            digest: pp.batch_digest(),
+            replica: 1,
+            auth: Authenticator::generate(&k, 4, &Digest::of(b"z")),
+        };
+        let ckpt = CheckpointMsg { seq: 128, digest: Digest::of(b"s"), replica: 2, sig: k.sign(b"c") };
+        let vc = ViewChangeMsg {
+            new_view: 2,
+            stable_seq: 128,
+            stable_digest: Digest::of(b"s"),
+            stable_proof: vec![ckpt.clone()],
+            prepared: vec![PreparedProof { pre_prepare: pp.clone(), prepares: vec![prepare.clone()] }],
+            replica: 0,
+            sig: k.sign(b"vc"),
+        };
+        let nv = NewViewMsg {
+            view: 2,
+            view_changes: vec![vc.clone()],
+            pre_prepares: vec![pp.clone()],
+            replica: 2,
+            sig: k.sign(b"nv"),
+        };
+
+        let msgs = vec![
+            Message::Request(r),
+            Message::Reply(ReplyMsg {
+                view: 1,
+                timestamp: 9,
+                client: 4,
+                replica: 0,
+                digest_only: false,
+                result: b"res".to_vec(),
+                mac: Authenticator::point(&k, 4, &Digest::of(b"r")),
+            }),
+            Message::PrePrepare(pp),
+            Message::Prepare(prepare),
+            Message::Commit(commit),
+            Message::Checkpoint(ckpt.clone()),
+            Message::ViewChange(vc),
+            Message::NewView(nv),
+            Message::FetchMeta(FetchMetaMsg { seq: 128, level: 2, index: 3, replica: 1 }),
+            Message::MetaReply(MetaReplyMsg {
+                seq: 128,
+                level: 2,
+                index: 3,
+                digests: vec![Digest::of(b"a"), Digest::of(b"b")],
+                replica: 1,
+            }),
+            Message::FetchObject(FetchObjectMsg { seq: 128, index: 7, replica: 1 }),
+            Message::ObjectReply(ObjectReplyMsg { seq: 128, index: 7, data: vec![9; 100], replica: 1 }),
+            Message::FetchCert(FetchCertMsg { replica: 3 }),
+            Message::CertReply(CertReplyMsg { msgs: vec![ckpt], replica: 3 }),
+        ];
+        for m in msgs {
+            let decoded = Message::from_wire(&m.to_wire()).unwrap_or_else(|| panic!("{}", m.kind()));
+            assert_eq!(decoded, m, "{}", m.kind());
+        }
+    }
+
+    #[test]
+    fn malformed_wire_bytes_are_rejected() {
+        assert!(Message::from_wire(&[]).is_none());
+        assert!(Message::from_wire(&[0, 0, 0, 99]).is_none());
+        let mut good = Message::FetchCert(FetchCertMsg { replica: 1 }).to_wire();
+        good.push(0);
+        assert!(Message::from_wire(&good).is_none(), "trailing bytes must be rejected");
+    }
+
+    #[test]
+    fn view_change_digest_binds_pset() {
+        let k = keys();
+        let r = sample_request(&k);
+        let pp = PrePrepareMsg {
+            view: 0,
+            seq: 2,
+            requests: vec![r],
+            nondet: vec![],
+            auth: Authenticator::default(),
+            sig: Signature([0; 32]),
+        };
+        let mut vc = ViewChangeMsg {
+            new_view: 1,
+            stable_seq: 0,
+            stable_digest: Digest::ZERO,
+            stable_proof: vec![],
+            prepared: vec![],
+            replica: 0,
+            sig: Signature([0; 32]),
+        };
+        let d_empty = vc.digest();
+        vc.prepared.push(PreparedProof { pre_prepare: pp, prepares: vec![] });
+        assert_ne!(vc.digest(), d_empty);
+    }
+}

@@ -1,0 +1,335 @@
+//! Hierarchical state transfer.
+//!
+//! A replica that is out of date (it missed garbage-collected messages, or
+//! it just rebooted during proactive recovery) brings itself to the latest
+//! stable checkpoint by walking the partition tree: it fetches the digests
+//! of a node's children, compares them with its own, recurses only into
+//! subtrees that differ, and finally fetches only the leaf objects that are
+//! out of date or corrupt (paper §2.2).
+//!
+//! Every reply is verified by hashing against a digest that chains up to
+//! the checkpoint digest in a checkpoint *certificate* (2f+1 signed
+//! checkpoint messages), so Byzantine replicas cannot poison the state of a
+//! correct but out-of-date replica — the property the paper highlights as
+//! essential for state transfer.
+//!
+//! The checkpoint identity covers both the service state and the client
+//! reply cache (which PBFT replicates as part of the state):
+//! `D = H("ckpt" || service_root || H(replies_blob))`.
+
+use crate::messages::{FetchMetaMsg, FetchObjectMsg, Message, MetaReplyMsg, ObjectReplyMsg};
+use crate::tree::PartitionTree;
+use base_crypto::Digest;
+use std::collections::HashMap;
+
+/// Pseudo-level used to fetch the checkpoint's top-level metadata
+/// (`[service_root, replies_digest]`).
+pub const META_ROOT_LEVEL: u32 = u32::MAX;
+
+/// Pseudo-object index used to fetch the serialized reply cache.
+pub const REPLIES_INDEX: u64 = u64::MAX;
+
+/// Composite checkpoint digest over service state and reply cache.
+pub fn checkpoint_digest(service_root: &Digest, replies_digest: &Digest) -> Digest {
+    Digest::of_parts(&[b"ckpt", &service_root.0, &replies_digest.0])
+}
+
+/// Outcome of a completed fetch.
+#[derive(Debug, Clone)]
+pub struct FetchResult {
+    /// The checkpoint sequence number reached.
+    pub seq: u64,
+    /// Root digest of the service partition tree at the checkpoint.
+    pub service_root: Digest,
+    /// Objects to install: `(index, Some(value))` for changed objects,
+    /// `(index, None)` for objects absent in the checkpoint.
+    pub objects: Vec<(u64, Option<Vec<u8>>)>,
+    /// Serialized reply cache at the checkpoint.
+    pub replies_blob: Vec<u8>,
+    /// Total object bytes fetched over the network.
+    pub fetched_bytes: u64,
+    /// Number of meta (partition) queries issued.
+    pub meta_queries: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum FetchKey {
+    Root,
+    Replies,
+    Meta { level: u32, index: u64 },
+    Object { index: u64 },
+}
+
+#[derive(Debug)]
+struct Outstanding {
+    expected: Digest,
+    attempts: u32,
+}
+
+/// State machine driving one state transfer.
+#[derive(Debug)]
+pub struct Fetcher {
+    me: u32,
+    n: usize,
+    seq: u64,
+    target: Digest,
+    service_root: Option<Digest>,
+    replies_digest: Option<Digest>,
+    replies_blob: Option<Vec<u8>>,
+    outstanding: HashMap<FetchKey, Outstanding>,
+    /// Objects collected so far.
+    objects: Vec<(u64, Option<Vec<u8>>)>,
+    /// Round-robin cursor over source replicas.
+    cursor: usize,
+    fetched_bytes: u64,
+    meta_queries: u64,
+    done: bool,
+}
+
+impl Fetcher {
+    /// Creates a fetcher targeting checkpoint (`seq`, `target`), where
+    /// `target` is the composite digest proven by a checkpoint certificate.
+    pub fn new(me: u32, n: usize, seq: u64, target: Digest) -> Self {
+        Self {
+            me,
+            n,
+            seq,
+            target,
+            service_root: None,
+            replies_digest: None,
+            replies_blob: None,
+            outstanding: HashMap::new(),
+            objects: Vec::new(),
+            cursor: (me as usize + 1) % n,
+            fetched_bytes: 0,
+            meta_queries: 0,
+            done: false,
+        }
+    }
+
+    /// The checkpoint this fetch targets.
+    pub fn target_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// True once the fetch has completed (result already returned).
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn next_source(&mut self) -> u32 {
+        loop {
+            let r = self.cursor as u32;
+            self.cursor = (self.cursor + 1) % self.n;
+            if r != self.me {
+                return r;
+            }
+        }
+    }
+
+    fn request_for(&self, key: FetchKey) -> Message {
+        match key {
+            FetchKey::Root => Message::FetchMeta(FetchMetaMsg {
+                seq: self.seq,
+                level: META_ROOT_LEVEL,
+                index: 0,
+                replica: self.me,
+            }),
+            FetchKey::Replies => Message::FetchObject(FetchObjectMsg {
+                seq: self.seq,
+                index: REPLIES_INDEX,
+                replica: self.me,
+            }),
+            FetchKey::Meta { level, index } => Message::FetchMeta(FetchMetaMsg {
+                seq: self.seq,
+                level,
+                index,
+                replica: self.me,
+            }),
+            FetchKey::Object { index } => Message::FetchObject(FetchObjectMsg {
+                seq: self.seq,
+                index,
+                replica: self.me,
+            }),
+        }
+    }
+
+    fn issue(&mut self, key: FetchKey, expected: Digest) -> (u32, Message) {
+        if matches!(key, FetchKey::Meta { .. } | FetchKey::Root) {
+            self.meta_queries += 1;
+        }
+        let msg = self.request_for(key);
+        self.outstanding.insert(key, Outstanding { expected, attempts: 0 });
+        (self.next_source(), msg)
+    }
+
+    /// Starts the fetch: issues the top-level metadata query.
+    pub fn begin(&mut self) -> Vec<(u32, Message)> {
+        vec![self.issue(FetchKey::Root, self.target)]
+    }
+
+    /// Retransmits all outstanding queries (to rotated sources). Call on a
+    /// periodic tick; unanswered or corrupt replies are retried elsewhere.
+    pub fn tick(&mut self) -> Vec<(u32, Message)> {
+        let keys: Vec<FetchKey> = self.outstanding.keys().copied().collect();
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            if let Some(o) = self.outstanding.get_mut(&key) {
+                o.attempts += 1;
+            }
+            let msg = self.request_for(key);
+            out.push((self.next_source(), msg));
+        }
+        out
+    }
+
+    /// Handles a metadata reply. Returns follow-up queries and, if the
+    /// fetch completed, the result.
+    pub fn on_meta_reply(
+        &mut self,
+        m: &MetaReplyMsg,
+        local: &PartitionTree,
+    ) -> (Vec<(u32, Message)>, Option<FetchResult>) {
+        if self.done || m.seq != self.seq {
+            return (Vec::new(), None);
+        }
+        let mut out = Vec::new();
+
+        if m.level == META_ROOT_LEVEL {
+            // Top-level: digests must be [service_root, replies_digest]
+            // hashing to the certified checkpoint digest.
+            if m.digests.len() != 2 {
+                return (Vec::new(), None);
+            }
+            if checkpoint_digest(&m.digests[0], &m.digests[1]) != self.target {
+                return (Vec::new(), None);
+            }
+            if self.outstanding.remove(&FetchKey::Root).is_none() {
+                return (Vec::new(), None);
+            }
+            let service_root = m.digests[0];
+            let replies_digest = m.digests[1];
+            self.service_root = Some(service_root);
+            self.replies_digest = Some(replies_digest);
+            out.push(self.issue(FetchKey::Replies, replies_digest));
+
+            // Walk the service tree only where it differs locally.
+            if service_root != local.root_digest() {
+                if local.depth() == 0 {
+                    // Degenerate single-object tree: the root is the leaf.
+                    if service_root.is_zero() {
+                        self.objects.push((0, None));
+                    } else {
+                        out.push(self.issue(FetchKey::Object { index: 0 }, service_root));
+                    }
+                } else {
+                    out.push(self.issue(
+                        FetchKey::Meta { level: local.depth(), index: 0 },
+                        service_root,
+                    ));
+                }
+            }
+            return (out, self.maybe_complete());
+        }
+
+        // Regular partition node.
+        let key = FetchKey::Meta { level: m.level, index: m.index };
+        let expected = match self.outstanding.get(&key) {
+            Some(o) => o.expected,
+            None => return (Vec::new(), None),
+        };
+        if !local.verify_children(m.level, &m.digests, &expected) {
+            // Corrupt or stale reply; keep the query outstanding.
+            return (Vec::new(), None);
+        }
+        self.outstanding.remove(&key);
+
+        let b = local.branching() as u64;
+        let local_children = local
+            .children_digests(m.level, m.index)
+            .unwrap_or_else(|| vec![local.default_digest(m.level - 1); b as usize]);
+        for (c, remote_digest) in m.digests.iter().enumerate() {
+            if *remote_digest == local_children[c] {
+                continue;
+            }
+            let child_index = m.index * b + c as u64;
+            if m.level - 1 == 0 {
+                // Child is a leaf (an abstract object). A zero digest means
+                // the object is absent in the checkpoint — record the
+                // deletion without a fetch.
+                if child_index < local.capacity() {
+                    if remote_digest.is_zero() {
+                        self.objects.push((child_index, None));
+                    } else {
+                        out.push(
+                            self.issue(FetchKey::Object { index: child_index }, *remote_digest),
+                        );
+                    }
+                }
+            } else {
+                out.push(self.issue(
+                    FetchKey::Meta { level: m.level - 1, index: child_index },
+                    *remote_digest,
+                ));
+            }
+        }
+        (out, self.maybe_complete())
+    }
+
+    /// Handles an object reply.
+    pub fn on_object_reply(
+        &mut self,
+        m: &ObjectReplyMsg,
+        _local: &PartitionTree,
+    ) -> (Vec<(u32, Message)>, Option<FetchResult>) {
+        if self.done || m.seq != self.seq {
+            return (Vec::new(), None);
+        }
+        if m.index == REPLIES_INDEX {
+            let expected = match self.replies_digest {
+                Some(d) => d,
+                None => return (Vec::new(), None),
+            };
+            if Digest::of(&m.data) != expected {
+                return (Vec::new(), None);
+            }
+            if self.outstanding.remove(&FetchKey::Replies).is_some() {
+                self.fetched_bytes += m.data.len() as u64;
+                self.replies_blob = Some(m.data.clone());
+            }
+            return (Vec::new(), self.maybe_complete());
+        }
+
+        let key = FetchKey::Object { index: m.index };
+        let expected = match self.outstanding.get(&key) {
+            Some(o) => o.expected,
+            None => return (Vec::new(), None),
+        };
+        if crate::tree::leaf_digest(m.index, &m.data) != expected {
+            return (Vec::new(), None);
+        }
+        self.outstanding.remove(&key);
+        self.fetched_bytes += m.data.len() as u64;
+        self.objects.push((m.index, Some(m.data.clone())));
+        (Vec::new(), self.maybe_complete())
+    }
+
+    fn maybe_complete(&mut self) -> Option<FetchResult> {
+        if self.done
+            || !self.outstanding.is_empty()
+            || self.service_root.is_none()
+            || self.replies_blob.is_none()
+        {
+            return None;
+        }
+        self.done = true;
+        Some(FetchResult {
+            seq: self.seq,
+            service_root: self.service_root.expect("checked above"),
+            objects: std::mem::take(&mut self.objects),
+            replies_blob: self.replies_blob.clone().expect("checked above"),
+            fetched_bytes: self.fetched_bytes,
+            meta_queries: self.meta_queries,
+        })
+    }
+}

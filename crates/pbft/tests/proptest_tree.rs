@@ -1,0 +1,138 @@
+//! Property tests for the persistent partition tree ([`PartitionTree`]):
+//! history independence, snapshot isolation, and Merkle-path verification
+//! at arbitrary coordinates.
+
+use base_crypto::Digest;
+use base_pbft::tree::leaf_digest;
+use base_pbft::PartitionTree;
+use proptest::prelude::*;
+
+fn arb_updates(capacity: u64) -> impl Strategy<Value = Vec<(u64, Vec<u8>)>> {
+    proptest::collection::vec(
+        (0..capacity, proptest::collection::vec(any::<u8>(), 0..8)),
+        0..64,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The root depends only on the final leaf contents, not on the update
+    /// order or on intermediate overwrites.
+    #[test]
+    fn root_is_history_independent(
+        capacity in 1u64..300,
+        branching in 2u32..17,
+        updates in arb_updates(300),
+    ) {
+        let updates: Vec<_> =
+            updates.into_iter().filter(|(i, _)| *i < capacity).collect();
+
+        // Apply in given order (with any overwrites that occur).
+        let mut a = PartitionTree::new(capacity, branching);
+        for (i, v) in &updates {
+            a.set_leaf(*i, leaf_digest(*i, v));
+        }
+
+        // Apply only the final value per index, in ascending index order.
+        let mut finals = std::collections::BTreeMap::new();
+        for (i, v) in &updates {
+            finals.insert(*i, v.clone());
+        }
+        let mut b = PartitionTree::new(capacity, branching);
+        for (i, v) in &finals {
+            b.set_leaf(*i, leaf_digest(*i, v));
+        }
+
+        prop_assert_eq!(a.root_digest(), b.root_digest());
+        for (i, v) in &finals {
+            prop_assert_eq!(a.leaf_digest_at(*i), leaf_digest(*i, v));
+        }
+    }
+
+    /// A clone is an immutable snapshot: later writes to the original
+    /// never leak into it (the Arc-based COW must copy every shared path).
+    #[test]
+    fn snapshots_are_isolated(
+        capacity in 1u64..200,
+        branching in 2u32..9,
+        before in arb_updates(200),
+        after in arb_updates(200),
+    ) {
+        let before: Vec<_> = before.into_iter().filter(|(i, _)| *i < capacity).collect();
+        let after: Vec<_> = after.into_iter().filter(|(i, _)| *i < capacity).collect();
+        let mut t = PartitionTree::new(capacity, branching);
+        for (i, v) in &before {
+            t.set_leaf(*i, leaf_digest(*i, v));
+        }
+        let snap = t.clone();
+        let root_at_snap = snap.root_digest();
+        let leaves_at_snap: Vec<Digest> =
+            (0..capacity).map(|i| snap.leaf_digest_at(i)).collect();
+        for (i, v) in &after {
+            t.set_leaf(*i, leaf_digest(*i, &[v.as_slice(), b"!"].concat()));
+        }
+        prop_assert_eq!(snap.root_digest(), root_at_snap);
+        for i in 0..capacity {
+            prop_assert_eq!(snap.leaf_digest_at(i), leaves_at_snap[i as usize]);
+        }
+    }
+
+    /// Every internal node's children verify against it, at every level and
+    /// index — the invariant the state-transfer fetcher relies on to walk
+    /// down from a trusted root.
+    #[test]
+    fn all_merkle_paths_verify(
+        capacity in 1u64..150,
+        branching in 2u32..9,
+        updates in arb_updates(150),
+    ) {
+        let mut t = PartitionTree::new(capacity, branching);
+        for (i, v) in updates.iter().filter(|(i, _)| *i < capacity) {
+            t.set_leaf(*i, leaf_digest(*i, v));
+        }
+        let b = t.branching() as u64;
+        for level in (1..=t.depth()).rev() {
+            let mut index = 0u64;
+            while let Some(children) = t.children_digests(level, index) {
+                // The parent's digest of this node: the root at the top
+                // level, otherwise the matching entry in the parent's own
+                // children vector.
+                let parent = if level == t.depth() {
+                    t.root_digest()
+                } else {
+                    let up = t
+                        .children_digests(level + 1, index / b)
+                        .expect("parent in range");
+                    up[(index % b) as usize]
+                };
+                prop_assert!(
+                    t.verify_children(level, &children, &parent),
+                    "level {} index {}", level, index
+                );
+                index += 1;
+            }
+        }
+    }
+
+    /// Two trees whose leaves differ anywhere have different roots (no
+    /// silent collisions from the index-binding or level-binding scheme).
+    #[test]
+    fn differing_leaves_give_differing_roots(
+        capacity in 2u64..100,
+        branching in 2u32..9,
+        updates in arb_updates(100),
+        victim in 0u64..100,
+    ) {
+        let victim = victim % capacity;
+        let mut a = PartitionTree::new(capacity, branching);
+        for (i, v) in updates.iter().filter(|(i, _)| *i < capacity) {
+            a.set_leaf(*i, leaf_digest(*i, v));
+        }
+        let mut b = a.clone();
+        b.set_leaf(victim, leaf_digest(victim, b"\xffdivergent"));
+        if a.leaf_digest_at(victim) != b.leaf_digest_at(victim) {
+            prop_assert_ne!(a.root_digest(), b.root_digest());
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Actors and the per-event effect context.
+
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use std::any::Any;
+
+/// Identifies a node in the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Handle for cancelling a pending timer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerId(pub(crate) u64);
+
+/// A simulated node.
+///
+/// Handlers receive a [`Context`] through which all effects (sends, timers,
+/// CPU charges) are issued; effects are applied by the simulator after the
+/// handler returns, which keeps handlers pure with respect to the event
+/// queue and preserves determinism.
+///
+/// The `Any` supertrait enables test code to downcast actors via
+/// [`crate::Simulation::actor_as`].
+pub trait Actor: Any {
+    /// Called once when the simulation starts (in node-id order).
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message from `from` is delivered.
+    fn on_message(&mut self, from: NodeId, payload: &[u8], ctx: &mut Context<'_>);
+
+    /// Called when a timer set with [`Context::set_timer`] fires.
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        let _ = (token, ctx);
+    }
+}
+
+pub(crate) enum Effect {
+    Send { to: NodeId, payload: Vec<u8> },
+    SetTimer { delay: SimDuration, token: u64, id: TimerId },
+    CancelTimer(TimerId),
+}
+
+/// The effect context passed to actor handlers.
+///
+/// All interaction with the outside world goes through this context; the
+/// simulator applies the queued effects after the handler returns.
+pub struct Context<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) self_id: NodeId,
+    pub(crate) clock_skew: SimDuration,
+    pub(crate) effects: Vec<Effect>,
+    pub(crate) charged: SimDuration,
+    pub(crate) next_timer_id: &'a mut u64,
+    pub(crate) rng: &'a mut StdRng,
+}
+
+impl<'a> Context<'a> {
+    /// Current virtual time (the global, true simulation clock).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's *local* clock reading: true time plus the node's
+    /// configured skew. Service implementations that timestamp data (e.g.
+    /// file mtimes) must use this, which is exactly the non-determinism the
+    /// BASE methodology has to mask.
+    pub fn local_clock(&self) -> SimTime {
+        self.now + self.clock_skew
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Queues `payload` for delivery to `to`.
+    ///
+    /// The message leaves this node once the handler returns (after any
+    /// charged CPU time) and arrives after the configured link latency.
+    pub fn send(&mut self, to: NodeId, payload: Vec<u8>) {
+        self.effects.push(Effect::Send { to, payload });
+    }
+
+    /// Queues `payload` to every node in `nodes` (including `self` if
+    /// listed; self-sends loop back through the queue with zero latency).
+    pub fn multicast(&mut self, nodes: impl IntoIterator<Item = NodeId>, payload: &[u8]) {
+        for n in nodes {
+            self.send(n, payload.to_vec());
+        }
+    }
+
+    /// Schedules a timer to fire after `delay`, passing `token` back to
+    /// [`Actor::on_timer`]. Returns an id usable with
+    /// [`Context::cancel_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        let id = TimerId(*self.next_timer_id);
+        *self.next_timer_id += 1;
+        self.effects.push(Effect::SetTimer { delay, token, id });
+        id
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired or unknown
+    /// timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.push(Effect::CancelTimer(id));
+    }
+
+    /// Charges `d` of simulated CPU time to this node.
+    ///
+    /// The node is busy for the charged span: later events queued for it
+    /// are deferred, and messages sent from this handler depart only after
+    /// the charge. Protocol code uses this to model crypto and state
+    /// conversion costs.
+    pub fn charge(&mut self, d: SimDuration) {
+        self.charged += d;
+    }
+
+    /// Total CPU time charged so far in this handler invocation.
+    pub fn charged(&self) -> SimDuration {
+        self.charged
+    }
+
+    /// Deterministic per-node random number generator.
+    ///
+    /// Service implementations use this for their internal non-determinism
+    /// (file-handle values, allocation order, ...). Seeded per node from
+    /// the simulation seed, so runs are reproducible.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}

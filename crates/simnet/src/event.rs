@@ -1,0 +1,115 @@
+//! The internal event queue.
+
+use crate::actor::{NodeId, TimerId};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+pub(crate) enum EventKind {
+    Deliver { from: NodeId, to: NodeId, payload: Vec<u8> },
+    Timer { node: NodeId, token: u64, id: TimerId },
+}
+
+#[derive(Debug)]
+pub(crate) struct Event {
+    pub time: SimTime,
+    /// Monotone tie-breaker so equal-time events pop in insertion order,
+    /// keeping runs deterministic.
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-heap of pending events with a monotone sequence counter.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Removes every pending timer addressed to `node` (message deliveries
+    /// are kept — the network does not know the node was reinstalled).
+    pub fn drop_timers_for(&mut self, node: NodeId) {
+        self.heap
+            .retain(|e| !matches!(e.kind, EventKind::Timer { node: n, .. } if n == node));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::default();
+        q.push(SimTime(30), EventKind::Timer { node: NodeId(0), token: 3, id: TimerId(0) });
+        q.push(SimTime(10), EventKind::Timer { node: NodeId(0), token: 1, id: TimerId(1) });
+        q.push(SimTime(20), EventKind::Timer { node: NodeId(0), token: 2, id: TimerId(2) });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::default();
+        for token in 0..10 {
+            q.push(SimTime(5), EventKind::Timer { node: NodeId(0), token, id: TimerId(token) });
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,259 @@
+//! Message-level fault injection.
+//!
+//! A [`NetFilter`] sees every message after the latency model and before
+//! delivery, and can pass, drop, delay, duplicate or corrupt it. Filters
+//! model an adversarial network (or an attacker-controlled switch); *node*
+//! faults (crashed or Byzantine replicas) are modelled by crash windows in
+//! the simulator and by adversarial [`crate::Actor`] implementations.
+
+use crate::actor::NodeId;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// What to do with an intercepted message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterAction {
+    /// Deliver unchanged.
+    Pass,
+    /// Silently drop.
+    Drop,
+    /// Deliver after an extra delay.
+    Delay(SimDuration),
+    /// Deliver a modified payload.
+    Rewrite(Vec<u8>),
+    /// Deliver the original and a duplicate (after the extra delay).
+    Duplicate(SimDuration),
+}
+
+/// Inspects and perturbs in-flight messages.
+pub trait NetFilter {
+    /// Decides the fate of one message.
+    fn filter(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: &[u8],
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> FilterAction;
+}
+
+/// Drops every message to or from a set of nodes (a "mute" fault).
+#[derive(Debug, Clone)]
+pub struct Isolate {
+    nodes: Vec<NodeId>,
+}
+
+impl Isolate {
+    /// Isolates `nodes` from the rest of the network.
+    pub fn new(nodes: Vec<NodeId>) -> Self {
+        Self { nodes }
+    }
+}
+
+impl NetFilter for Isolate {
+    fn filter(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        _payload: &[u8],
+        _now: SimTime,
+        _rng: &mut StdRng,
+    ) -> FilterAction {
+        if self.nodes.contains(&from) || self.nodes.contains(&to) {
+            FilterAction::Drop
+        } else {
+            FilterAction::Pass
+        }
+    }
+}
+
+/// Flips bits in a random fraction of messages from a given node,
+/// simulating a faulty sender NIC or an in-path attacker.
+#[derive(Debug, Clone)]
+pub struct BitFlipper {
+    /// Node whose outbound traffic is corrupted.
+    pub from: NodeId,
+    /// Probability that any given message is corrupted.
+    pub prob: f64,
+}
+
+impl NetFilter for BitFlipper {
+    fn filter(
+        &mut self,
+        from: NodeId,
+        _to: NodeId,
+        payload: &[u8],
+        _now: SimTime,
+        rng: &mut StdRng,
+    ) -> FilterAction {
+        if from == self.from && !payload.is_empty() && rng.gen_bool(self.prob) {
+            let mut corrupted = payload.to_vec();
+            let idx = rng.gen_range(0..corrupted.len());
+            corrupted[idx] ^= 0xff;
+            FilterAction::Rewrite(corrupted)
+        } else {
+            FilterAction::Pass
+        }
+    }
+}
+
+/// Delays all traffic on one direction of one link, simulating congestion.
+#[derive(Debug, Clone)]
+pub struct SlowLink {
+    /// Source of the slow link.
+    pub from: NodeId,
+    /// Destination of the slow link.
+    pub to: NodeId,
+    /// Extra one-way delay.
+    pub extra: SimDuration,
+}
+
+impl NetFilter for SlowLink {
+    fn filter(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        _payload: &[u8],
+        _now: SimTime,
+        _rng: &mut StdRng,
+    ) -> FilterAction {
+        if from == self.from && to == self.to {
+            FilterAction::Delay(self.extra)
+        } else {
+            FilterAction::Pass
+        }
+    }
+}
+
+/// Duplicates a fraction of all messages (retransmission storms; the
+/// protocol must be idempotent under duplication).
+#[derive(Debug, Clone)]
+pub struct Duplicator {
+    /// Probability that any given message is duplicated.
+    pub prob: f64,
+    /// Delay before the duplicate arrives.
+    pub dup_delay: SimDuration,
+}
+
+impl NetFilter for Duplicator {
+    fn filter(
+        &mut self,
+        _from: NodeId,
+        _to: NodeId,
+        _payload: &[u8],
+        _now: SimTime,
+        rng: &mut StdRng,
+    ) -> FilterAction {
+        if rng.gen_bool(self.prob) {
+            FilterAction::Duplicate(self.dup_delay)
+        } else {
+            FilterAction::Pass
+        }
+    }
+}
+
+/// Chains several filters; the first non-`Pass` action wins.
+#[derive(Default)]
+pub struct FilterChain {
+    filters: Vec<Box<dyn NetFilter>>,
+}
+
+impl FilterChain {
+    /// Creates an empty chain (which passes everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a filter to the chain.
+    pub fn push(&mut self, f: Box<dyn NetFilter>) {
+        self.filters.push(f);
+    }
+}
+
+impl NetFilter for FilterChain {
+    fn filter(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: &[u8],
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> FilterAction {
+        for f in &mut self.filters {
+            let action = f.filter(from, to, payload, now, rng);
+            if action != FilterAction::Pass {
+                return action;
+            }
+        }
+        FilterAction::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn isolate_drops_both_directions() {
+        let mut f = Isolate::new(vec![NodeId(1)]);
+        let mut r = rng();
+        assert_eq!(
+            f.filter(NodeId(1), NodeId(0), b"x", SimTime::ZERO, &mut r),
+            FilterAction::Drop
+        );
+        assert_eq!(
+            f.filter(NodeId(0), NodeId(1), b"x", SimTime::ZERO, &mut r),
+            FilterAction::Drop
+        );
+        assert_eq!(
+            f.filter(NodeId(0), NodeId(2), b"x", SimTime::ZERO, &mut r),
+            FilterAction::Pass
+        );
+    }
+
+    #[test]
+    fn bit_flipper_changes_payload() {
+        let mut f = BitFlipper { from: NodeId(0), prob: 1.0 };
+        let mut r = rng();
+        match f.filter(NodeId(0), NodeId(1), b"abcd", SimTime::ZERO, &mut r) {
+            FilterAction::Rewrite(p) => assert_ne!(p, b"abcd"),
+            other => panic!("expected rewrite, got {other:?}"),
+        }
+        // Traffic from other nodes is untouched.
+        assert_eq!(
+            f.filter(NodeId(2), NodeId(1), b"abcd", SimTime::ZERO, &mut r),
+            FilterAction::Pass
+        );
+    }
+
+    #[test]
+    fn chain_applies_first_match() {
+        let mut chain = FilterChain::new();
+        chain.push(Box::new(Isolate::new(vec![NodeId(9)])));
+        chain.push(Box::new(SlowLink {
+            from: NodeId(0),
+            to: NodeId(1),
+            extra: SimDuration::from_millis(5),
+        }));
+        let mut r = rng();
+        assert_eq!(
+            chain.filter(NodeId(9), NodeId(1), b"x", SimTime::ZERO, &mut r),
+            FilterAction::Drop
+        );
+        assert_eq!(
+            chain.filter(NodeId(0), NodeId(1), b"x", SimTime::ZERO, &mut r),
+            FilterAction::Delay(SimDuration::from_millis(5))
+        );
+        assert_eq!(
+            chain.filter(NodeId(1), NodeId(0), b"x", SimTime::ZERO, &mut r),
+            FilterAction::Pass
+        );
+    }
+}

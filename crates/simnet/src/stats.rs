@@ -1,0 +1,56 @@
+//! Wire and CPU statistics.
+
+use crate::actor::NodeId;
+use crate::time::SimDuration;
+use std::collections::HashMap;
+
+/// Counters accumulated over a simulation run.
+///
+/// These feed the benchmark tables: state-transfer experiments report bytes
+/// on the wire, and overhead experiments report per-node CPU charges.
+#[derive(Debug, Default, Clone)]
+pub struct NetStats {
+    /// Total messages handed to the network.
+    pub messages_sent: u64,
+    /// Total messages delivered.
+    pub messages_delivered: u64,
+    /// Messages dropped (loss, partitions, filters, crashed targets).
+    pub messages_dropped: u64,
+    /// Total payload bytes handed to the network.
+    pub bytes_sent: u64,
+    /// Total payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Per-node sent byte counts.
+    pub bytes_sent_by: HashMap<NodeId, u64>,
+    /// Per-node delivered byte counts.
+    pub bytes_delivered_to: HashMap<NodeId, u64>,
+    /// Per-node accumulated CPU charges.
+    pub cpu_by: HashMap<NodeId, SimDuration>,
+}
+
+impl NetStats {
+    pub(crate) fn record_send(&mut self, from: NodeId, bytes: usize) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+        *self.bytes_sent_by.entry(from).or_default() += bytes as u64;
+    }
+
+    pub(crate) fn record_delivery(&mut self, to: NodeId, bytes: usize) {
+        self.messages_delivered += 1;
+        self.bytes_delivered += bytes as u64;
+        *self.bytes_delivered_to.entry(to).or_default() += bytes as u64;
+    }
+
+    pub(crate) fn record_drop(&mut self) {
+        self.messages_dropped += 1;
+    }
+
+    pub(crate) fn record_cpu(&mut self, node: NodeId, d: SimDuration) {
+        *self.cpu_by.entry(node).or_default() += d;
+    }
+
+    /// Total CPU charged across all nodes.
+    pub fn total_cpu(&self) -> SimDuration {
+        self.cpu_by.values().fold(SimDuration::ZERO, |acc, d| acc + *d)
+    }
+}

@@ -1,0 +1,73 @@
+//! Decoding error type.
+
+use std::fmt;
+
+/// An error produced while decoding XDR data.
+///
+/// Encoding is infallible (it only appends to a growable buffer); every
+/// variant here describes malformed or hostile input encountered by
+/// [`crate::XdrDecoder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XdrError {
+    /// The input ended before the requested item could be read.
+    UnexpectedEof {
+        /// Bytes needed to satisfy the read.
+        needed: usize,
+        /// Bytes remaining in the input.
+        remaining: usize,
+    },
+    /// A padding byte required to be zero was not zero.
+    NonZeroPadding,
+    /// A boolean field held a value other than 0 or 1.
+    InvalidBool(u32),
+    /// An enum discriminant did not match any known variant.
+    InvalidDiscriminant {
+        /// Name of the type being decoded.
+        type_name: &'static str,
+        /// The unrecognized discriminant value.
+        value: u32,
+    },
+    /// A length prefix exceeded the decoder's allocation cap.
+    LengthTooLarge {
+        /// The declared length.
+        declared: usize,
+        /// The maximum the decoder allows.
+        max: usize,
+    },
+    /// A string field contained invalid UTF-8.
+    InvalidUtf8,
+    /// `finish` was called with unread bytes left in the input.
+    TrailingBytes(usize),
+    /// A fixed-size opaque field had an unexpected length.
+    FixedLengthMismatch {
+        /// Length expected by the caller.
+        expected: usize,
+        /// Length found in the input.
+        found: usize,
+    },
+}
+
+impl fmt::Display for XdrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XdrError::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected end of input: needed {needed} bytes, {remaining} remain")
+            }
+            XdrError::NonZeroPadding => write!(f, "non-zero XDR padding byte"),
+            XdrError::InvalidBool(v) => write!(f, "invalid boolean value {v}"),
+            XdrError::InvalidDiscriminant { type_name, value } => {
+                write!(f, "invalid discriminant {value} for {type_name}")
+            }
+            XdrError::LengthTooLarge { declared, max } => {
+                write!(f, "declared length {declared} exceeds cap {max}")
+            }
+            XdrError::InvalidUtf8 => write!(f, "string field is not valid UTF-8"),
+            XdrError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
+            XdrError::FixedLengthMismatch { expected, found } => {
+                write!(f, "fixed opaque length mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XdrError {}

@@ -1,0 +1,143 @@
+//! The paper's worked example (Section 3, Figure 2): a replicated NFS
+//! service where every replica runs a *different* off-the-shelf file-system
+//! implementation.
+//!
+//! The pipeline is exactly Figure 2: a workload (standing in for the
+//! application + kernel NFS client) feeds the relay, the relay invokes the
+//! replication library, each replica's conformance wrapper drives its
+//! unmodified file-system implementation.
+//!
+//! Run with: `cargo run --example replicated_nfs`
+
+use base::{BaseReplica, BaseService};
+use base_nfs::ops::{NfsOp, NfsReply};
+use base_nfs::relay::{run_to_completion, RelayActor, ScriptDriver};
+use base_nfs::spec::Oid;
+use base_nfs::{BtreeFs, FlatFs, InodeFs, LogFs, NfsWrapper};
+use base_pbft::{Config, Service as _};
+use base_simnet::{SimDuration, Simulation};
+use rand::SeedableRng;
+
+const CAP: u64 = 1024;
+
+fn main() {
+    println!("architecture (paper Figure 2):");
+    println!("  workload -> kernel-NFS-client stand-in -> relay");
+    println!("  relay -> [replication library] -> 4 replicas:");
+    println!("    replica 0: conformance wrapper -> inode-fs (ext2-flavoured)");
+    println!("    replica 1: conformance wrapper -> flat-fs  (path-table)");
+    println!("    replica 2: conformance wrapper -> log-fs   (log-structured)");
+    println!("    replica 3: conformance wrapper -> btree-fs (BTree)\n");
+
+    let mut cfg = Config::new(4);
+    cfg.checkpoint_interval = 32;
+    let mut sim = Simulation::new(7);
+    let dir = base_crypto::KeyDirectory::generate(5, 7);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+
+    let keys = |i| base_crypto::NodeKeys::new(dir.clone(), i);
+    let n0 = sim.add_node(Box::new(BaseReplica::new(
+        cfg.clone(),
+        keys(0),
+        BaseService::new(NfsWrapper::with_capacity(InodeFs::new(0x11, &mut rng), CAP)),
+    )));
+    let n1 = sim.add_node(Box::new(BaseReplica::new(
+        cfg.clone(),
+        keys(1),
+        BaseService::new(NfsWrapper::with_capacity(FlatFs::new(0x44, &mut rng), CAP)),
+    )));
+    let n2 = sim.add_node(Box::new(BaseReplica::new(
+        cfg.clone(),
+        keys(2),
+        BaseService::new(NfsWrapper::with_capacity(LogFs::new(0x22, &mut rng), CAP)),
+    )));
+    let n3 = sim.add_node(Box::new(BaseReplica::new(
+        cfg.clone(),
+        keys(3),
+        BaseService::new(NfsWrapper::with_capacity(BtreeFs::new(0x33, &mut rng), CAP)),
+    )));
+    // Divergent local clocks, like machines in a real machine room.
+    for (i, n) in [n0, n1, n2, n3].into_iter().enumerate() {
+        sim.config_mut().set_clock_skew(n, SimDuration::from_millis(17 * i as u64));
+    }
+
+    // A small project tree: oids are assigned deterministically, so the
+    // script can name handles before the replies arrive.
+    let root = Oid::ROOT;
+    let src = Oid { index: 1, gen: 1 };
+    let main_rs = Oid { index: 2, gen: 1 };
+    let lib_rs = Oid { index: 3, gen: 1 };
+    let script = vec![
+        NfsOp::Mkdir { dir: root, name: "src".into(), mode: 0o755 },
+        NfsOp::Create { dir: src, name: "main.rs".into(), mode: 0o644 },
+        NfsOp::Write { fh: main_rs, offset: 0, data: b"fn main() { lib::run() }\n".to_vec() },
+        NfsOp::Create { dir: src, name: "lib.rs".into(), mode: 0o644 },
+        NfsOp::Write { fh: lib_rs, offset: 0, data: b"pub fn run() {}\n".to_vec() },
+        NfsOp::Symlink { dir: root, name: "entry".into(), target: "src/main.rs".into() },
+        NfsOp::Readdir { dir: src },
+        NfsOp::Read { fh: main_rs, offset: 0, count: 1024 },
+        NfsOp::Getattr { fh: lib_rs },
+        NfsOp::Rename {
+            from_dir: src,
+            from_name: "lib.rs".into(),
+            to_dir: root,
+            to_name: "lib.rs".into(),
+        },
+        NfsOp::Readdir { dir: root },
+    ];
+    let relay_keys = base_crypto::NodeKeys::new(dir, 4);
+    let relay = sim.add_node(Box::new(RelayActor::new(cfg, relay_keys, ScriptDriver::new(script))));
+
+    let ok = run_to_completion(
+        &mut sim,
+        |s| s.actor_as::<RelayActor<ScriptDriver>>(relay).unwrap().done(),
+        SimDuration::from_secs(30),
+    );
+    assert!(ok, "workload did not finish");
+
+    let actor = sim.actor_as::<RelayActor<ScriptDriver>>(relay).unwrap();
+    println!("ran {} NFS operations, {} errors", actor.stats.ops, actor.stats.errors);
+    for (op_idx, label) in [(6usize, "readdir src"), (7, "read main.rs"), (10, "readdir /")] {
+        match &actor.driver().replies[op_idx] {
+            NfsReply::Entries(es) => {
+                let names: Vec<&str> = es.iter().map(|(n, _)| n.as_str()).collect();
+                println!("  {label:14} -> {names:?}");
+            }
+            NfsReply::Data(d) => {
+                println!("  {label:14} -> {:?}", String::from_utf8_lossy(d).trim_end());
+            }
+            other => println!("  {label:14} -> {other:?}"),
+        }
+    }
+
+    // Four different file systems, one abstract state.
+    let r0 = sim
+        .actor_as::<BaseReplica<NfsWrapper<InodeFs>>>(n0)
+        .unwrap()
+        .service()
+        .current_tree()
+        .root_digest();
+    let r1 = sim
+        .actor_as::<BaseReplica<NfsWrapper<FlatFs>>>(n1)
+        .unwrap()
+        .service()
+        .current_tree()
+        .root_digest();
+    let r2 = sim
+        .actor_as::<BaseReplica<NfsWrapper<LogFs>>>(n2)
+        .unwrap()
+        .service()
+        .current_tree()
+        .root_digest();
+    let r3 = sim
+        .actor_as::<BaseReplica<NfsWrapper<BtreeFs>>>(n3)
+        .unwrap()
+        .service()
+        .current_tree()
+        .root_digest();
+    assert_eq!(r0, r1);
+    assert_eq!(r0, r2);
+    assert_eq!(r0, r3);
+    println!("\nabstract state root at every replica: {}", r0.short_hex());
+    println!("four distinct implementations, one replicated file system ✓");
+}
