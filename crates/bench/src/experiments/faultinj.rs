@@ -2,38 +2,35 @@
 //! work ("it would also be important to run fault injection experiments to
 //! evaluate the availability improvements afforded by our technique").
 //!
-//! Campaign: fault type × replica mix. The deciding scenario is the
-//! *deterministic software bug*: an input-triggered error that corrupts the
-//! concrete state of every replica running the affected implementation.
-//! With a homogeneous group the bug is common-mode (all four replicas serve
-//! the same wrong data and the client accepts it); with one implementation
-//! per replica it hits a single replica and is masked.
+//! Rebuilt on the chaos-campaign engine: each table cell runs a campaign of
+//! seeded runs whose generated schedules compose crash windows, healing
+//! partitions, Byzantine-mode flips and latent state corruption (healed by
+//! proactive recovery), and every run is audited from the client's view —
+//! the workload must finish and every read must return exactly what was
+//! written. Failing schedules are shrunk to a minimal reproduction.
+//!
+//! The deciding scenario remains the *deterministic software bug*: an
+//! input-triggered error that corrupts the concrete state of every replica
+//! running the affected implementation. With a homogeneous group the bug is
+//! common-mode (the campaign fails and the minimal schedule is *empty* —
+//! no injected fault is needed); with one implementation per replica it
+//! hits a single replica and is masked.
 
 use crate::report::Table;
-use crate::setup::{arm_inode_latent_bug, build_replicated_nfs, run_relay_to_completion, FsMix};
+use crate::setup::{
+    arm_inode_latent_bug, build_replicated_nfs_with, corrupt_replica_state, set_recovery_clean_all,
+    set_relay_pace, trigger_replica_recovery, FsMix, NfsTestbed,
+};
 use base_nfs::ops::NfsOp;
 use base_nfs::relay::{RelayActor, ScriptDriver};
 use base_nfs::spec::Oid;
-use base_simnet::{SimDuration, Simulation};
+use base_pbft::chaos::{APP_BYZ, APP_CORRUPT_STATE, APP_RECOVER};
+use base_simnet::chaos::{
+    run_campaign, AppFaultSpec, ChaosHarness, HealSpec, ScheduleGenConfig,
+};
+use base_simnet::{NodeId, SimDuration, Simulation};
 
 const FILES: u32 = 8;
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Fault {
-    None,
-    CrashOne,
-    ByzantineRepliesOne,
-    /// The deterministic bug: an input-triggered latent error in InodeFs —
-    /// every replica running that implementation stores the triggering
-    /// write corrupted.
-    DeterministicBug,
-}
-
-struct Out {
-    ops_done: u64,
-    wrong_reads: u32,
-    unanswered: u32,
-}
 
 fn payload(i: u32, with_trigger: bool) -> Vec<u8> {
     if i == 0 && with_trigger {
@@ -45,7 +42,7 @@ fn payload(i: u32, with_trigger: bool) -> Vec<u8> {
     }
 }
 
-fn write_script(with_trigger: bool) -> Vec<NfsOp> {
+fn script(with_trigger: bool) -> Vec<NfsOp> {
     let root = Oid::ROOT;
     let mut s = Vec::new();
     for i in 0..FILES {
@@ -56,89 +53,211 @@ fn write_script(with_trigger: bool) -> Vec<NfsOp> {
             data: payload(i, with_trigger),
         });
     }
+    for i in 0..FILES {
+        s.push(NfsOp::Read { fh: Oid { index: 1 + i, gen: 1 }, offset: 0, count: 64 });
+    }
     s
 }
 
-fn read_script() -> Vec<NfsOp> {
-    (0..FILES)
-        .map(|i| NfsOp::Read { fh: Oid { index: 1 + i, gen: 1 }, offset: 0, count: 64 })
-        .collect()
+/// Campaign harness for the replicated NFS testbed: a paced create/write/
+/// read-back workload audited from the client's view.
+pub struct NfsChaosHarness {
+    /// Which implementations the replicas run.
+    pub mix: FsMix,
+    /// Arms the input-triggered latent bug in every `InodeFs` replica and
+    /// includes the triggering payload in the workload.
+    pub with_latent_bug: bool,
+    /// Gap between relay submissions.
+    pub pace: SimDuration,
+    bed: Option<NfsTestbed>,
 }
 
-/// Runs one campaign cell: populate (triggering the latent bug where
-/// applicable), inject node-level faults, read back.
-fn run_cell(mix: FsMix, fault: Fault, seed: u64) -> Out {
-    let with_trigger = fault == Fault::DeterministicBug;
-    let mut script = write_script(with_trigger);
-    let write_ops = script.len();
-    script.extend(read_script());
-    let total_ops = script.len() as u64;
-
-    let mut sim = Simulation::new(seed);
-    let bed = build_replicated_nfs(&mut sim, seed, mix, ScriptDriver::new(script));
-    // The latent bug is present in the InodeFs code at every replica
-    // running it; only the trigger input activates it.
-    arm_inode_latent_bug(&mut sim, &bed);
-    match fault {
-        Fault::CrashOne => sim.crash_forever(bed.replicas[1]),
-        Fault::ByzantineRepliesOne => {
-            crate::setup::set_byzantine(&mut sim, &bed, 3, base::ByzMode::CorruptReplies)
-        }
-        _ => {}
+impl NfsChaosHarness {
+    /// Creates a harness for `mix`.
+    pub fn new(mix: FsMix) -> Self {
+        Self { mix, with_latent_bug: false, pace: SimDuration::from_millis(300), bed: None }
     }
 
-    let finished = run_relay_to_completion::<ScriptDriver>(
-        &mut sim,
-        bed.client,
-        SimDuration::from_secs(120),
-    );
-
-    let relay = sim.actor_as::<RelayActor<ScriptDriver>>(bed.client).unwrap();
-    let replies = &relay.driver().replies;
-    let mut wrong = 0u32;
-    for (i, r) in replies.iter().skip(write_ops).enumerate() {
-        let expected = payload(i as u32, with_trigger);
-        match r {
-            base_nfs::NfsReply::Data(d) if *d == expected => {}
-            _ => wrong += 1,
+    /// The schedule-generation config matching this harness.
+    pub fn gen_config(&self, events: usize, horizon: SimDuration) -> ScheduleGenConfig {
+        ScheduleGenConfig {
+            nodes: (0..4).map(NodeId).collect(),
+            max_impaired: 1,
+            horizon,
+            events,
+            app_faults: vec![
+                AppFaultSpec {
+                    tag: APP_BYZ,
+                    arg_max: 7,
+                    impairs: true,
+                    heal: Some(HealSpec { tag: APP_BYZ, after: SimDuration::from_secs(2) }),
+                },
+                AppFaultSpec {
+                    tag: APP_CORRUPT_STATE,
+                    arg_max: 1 << 32,
+                    impairs: true,
+                    heal: Some(HealSpec { tag: APP_RECOVER, after: SimDuration::from_secs(2) }),
+                },
+            ],
+            net_faults: true,
         }
     }
-    let unanswered = if finished { 0 } else { (total_ops - relay.stats.ops) as u32 };
-    Out { ops_done: relay.stats.ops, wrong_reads: wrong, unanswered }
+}
+
+impl ChaosHarness for NfsChaosHarness {
+    fn build(&mut self, seed: u64) -> Simulation {
+        let mut sim = Simulation::new(seed);
+        let bed = build_replicated_nfs_with(
+            &mut sim,
+            seed,
+            4,
+            self.mix,
+            ScriptDriver::new(script(self.with_latent_bug)),
+            |cfg| {
+                // Frequent checkpoints and fast reboots so state transfer
+                // and triggered recoveries complete within a run.
+                cfg.checkpoint_interval = 4;
+                cfg.log_window = 32;
+                cfg.reboot_time = SimDuration::from_millis(100);
+            },
+        );
+        set_recovery_clean_all(&mut sim, &bed, false);
+        set_relay_pace::<ScriptDriver>(&mut sim, bed.client, self.pace);
+        if self.with_latent_bug {
+            arm_inode_latent_bug(&mut sim, &bed);
+        }
+        self.bed = Some(bed);
+        sim
+    }
+
+    fn apply_app(
+        &mut self,
+        sim: &mut Simulation,
+        node: NodeId,
+        tag: u32,
+        arg: u64,
+        trace: &mut Vec<String>,
+    ) {
+        let bed = self.bed.as_ref().expect("run built");
+        let Some(i) = bed.replicas.iter().position(|&r| r == node) else {
+            trace.push(format!("app fault at node {} ignored (not a replica)", node.0));
+            return;
+        };
+        // The testbed moves `bed` around by value; clone the handle list we
+        // need so the helpers can borrow `sim` mutably.
+        let bed = bed.clone();
+        match tag {
+            APP_BYZ => {
+                let mode = base::ByzMode::from_code(arg);
+                crate::setup::set_byzantine(sim, &bed, i, mode);
+                trace.push(format!("replica {i} byzantine mode -> {mode:?}"));
+            }
+            APP_CORRUPT_STATE => {
+                corrupt_replica_state(sim, &bed, i, arg);
+                trace.push(format!("replica {i} concrete fs state corrupted"));
+            }
+            APP_RECOVER => {
+                trigger_replica_recovery(sim, &bed, i);
+                trace.push(format!("replica {i} proactive recovery triggered"));
+            }
+            _ => trace.push(format!("unknown app fault tag {tag} at replica {i}")),
+        }
+    }
+
+    fn settle(&self) -> SimDuration {
+        SimDuration::from_secs(30)
+    }
+
+    fn audit(&mut self, sim: &mut Simulation, trace: &mut Vec<String>) -> Result<(), String> {
+        let bed = self.bed.as_ref().expect("run built");
+        let relay = sim
+            .actor_as::<RelayActor<ScriptDriver>>(bed.client)
+            .ok_or_else(|| "relay actor missing".to_string())?;
+        if !relay.done() {
+            return Err(format!(
+                "liveness: workload stalled after {} of {} ops",
+                relay.stats.ops,
+                script(self.with_latent_bug).len()
+            ));
+        }
+        let replies = &relay.driver().replies;
+        let writes = 2 * FILES as usize;
+        for (i, r) in replies.iter().take(writes).enumerate() {
+            if !r.is_ok() {
+                return Err(format!("write phase: op {i} failed with {r:?}"));
+            }
+        }
+        for (i, r) in replies.iter().skip(writes).enumerate() {
+            let expected = payload(i as u32, self.with_latent_bug);
+            match r {
+                base_nfs::NfsReply::Data(d) if *d == expected => {}
+                other => {
+                    return Err(format!(
+                        "read-back: file f{i} returned {other:?}, expected the written \
+                         payload — the client accepted corrupt data"
+                    ));
+                }
+            }
+        }
+        trace.push("audit ok: workload finished, all reads match writes".into());
+        Ok(())
+    }
 }
 
 /// Runs E6 and prints the table.
 pub fn run_faultinj() {
     let mut t = Table::new(
-        "E6: fault injection — correct service under faults, by replica mix",
-        &["fault", "mix", "ops completed", "wrong reads", "unanswered"],
+        "E6: fault injection — chaos campaigns over the replicated NFS service",
+        &["mix", "latent bug", "runs", "events", "failed runs", "verdict"],
     );
     let cells = [
-        (Fault::None, FsMix::Heterogeneous, "4 distinct impls"),
-        (Fault::None, FsMix::HomogeneousInode, "4 x inode-fs"),
-        (Fault::CrashOne, FsMix::Heterogeneous, "4 distinct impls"),
-        (Fault::CrashOne, FsMix::HomogeneousInode, "4 x inode-fs"),
-        (Fault::ByzantineRepliesOne, FsMix::Heterogeneous, "4 distinct impls"),
-        (Fault::ByzantineRepliesOne, FsMix::HomogeneousInode, "4 x inode-fs"),
-        (Fault::DeterministicBug, FsMix::Heterogeneous, "4 distinct impls"),
-        (Fault::DeterministicBug, FsMix::HomogeneousInode, "4 x inode-fs"),
+        (FsMix::Heterogeneous, false, "4 distinct impls"),
+        (FsMix::HomogeneousInode, false, "4 x inode-fs"),
+        (FsMix::Heterogeneous, true, "4 distinct impls"),
+        (FsMix::HomogeneousInode, true, "4 x inode-fs"),
     ];
-    for (i, (fault, mix, mixname)) in cells.iter().enumerate() {
-        let o = run_cell(*mix, *fault, 6200 + i as u64);
+    let mut bug_failure = None;
+    for (mix, bug, mixname) in cells {
+        let mut h = NfsChaosHarness::new(mix);
+        h.with_latent_bug = bug;
+        let cfg = h.gen_config(5, SimDuration::from_secs(6));
+        let report = run_campaign(&mut h, &cfg, 6200..6206);
+        let verdict = if report.passed() {
+            "masked".to_string()
+        } else {
+            let min = report.failures.iter().map(|f| f.minimal.len()).min().unwrap_or(0);
+            format!("FAILS (min repro: {min} events)")
+        };
         t.row(&[
-            format!("{fault:?}"),
             mixname.to_string(),
-            o.ops_done.to_string(),
-            o.wrong_reads.to_string(),
-            o.unanswered.to_string(),
+            if bug { "armed".into() } else { "-".into() },
+            report.runs.to_string(),
+            report.events_executed.to_string(),
+            report.failures.len().to_string(),
+            verdict,
         ]);
+        if !report.passed() {
+            if bug {
+                if bug_failure.is_none() {
+                    bug_failure = report.failures.into_iter().next();
+                }
+            } else {
+                // A fault-free-service campaign must be masked; surface the
+                // reproduction rather than hiding it in a table cell.
+                println!("unexpected campaign failure:\n{}", report.failures[0]);
+            }
+        }
     }
     t.print();
+    if let Some(f) = bug_failure {
+        println!("\ndeterministic-bug reproduction (homogeneous mix):\n{f}");
+    }
     println!(
-        "\nshape: crash and Byzantine faults are masked in both mixes (f = 1). The \
-         deterministic implementation bug is the discriminator: homogeneous replicas all \
-         serve the same corrupt data — the client accepts wrong reads (common-mode \
-         failure) — while the heterogeneous group masks it completely (opportunistic \
-         N-version programming, paper §1)."
+        "\nshape: injected crash/partition/Byzantine/corruption faults within the f = 1 \
+         budget are masked in both mixes. The deterministic implementation bug is the \
+         discriminator: homogeneous replicas all corrupt the triggering write — the \
+         campaign fails and minimization strips every injected fault (the minimal \
+         schedule is empty: the bug is common-mode) — while the heterogeneous group \
+         masks it (opportunistic N-version programming, paper §1)."
     );
 }

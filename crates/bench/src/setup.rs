@@ -34,6 +34,7 @@ pub fn lan_config(sim: &mut Simulation) {
 }
 
 /// A built replicated-NFS testbed.
+#[derive(Clone)]
 pub struct NfsTestbed {
     /// Group configuration.
     pub cfg: Config,
@@ -77,10 +78,25 @@ pub fn build_replicated_nfs_n<D: NfsDriver>(
     mix: FsMix,
     driver: D,
 ) -> NfsTestbed {
+    build_replicated_nfs_with(sim, seed, n, mix, driver, |_| {})
+}
+
+/// Like [`build_replicated_nfs_n`] but lets the caller adjust the group
+/// configuration (chaos campaigns shorten the checkpoint interval and the
+/// reboot time so recoveries complete within a run).
+pub fn build_replicated_nfs_with<D: NfsDriver>(
+    sim: &mut Simulation,
+    seed: u64,
+    n: usize,
+    mix: FsMix,
+    driver: D,
+    tweak: impl FnOnce(&mut Config),
+) -> NfsTestbed {
     lan_config(sim);
     let mut cfg = Config::new(n);
     cfg.checkpoint_interval = 128; // The paper's k.
     cfg.log_window = 256;
+    tweak(&mut cfg);
     let dir = base_crypto::KeyDirectory::generate(n + 1, seed);
     let mut rng = StdRng::seed_from_u64(seed);
     let (base_cost, per_byte) = era_costs();
@@ -253,6 +269,78 @@ pub fn set_byzantine(sim: &mut Simulation, bed: &NfsTestbed, i: usize, mode: bas
         2 => sim.actor_as_mut::<LogReplica>(node).expect("log replica").set_byzantine(mode),
         _ => sim.actor_as_mut::<BtreeReplica>(node).expect("btree replica").set_byzantine(mode),
     }
+}
+
+/// Current Byzantine mode of replica `i`.
+pub fn byzantine_of(sim: &Simulation, bed: &NfsTestbed, i: usize) -> base::ByzMode {
+    let node = bed.replicas[i];
+    match impl_of(bed.mix, i) {
+        0 => sim.actor_as::<InodeReplica>(node).expect("inode replica").byzantine(),
+        1 => sim.actor_as::<FlatReplica>(node).expect("flat replica").byzantine(),
+        2 => sim.actor_as::<LogReplica>(node).expect("log replica").byzantine(),
+        _ => sim.actor_as::<BtreeReplica>(node).expect("btree replica").byzantine(),
+    }
+}
+
+/// Injects latent concrete-state corruption on replica `i` (the
+/// `Service::corrupt_state` hook), handling the mixed actor types.
+pub fn corrupt_replica_state(sim: &mut Simulation, bed: &NfsTestbed, i: usize, seed: u64) {
+    let node = bed.replicas[i];
+    match impl_of(bed.mix, i) {
+        0 => {
+            sim.actor_as_mut::<InodeReplica>(node).expect("inode replica").corrupt_service_state(seed)
+        }
+        1 => {
+            sim.actor_as_mut::<FlatReplica>(node).expect("flat replica").corrupt_service_state(seed)
+        }
+        2 => sim.actor_as_mut::<LogReplica>(node).expect("log replica").corrupt_service_state(seed),
+        _ => {
+            sim.actor_as_mut::<BtreeReplica>(node).expect("btree replica").corrupt_service_state(seed)
+        }
+    }
+}
+
+/// Triggers an immediate proactive recovery on replica `i`.
+pub fn trigger_replica_recovery(sim: &mut Simulation, bed: &NfsTestbed, i: usize) {
+    let node = bed.replicas[i];
+    match impl_of(bed.mix, i) {
+        0 => sim.actor_as_mut::<InodeReplica>(node).expect("inode replica").trigger_recovery(),
+        1 => sim.actor_as_mut::<FlatReplica>(node).expect("flat replica").trigger_recovery(),
+        2 => sim.actor_as_mut::<LogReplica>(node).expect("log replica").trigger_recovery(),
+        _ => sim.actor_as_mut::<BtreeReplica>(node).expect("btree replica").trigger_recovery(),
+    }
+}
+
+/// Selects clean vs warm (state-repairing) recovery reboots on every
+/// replica.
+pub fn set_recovery_clean_all(sim: &mut Simulation, bed: &NfsTestbed, clean: bool) {
+    for i in 0..bed.replicas.len() {
+        let node = bed.replicas[i];
+        match impl_of(bed.mix, i) {
+            0 => sim
+                .actor_as_mut::<InodeReplica>(node)
+                .expect("inode replica")
+                .set_recovery_clean(clean),
+            1 => sim
+                .actor_as_mut::<FlatReplica>(node)
+                .expect("flat replica")
+                .set_recovery_clean(clean),
+            2 => sim.actor_as_mut::<LogReplica>(node).expect("log replica").set_recovery_clean(clean),
+            _ => sim
+                .actor_as_mut::<BtreeReplica>(node)
+                .expect("btree replica")
+                .set_recovery_clean(clean),
+        }
+    }
+}
+
+/// Sets a paced submission gap on the relay at `client`.
+pub fn set_relay_pace<D: NfsDriver>(
+    sim: &mut Simulation,
+    client: NodeId,
+    gap: SimDuration,
+) {
+    sim.actor_as_mut::<RelayActor<D>>(client).expect("relay actor").set_pace(gap);
 }
 
 /// Runs the simulation until the relay's driver finishes (true) or the

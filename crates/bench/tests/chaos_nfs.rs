@@ -1,0 +1,62 @@
+//! Chaos campaign acceptance tests for the replicated NFS service: 20
+//! seeded runs with generated schedules (crashes, healing partitions,
+//! Byzantine flips, latent state corruption + proactive recovery) must all
+//! pass the client-view auditor on the heterogeneous testbed, and the
+//! deterministic common-mode bug must be caught on the homogeneous testbed
+//! and shrink to an *empty* schedule (no injected fault needed).
+
+use base_bench::experiments::faultinj::NfsChaosHarness;
+use base_bench::FsMix;
+use base_simnet::chaos::{minimize, run_campaign, run_one, FaultSchedule};
+use base_simnet::SimDuration;
+
+#[test]
+fn nfs_campaign_passes_auditor() {
+    let mut h = NfsChaosHarness::new(FsMix::Heterogeneous);
+    let cfg = h.gen_config(5, SimDuration::from_secs(6));
+    let report = run_campaign(&mut h, &cfg, 6200..6220);
+    assert_eq!(report.runs, 20);
+    assert!(report.events_executed > 0);
+    if let Some(f) = report.failures.first() {
+        panic!("nfs campaign failed:\n{f}");
+    }
+}
+
+#[test]
+fn common_mode_bug_fails_homogeneous_and_minimizes_to_empty() {
+    let mut h = NfsChaosHarness::new(FsMix::HomogeneousInode);
+    h.with_latent_bug = true;
+    let schedule = FaultSchedule::new();
+    let (outcome, verdict) = run_one(&mut h, 1, &schedule);
+    assert!(
+        verdict.is_err(),
+        "homogeneous group must serve the commonly corrupted data; trace:\n{}",
+        outcome.trace.join("\n")
+    );
+
+    // With decoy faults scheduled, minimization strips them all: the
+    // failure needs no injected fault — the bug is in the service.
+    let cfg = h.gen_config(4, SimDuration::from_secs(6));
+    let decoys = base_simnet::chaos::generate_schedule(&cfg, 77);
+    let (_, v) = run_one(&mut h, 77, &decoys);
+    assert!(v.is_err());
+    let minimal = minimize(&mut h, 77, &decoys);
+    assert!(
+        minimal.is_empty(),
+        "common-mode bug needs no injected fault; got:\n{}",
+        minimal.describe()
+    );
+}
+
+#[test]
+fn heterogeneous_masks_the_deterministic_bug() {
+    let mut h = NfsChaosHarness::new(FsMix::Heterogeneous);
+    h.with_latent_bug = true;
+    let (outcome, verdict) = run_one(&mut h, 1, &FaultSchedule::new());
+    assert_eq!(
+        verdict,
+        Ok(()),
+        "one InodeFs replica cannot outvote three clean ones; trace:\n{}",
+        outcome.trace.join("\n")
+    );
+}

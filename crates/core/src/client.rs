@@ -15,6 +15,7 @@ const TOKEN_PUMP: u64 = (1 << 63) | 1;
 /// relay), use [`base_pbft::ClientCore`] directly.
 pub struct BaseClient {
     core: ClientCore,
+    pace: SimDuration,
     /// Completed operations as `(invocation id, result)` pairs, in order.
     pub completed: Vec<(u64, Vec<u8>)>,
 }
@@ -22,7 +23,19 @@ pub struct BaseClient {
 impl BaseClient {
     /// Creates a client. Its node id (from `keys`) must be `>= n`.
     pub fn new(cfg: Config, keys: NodeKeys) -> Self {
-        Self { core: ClientCore::new(cfg, keys), completed: Vec::new() }
+        Self {
+            core: ClientCore::new(cfg, keys),
+            pace: SimDuration::from_millis(1),
+            completed: Vec::new(),
+        }
+    }
+
+    /// Spaces submissions at least `gap` apart instead of firing the next
+    /// queued operation the moment one completes (chaos campaigns use this
+    /// to spread the workload across a fault schedule).
+    pub fn set_pace(&mut self, gap: SimDuration) {
+        self.pace = gap;
+        self.core.auto_pump = false;
     }
 
     /// Invokes an operation on the replicated service (paper Figure 1:
@@ -51,7 +64,7 @@ impl BaseClient {
 impl Actor for BaseClient {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         self.core.pump(ctx);
-        ctx.set_timer(SimDuration::from_millis(1), TOKEN_PUMP);
+        ctx.set_timer(self.pace, TOKEN_PUMP);
     }
 
     fn on_message(&mut self, from: NodeId, payload: &[u8], ctx: &mut Context<'_>) {
@@ -65,7 +78,7 @@ impl Actor for BaseClient {
     fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
         if token == TOKEN_PUMP {
             self.core.pump(ctx);
-            ctx.set_timer(SimDuration::from_millis(1), TOKEN_PUMP);
+            ctx.set_timer(self.pace, TOKEN_PUMP);
             return;
         }
         self.core.on_timer(token, ctx);

@@ -324,6 +324,19 @@ impl Wrapper for KvWrapper {
         self.kv.reset();
         self.abs_mtimes.clear();
     }
+
+    fn corrupt_state(&mut self, seed: u64) {
+        // Mangle one stored value, chosen deterministically from the seed.
+        // The slot digest in the abstraction layer stays stale until the
+        // next warm-reboot rescan.
+        let mut keys: Vec<String> = self.kv.keys().map(str::to_owned).collect();
+        keys.sort();
+        if keys.is_empty() {
+            return;
+        }
+        let victim = keys[(seed % keys.len() as u64) as usize].clone();
+        self.kv.corrupt(&victim);
+    }
 }
 
 #[cfg(test)]

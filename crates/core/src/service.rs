@@ -239,4 +239,11 @@ impl<W: Wrapper> Service for BaseService<W> {
             }
         }
     }
+
+    fn corrupt_state(&mut self, seed: u64) {
+        // Straight through to the implementation: the abstraction layer is
+        // deliberately not told, so the digests in `tree` stay stale until
+        // a warm reboot's rescan (above) re-derives them.
+        self.wrapper.corrupt_state(seed);
+    }
 }

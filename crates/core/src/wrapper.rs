@@ -153,6 +153,15 @@ pub trait Wrapper: 'static {
     fn rebuild_rep(&mut self, env: &mut ExecEnv<'_>) {
         let _ = env;
     }
+
+    /// Fault-injection hook: silently corrupts some concrete state derived
+    /// from `seed`, *without* telling the abstraction layer (no `ModifyLog`
+    /// entry). The damage stays latent until a warm reboot's abstraction
+    /// rescan re-derives the abstract objects, at which point state
+    /// transfer repairs them. The default is a no-op.
+    fn corrupt_state(&mut self, seed: u64) {
+        let _ = seed;
+    }
 }
 
 #[cfg(test)]

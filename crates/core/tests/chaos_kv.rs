@@ -1,0 +1,282 @@
+//! Chaos campaign over the BASE-replicated demo key-value store: seeded
+//! runs composing crashes, healing partitions, Byzantine flips and latent
+//! concrete-state corruption, audited for result correctness, replica
+//! agreement and liveness. Also demonstrates end-to-end that proactive
+//! recovery repairs corrupted concrete state through the abstraction.
+
+use base::demo::{KvWrapper, TinyKv};
+use base::{BaseClient, BaseReplica, BaseService, ByzMode, Config};
+use base_pbft::chaos::{APP_BYZ, APP_CORRUPT_STATE, APP_RECOVER};
+use base_simnet::chaos::{run_campaign, run_one, ChaosHarness, FaultSchedule, ScheduleGenConfig};
+use base_simnet::{NodeId, SimDuration, SimTime, Simulation};
+use std::collections::{HashMap, HashSet};
+
+type Replica = BaseReplica<KvWrapper>;
+
+/// Campaign harness for the replicated KV service. Each client owns a
+/// disjoint key space and writes each of its keys exactly once, then reads
+/// some back, so the expected final store contents and every read result
+/// are known exactly.
+struct KvChaosHarness {
+    n: usize,
+    clients: usize,
+    ops_per_client: usize,
+    pace: SimDuration,
+    client_nodes: Vec<NodeId>,
+    replica_nodes: Vec<NodeId>,
+    /// (client index, ts) → expected result bytes.
+    expected: HashMap<(usize, u64), Vec<u8>>,
+    /// key → final value the converged store must hold.
+    final_kv: HashMap<String, Vec<u8>>,
+    tainted: HashSet<NodeId>,
+}
+
+impl KvChaosHarness {
+    fn new(n: usize) -> Self {
+        Self {
+            n,
+            clients: 2,
+            ops_per_client: 12,
+            pace: SimDuration::from_millis(250),
+            client_nodes: Vec::new(),
+            replica_nodes: Vec::new(),
+            expected: HashMap::new(),
+            final_kv: HashMap::new(),
+            tainted: HashSet::new(),
+        }
+    }
+
+    fn config(&self) -> Config {
+        let mut cfg = Config::new(self.n);
+        cfg.checkpoint_interval = 4;
+        cfg.log_window = 32;
+        cfg.reboot_time = SimDuration::from_millis(100);
+        cfg
+    }
+
+    fn gen_config(&self, events: usize, horizon: SimDuration) -> ScheduleGenConfig {
+        use base_simnet::chaos::{AppFaultSpec, HealSpec};
+        ScheduleGenConfig {
+            nodes: (0..self.n).map(NodeId).collect(),
+            max_impaired: self.config().f(),
+            horizon,
+            events,
+            app_faults: vec![
+                AppFaultSpec {
+                    tag: APP_BYZ,
+                    arg_max: 7,
+                    impairs: true,
+                    heal: Some(HealSpec { tag: APP_BYZ, after: SimDuration::from_secs(2) }),
+                },
+                AppFaultSpec {
+                    tag: APP_CORRUPT_STATE,
+                    arg_max: 1 << 32,
+                    impairs: true,
+                    heal: Some(HealSpec { tag: APP_RECOVER, after: SimDuration::from_secs(2) }),
+                },
+            ],
+            net_faults: true,
+        }
+    }
+
+    fn clean_replicas<'a>(&self, sim: &'a Simulation) -> Vec<&'a Replica> {
+        self.replica_nodes
+            .iter()
+            .filter(|r| !self.tainted.contains(r))
+            .filter_map(|&r| sim.actor_as::<Replica>(r))
+            .filter(|r| r.byzantine() == ByzMode::Honest)
+            .collect()
+    }
+}
+
+impl ChaosHarness for KvChaosHarness {
+    fn build(&mut self, seed: u64) -> Simulation {
+        self.expected.clear();
+        self.final_kv.clear();
+        self.tainted.clear();
+
+        let cfg = self.config();
+        let mut sim = Simulation::new(seed);
+        let dir = base_crypto::KeyDirectory::generate(self.n + self.clients, seed);
+        self.replica_nodes = (0..self.n)
+            .map(|i| {
+                let keys = base_crypto::NodeKeys::new(dir.clone(), i);
+                let service = BaseService::new(KvWrapper::new(TinyKv::default()));
+                let node = sim.add_node(Box::new(Replica::new(cfg.clone(), keys, service)));
+                sim.actor_as_mut::<Replica>(node).expect("replica").set_recovery_clean(false);
+                node
+            })
+            .collect();
+
+        self.client_nodes = (0..self.clients)
+            .map(|i| {
+                let keys = base_crypto::NodeKeys::new(dir.clone(), self.n + i);
+                sim.add_node(Box::new(BaseClient::new(cfg.clone(), keys)))
+            })
+            .collect();
+
+        for (i, &c) in self.client_nodes.clone().iter().enumerate() {
+            let client = sim.actor_as_mut::<BaseClient>(c).expect("client");
+            client.set_pace(self.pace);
+            for j in 0..self.ops_per_client {
+                let ts = (j + 1) as u64;
+                if j % 4 == 3 {
+                    // Read back a key this client wrote two ops ago; the
+                    // write completed before this was submitted, so the
+                    // read must observe it.
+                    let key = format!("c{i}k{}", j - 2);
+                    let value = self.final_kv[&key].clone();
+                    client.invoke(format!("get {key}").into_bytes(), true);
+                    self.expected.insert((i, ts), value);
+                } else {
+                    let key = format!("c{i}k{j}");
+                    let value = format!("v{i}-{j}");
+                    client.invoke(format!("put {key} {value}").into_bytes(), false);
+                    self.expected.insert((i, ts), b"ok".to_vec());
+                    self.final_kv.insert(key, value.into_bytes());
+                }
+            }
+        }
+        sim
+    }
+
+    fn apply_app(
+        &mut self,
+        sim: &mut Simulation,
+        node: NodeId,
+        tag: u32,
+        arg: u64,
+        trace: &mut Vec<String>,
+    ) {
+        let Some(replica) = sim.actor_as_mut::<Replica>(node) else {
+            trace.push(format!("app fault at node {} ignored (not a replica)", node.0));
+            return;
+        };
+        match tag {
+            APP_BYZ => {
+                let mode = ByzMode::from_code(arg);
+                replica.set_byzantine(mode);
+                if mode.is_faulty() {
+                    self.tainted.insert(node);
+                }
+                trace.push(format!("node {} byzantine mode -> {mode:?}", node.0));
+            }
+            APP_CORRUPT_STATE => {
+                replica.corrupt_service_state(arg);
+                self.tainted.insert(node);
+                trace.push(format!("node {} concrete kv state corrupted", node.0));
+            }
+            APP_RECOVER => {
+                replica.trigger_recovery();
+                trace.push(format!("node {} proactive recovery triggered", node.0));
+            }
+            _ => trace.push(format!("unknown app fault tag {tag} at node {}", node.0)),
+        }
+    }
+
+    fn settle(&self) -> SimDuration {
+        SimDuration::from_secs(30)
+    }
+
+    fn audit(&mut self, sim: &mut Simulation, trace: &mut Vec<String>) -> Result<(), String> {
+        // Liveness + exact result check (single writer per key, reads
+        // submitted after their write completed).
+        for (i, &c) in self.client_nodes.iter().enumerate() {
+            let client = sim.actor_as::<BaseClient>(c).expect("client");
+            if client.completed.len() != self.ops_per_client {
+                return Err(format!(
+                    "liveness: client {i} completed {}/{} ops",
+                    client.completed.len(),
+                    self.ops_per_client
+                ));
+            }
+            for (ts, result) in &client.completed {
+                let want = &self.expected[&(i, *ts)];
+                if result != want {
+                    return Err(format!(
+                        "wrong result: client {i} ts={ts} got {:?}, want {:?}",
+                        String::from_utf8_lossy(result),
+                        String::from_utf8_lossy(want)
+                    ));
+                }
+            }
+        }
+
+        // Replica agreement: every clean replica that reached the final
+        // stable checkpoint must hold exactly the expected store contents
+        // (the abstract state fully determines them).
+        let clean = self.clean_replicas(sim);
+        if clean.is_empty() {
+            return Err("no clean replicas left to audit".into());
+        }
+        let max_stable = clean.iter().map(|r| r.stable_seq()).max().unwrap_or(0);
+        let mut converged = 0usize;
+        for r in &clean {
+            if r.stable_seq() != max_stable {
+                continue;
+            }
+            converged += 1;
+            let kv = r.service().wrapper();
+            for (key, want) in &self.final_kv {
+                match kv.kv().get(key) {
+                    Some(v) if v == want.as_slice() => {}
+                    other => {
+                        return Err(format!(
+                            "state divergence: clean replica holds {:?} for {key}, want {:?}",
+                            other.map(String::from_utf8_lossy),
+                            String::from_utf8_lossy(want)
+                        ));
+                    }
+                }
+            }
+        }
+        if converged == 0 {
+            return Err("no clean replica reached the final stable checkpoint".into());
+        }
+        trace.push(format!("audit ok: {converged}/{} clean replicas converged", clean.len()));
+        Ok(())
+    }
+}
+
+#[test]
+fn kv_campaign_passes_auditor() {
+    let mut h = KvChaosHarness::new(4);
+    let cfg = h.gen_config(5, SimDuration::from_secs(8));
+    let report = run_campaign(&mut h, &cfg, 100..120);
+    assert_eq!(report.runs, 20);
+    assert!(report.events_executed > 0);
+    if let Some(f) = report.failures.first() {
+        panic!("kv campaign failed:\n{f}");
+    }
+}
+
+#[test]
+fn recovery_repairs_corrupted_kv_through_abstraction() {
+    let mut h = KvChaosHarness::new(4);
+    let mut schedule = FaultSchedule::new();
+    schedule
+        .app(SimTime::from_millis(1500), NodeId(2), APP_CORRUPT_STATE, 3)
+        .app(SimTime::from_millis(2500), NodeId(2), APP_RECOVER, 0);
+    let (outcome, verdict) = run_one(&mut h, 9, &schedule);
+    assert_eq!(verdict, Ok(()), "trace:\n{}", outcome.trace.join("\n"));
+
+    // Replay and inspect the repaired replica directly: despite being
+    // corrupted mid-run, after recovery its store must match the expected
+    // final contents exactly (state transfer repaired the damaged slot).
+    let mut sim = h.build(9);
+    sim.run_until(SimTime::from_millis(1500));
+    sim.actor_as_mut::<Replica>(NodeId(2)).unwrap().corrupt_service_state(3);
+    sim.run_until(SimTime::from_millis(2500));
+    sim.actor_as_mut::<Replica>(NodeId(2)).unwrap().trigger_recovery();
+    sim.run_until(SimTime::from_secs(40));
+    let replica = sim.actor_as::<Replica>(NodeId(2)).unwrap();
+    assert_eq!(replica.byzantine(), ByzMode::Honest, "repair must clear CorruptState");
+    let kv = replica.service().wrapper();
+    for (key, want) in &h.final_kv {
+        assert_eq!(
+            kv.kv().get(key),
+            Some(want.as_slice()),
+            "recovered replica must hold the repaired value for {key}"
+        );
+    }
+}

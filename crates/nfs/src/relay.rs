@@ -45,12 +45,18 @@ pub struct RunStats {
     pub completed_at_ns: Vec<u64>,
 }
 
+/// Timer token for the relay's paced-submission delay (the embedded
+/// [`ClientCore`] owns `1 << 63`; `(1 << 63) | 1` is the client pump).
+const TOKEN_RELAY_PACE: u64 = (1 << 63) | 2;
+
 /// The relay: drives an [`NfsDriver`] through the replication protocol.
 pub struct RelayActor<D: NfsDriver> {
     core: ClientCore,
     driver: D,
     inflight: Option<NfsOp>,
     sent_at_ns: u64,
+    pace: Option<SimDuration>,
+    paused: Option<(NfsOp, NfsReply)>,
     /// Progress counters.
     pub stats: RunStats,
 }
@@ -63,8 +69,17 @@ impl<D: NfsDriver> RelayActor<D> {
             driver,
             inflight: None,
             sent_at_ns: 0,
+            pace: None,
+            paused: None,
             stats: RunStats::default(),
         }
+    }
+
+    /// Spaces submissions at least `gap` apart instead of firing the next
+    /// operation the moment one completes (chaos campaigns use this to
+    /// stretch the workload across a fault schedule).
+    pub fn set_pace(&mut self, gap: SimDuration) {
+        self.pace = Some(gap);
     }
 
     /// True once the driver is exhausted and nothing is in flight.
@@ -113,11 +128,23 @@ impl<D: NfsDriver> Actor for RelayActor<D> {
             if !reply.is_ok() {
                 self.stats.errors += 1;
             }
-            self.advance(Some((&op, &reply)), ctx);
+            match self.pace {
+                Some(gap) => {
+                    self.paused = Some((op, reply));
+                    ctx.set_timer(gap, TOKEN_RELAY_PACE);
+                }
+                None => self.advance(Some((&op, &reply)), ctx),
+            }
         }
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        if token == TOKEN_RELAY_PACE {
+            if let Some((op, reply)) = self.paused.take() {
+                self.advance(Some((&op, &reply)), ctx);
+            }
+            return;
+        }
         self.core.on_timer(token, ctx);
     }
 }

@@ -723,6 +723,27 @@ impl<S: NfsServer> Wrapper for NfsWrapper<S> {
     fn last_nondet_ns(&self) -> u64 {
         self.last_nondet
     }
+
+    fn corrupt_state(&mut self, seed: u64) {
+        // Corrupt one live object's concrete representation, chosen
+        // deterministically from the seed. The rep and the abstract digests
+        // are left untouched, so the damage stays latent until a warm
+        // reboot's abstraction rescan.
+        let candidates: Vec<u32> = (1..self.capacity as u32)
+            .filter(|&i| self.entries[i as usize].fh.is_some())
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        for off in 0..candidates.len() {
+            let idx = candidates[(seed as usize + off) % candidates.len()];
+            if let Some(fh) = self.server_fh_of(idx) {
+                if self.server.inject_corruption(&fh) {
+                    return;
+                }
+            }
+        }
+    }
 }
 
 /// The inverse abstraction function (paper §3.3), split into its own

@@ -27,12 +27,47 @@ pub enum ByzMode {
     /// As primary, proposes wildly wrong non-deterministic timestamps
     /// (backups must reject them and depose the primary).
     BadTimestamps,
+    /// Concrete-state corruption (the BASE scenario): the replica's
+    /// service state is silently flipped without updating abstraction
+    /// digests, so the fault is latent until proactive recovery recomputes
+    /// digests and state transfer repairs the damaged objects. The replica
+    /// otherwise follows the protocol, but executes on wrong state.
+    CorruptState,
 }
 
 impl ByzMode {
     /// True for any non-honest mode.
     pub fn is_faulty(&self) -> bool {
         !matches!(self, ByzMode::Honest)
+    }
+
+    /// Stable numeric code, used by chaos schedules to name a mode in a
+    /// serialized fault event.
+    pub fn code(&self) -> u64 {
+        match self {
+            ByzMode::Honest => 0,
+            ByzMode::Mute => 1,
+            ByzMode::CorruptReplies => 2,
+            ByzMode::EquivocatePrimary => 3,
+            ByzMode::CorruptCheckpoints => 4,
+            ByzMode::WithholdCommits => 5,
+            ByzMode::BadTimestamps => 6,
+            ByzMode::CorruptState => 7,
+        }
+    }
+
+    /// Inverse of [`ByzMode::code`]; unknown codes map to `Honest`.
+    pub fn from_code(code: u64) -> ByzMode {
+        match code {
+            1 => ByzMode::Mute,
+            2 => ByzMode::CorruptReplies,
+            3 => ByzMode::EquivocatePrimary,
+            4 => ByzMode::CorruptCheckpoints,
+            5 => ByzMode::WithholdCommits,
+            6 => ByzMode::BadTimestamps,
+            7 => ByzMode::CorruptState,
+            _ => ByzMode::Honest,
+        }
     }
 }
 
@@ -45,5 +80,14 @@ mod tests {
         assert!(!ByzMode::Honest.is_faulty());
         assert!(ByzMode::Mute.is_faulty());
         assert!(ByzMode::CorruptReplies.is_faulty());
+        assert!(ByzMode::CorruptState.is_faulty());
+    }
+
+    #[test]
+    fn code_roundtrip() {
+        for code in 0..8 {
+            assert_eq!(ByzMode::from_code(code).code(), code);
+        }
+        assert_eq!(ByzMode::from_code(999), ByzMode::Honest);
     }
 }

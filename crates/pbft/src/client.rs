@@ -60,6 +60,18 @@ pub struct ClientCore {
     pub latencies_ns: Vec<u64>,
     /// Number of retransmissions performed.
     pub retransmissions: u64,
+    /// Read-only operations that fell back to the full quorum path.
+    pub ro_degradations: u64,
+    /// **Fault injection (tests only):** accept the first full reply
+    /// without waiting for a quorum. This deliberately breaks the client's
+    /// safety — a single Byzantine replica can then feed it a fabricated
+    /// result — and exists so chaos-campaign auditors can demonstrate they
+    /// catch reply-certificate violations. Never enable outside tests.
+    pub bug_accept_first_reply: bool,
+    /// When false, a completed operation does not immediately pump the next
+    /// queued one; the embedding actor paces submissions itself (see
+    /// [`ClientActor::set_pace`]).
+    pub auto_pump: bool,
 }
 
 impl ClientCore {
@@ -79,6 +91,9 @@ impl ClientCore {
             queue: VecDeque::new(),
             latencies_ns: Vec::new(),
             retransmissions: 0,
+            ro_degradations: 0,
+            bug_accept_first_reply: false,
+            auto_pump: true,
         }
     }
 
@@ -213,7 +228,8 @@ impl ClientCore {
             d
         };
         pending.votes.entry(digest.clone()).or_default().insert(reply.replica);
-        let enough_votes = pending.votes[&digest].len() >= needed;
+        let enough_votes =
+            pending.votes[&digest].len() >= needed || self.bug_accept_first_reply;
         let Some(result) = pending.full.get(&digest).cloned() else {
             // Votes may be complete, but we still need the full body from
             // the designated replica (retransmission rotates it if the
@@ -231,7 +247,9 @@ impl ClientCore {
         }
         self.latencies_ns
             .push(ctx.now().as_nanos().saturating_sub(done.submitted_at_ns));
-        self.pump(ctx);
+        if self.auto_pump {
+            self.pump(ctx);
+        }
         Some(ClientEvent::Completed { timestamp: done.ts, result })
     }
 
@@ -246,26 +264,38 @@ impl ClientCore {
         pending.timer = None;
         self.retransmissions += 1;
 
-        // Read-only fallback: after two failed attempts, reissue the same
-        // operation through the full protocol.
+        // Read-only fallback: reissue through the full quorum protocol
+        // after two failed attempts, or immediately when the immediate
+        // replies already conflict — under a partition (or with Byzantine
+        // repliers) the 2f+1 matching immediate replies may never arrive,
+        // and waiting out another fast-path round trip cannot help.
         let (ts, op, read_only, attempts) =
             (pending.ts, pending.op.clone(), pending.read_only, pending.attempts);
-        let effective_ro = read_only && attempts < 2;
+        let conflicted = pending.votes.len() > 1;
+        let effective_ro = read_only && attempts < 2 && !conflicted;
         if read_only && !effective_ro {
             pending.read_only = false;
             pending.votes.clear();
             pending.full.clear();
+            self.ro_degradations += 1;
         }
         let req = self.build_request(ts, op, effective_ro, attempts, ctx);
         // Retransmissions are broadcast so backups can nudge the primary
         // (or trigger a view change if it is faulty).
         self.broadcast(&req, ctx);
 
+        // Exponential backoff with jitter: up to a quarter of the base
+        // backoff of extra delay, so the retry storms of many clients
+        // recovering from one partition do not synchronize.
         let backoff = self
             .cfg
             .client_timeout
             .saturating_mul(1 << (self.pending.as_ref().map(|p| p.attempts).unwrap_or(1)).min(6));
-        let timer = ctx.set_timer(backoff, TOKEN_CLIENT_RETRANS);
+        let jitter = SimDuration::from_nanos(rand::Rng::gen_range(
+            ctx.rng(),
+            0..=backoff.as_nanos() / 4,
+        ));
+        let timer = ctx.set_timer(backoff + jitter, TOKEN_CLIENT_RETRANS);
         if let Some(p) = self.pending.as_mut() {
             p.timer = Some(timer);
         }
@@ -277,6 +307,7 @@ impl ClientCore {
 /// run the simulation, then read `completed`.
 pub struct ClientActor {
     core: ClientCore,
+    pace: SimDuration,
     /// Completed operations as (timestamp, result) pairs, in order.
     pub completed: Vec<(u64, Vec<u8>)>,
 }
@@ -284,7 +315,19 @@ pub struct ClientActor {
 impl ClientActor {
     /// Creates a client actor.
     pub fn new(cfg: Config, keys: NodeKeys) -> Self {
-        Self { core: ClientCore::new(cfg, keys), completed: Vec::new() }
+        Self {
+            core: ClientCore::new(cfg, keys),
+            pace: SimDuration::from_millis(1),
+            completed: Vec::new(),
+        }
+    }
+
+    /// Spaces submissions at least `gap` apart instead of firing the next
+    /// queued operation the moment one completes (chaos campaigns use this
+    /// to spread the workload across the fault schedule).
+    pub fn set_pace(&mut self, gap: SimDuration) {
+        self.pace = gap;
+        self.core.auto_pump = false;
     }
 
     /// Queues an operation; it is picked up by the pump timer.
@@ -311,7 +354,7 @@ impl ClientActor {
 impl Actor for ClientActor {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         self.core.pump(ctx);
-        ctx.set_timer(SimDuration::from_millis(1), TOKEN_PUMP);
+        ctx.set_timer(self.pace, TOKEN_PUMP);
     }
 
     fn on_message(&mut self, from: NodeId, payload: &[u8], ctx: &mut Context<'_>) {
@@ -325,7 +368,7 @@ impl Actor for ClientActor {
     fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
         if token == TOKEN_PUMP {
             self.core.pump(ctx);
-            ctx.set_timer(SimDuration::from_millis(1), TOKEN_PUMP);
+            ctx.set_timer(self.pace, TOKEN_PUMP);
             return;
         }
         self.core.on_timer(token, ctx);

@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod byzantine;
+pub mod chaos;
 pub mod client;
 pub mod config;
 pub mod cost;

@@ -106,6 +106,10 @@ pub struct Replica<S: Service> {
     fetcher: Option<Fetcher>,
     recovering: bool,
     recovery_clean: bool,
+    /// Set by [`Replica::trigger_recovery`]; the next tick runs the
+    /// proactive-recovery watchdog immediately instead of waiting for the
+    /// scheduled rotation.
+    recover_asap: bool,
     recovery_started_at_ns: u64,
     /// Duration of the last completed recovery, for experiments.
     pub last_recovery_ns: u64,
@@ -155,6 +159,7 @@ impl<S: Service> Replica<S> {
             fetcher: None,
             recovering: false,
             recovery_clean: true,
+            recover_asap: false,
             recovery_started_at_ns: 0,
             last_recovery_ns: 0,
             last_exec_at_tick: 0,
@@ -164,8 +169,37 @@ impl<S: Service> Replica<S> {
     }
 
     /// Configures Byzantine behaviour (fault injection).
+    ///
+    /// [`ByzMode::CorruptState`] takes effect immediately: the service's
+    /// concrete state is flipped once (latent corruption) and the replica
+    /// then continues to follow the protocol on the damaged state.
     pub fn set_byzantine(&mut self, mode: ByzMode) {
         self.byz = mode;
+        if matches!(mode, ByzMode::CorruptState) {
+            self.service.corrupt_state(0x5eed_0000 | self.id as u64);
+        }
+    }
+
+    /// Currently configured Byzantine mode (audit harnesses use this to
+    /// decide which replicas count as honest).
+    pub fn byzantine(&self) -> ByzMode {
+        self.byz
+    }
+
+    /// Injects a concrete-state corruption derived from `seed` (see
+    /// [`Service::corrupt_state`]) and marks the replica
+    /// [`ByzMode::CorruptState`].
+    pub fn corrupt_service_state(&mut self, seed: u64) {
+        self.byz = ByzMode::CorruptState;
+        self.service.corrupt_state(seed);
+    }
+
+    /// Requests an immediate proactive recovery: the next tick runs the
+    /// same reboot-refresh-repair path as the periodic watchdog. Chaos
+    /// campaigns use this to demonstrate that recovery repairs injected
+    /// state corruption without waiting for the rotation schedule.
+    pub fn trigger_recovery(&mut self) {
+        self.recover_asap = true;
     }
 
     /// Selects clean (paper §3.4) or warm proactive-recovery reboots.
@@ -196,6 +230,36 @@ impl<S: Service> Replica<S> {
     /// True while a state transfer is in progress.
     pub fn fetching(&self) -> bool {
         self.fetcher.is_some()
+    }
+
+    /// True while a proactive recovery is still repairing state.
+    pub fn recovering(&self) -> bool {
+        self.recovering
+    }
+
+    /// Composite digest of the locally retained checkpoint at `seq`, if
+    /// still stored. Safety auditors compare these across honest replicas:
+    /// two honest replicas disagreeing at the same stable sequence number
+    /// is a checkpoint fork.
+    pub fn checkpoint_digest(&self, seq: u64) -> Option<Digest> {
+        self.ckpt_meta.get(&seq).map(|m| m.composite)
+    }
+
+    /// All locally retained checkpoint digests, oldest first.
+    pub fn checkpoint_digests(&self) -> Vec<(u64, Digest)> {
+        self.ckpt_meta.iter().map(|(s, m)| (*s, m.composite)).collect()
+    }
+
+    /// Digest proven by the current stable-checkpoint certificate.
+    pub fn stable_digest(&self) -> Option<Digest> {
+        self.stable_cert.first().map(|c| c.digest)
+    }
+
+    /// The cached reply for `client`'s request at `timestamp`, if this
+    /// replica still remembers it. Auditors use this to cross-check reply
+    /// certificates against replica execution.
+    pub fn cached_reply(&self, client: u32, timestamp: u64) -> Option<&[u8]> {
+        self.reply_cache.cached_result(client, timestamp)
     }
 
     /// Read access to the service, for test inspection.
@@ -825,6 +889,11 @@ impl<S: Service> Replica<S> {
             self.stats.recoveries += 1;
             self.last_recovery_ns =
                 ctx.now().as_nanos().saturating_sub(self.recovery_started_at_ns);
+            // State transfer has replaced any corrupted objects: a replica
+            // whose only fault was damaged state is correct again.
+            if matches!(self.byz, ByzMode::CorruptState) {
+                self.byz = ByzMode::Honest;
+            }
         }
 
         // Re-execute any committed batches beyond the checkpoint.
@@ -1258,6 +1327,13 @@ impl<S: Service> Replica<S> {
     // ------------------------------------------------------------------
 
     fn on_tick(&mut self, ctx: &mut Context<'_>) {
+        // An explicitly requested recovery runs now, out of rotation.
+        if self.recover_asap {
+            self.recover_asap = false;
+            // Not a scheduled rotation: do not re-arm the periodic timer.
+            self.on_watchdog(ctx, false);
+        }
+
         // Retransmit only if no execution progress since the last tick.
         let progressed = self.last_exec != self.last_exec_at_tick;
         self.last_exec_at_tick = self.last_exec;
@@ -1394,8 +1470,10 @@ impl<S: Service> Replica<S> {
         }
     }
 
-    /// Proactive recovery: watchdog fired.
-    fn on_watchdog(&mut self, ctx: &mut Context<'_>) {
+    /// Proactive recovery: watchdog fired (or an explicit
+    /// [`Replica::trigger_recovery`] request; only the periodic rotation
+    /// re-arms its timer).
+    fn on_watchdog(&mut self, ctx: &mut Context<'_>, rearm: bool) {
         // Reboot: the node is busy (down) for the reboot time.
         ctx.charge(self.cfg.reboot_time);
         self.keys.refresh();
@@ -1437,8 +1515,10 @@ impl<S: Service> Replica<S> {
         }
 
         // Re-arm for the next rotation.
-        if let Some(period) = self.cfg.recovery_period {
-            ctx.set_timer(period, TOKEN_WATCHDOG);
+        if rearm {
+            if let Some(period) = self.cfg.recovery_period {
+                ctx.set_timer(period, TOKEN_WATCHDOG);
+            }
         }
     }
 }
@@ -1566,7 +1646,7 @@ impl<S: Service> Actor for Replica<S> {
                 let target = self.view + 1;
                 self.move_to_view(target, ctx);
             }
-            TOKEN_WATCHDOG => self.on_watchdog(ctx),
+            TOKEN_WATCHDOG => self.on_watchdog(ctx, true),
             _ => {}
         }
     }

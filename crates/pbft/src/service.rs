@@ -119,4 +119,17 @@ pub trait Service: 'static {
     fn reboot(&mut self, clean: bool, env: &mut ExecEnv<'_>) {
         let _ = (clean, env);
     }
+
+    /// Fault-injection hook ([`ByzMode::CorruptState`]): silently flips
+    /// some concrete state derived from `seed` *without* refreshing the
+    /// digests in [`Service::current_tree`]. The corruption is latent — it
+    /// must only surface when digests are recomputed (e.g. by
+    /// [`Service::prepare_for_transfer`] during proactive recovery), at
+    /// which point state transfer repairs the damaged objects. The default
+    /// is a no-op for services with no corruptible representation.
+    ///
+    /// [`ByzMode::CorruptState`]: crate::byzantine::ByzMode::CorruptState
+    fn corrupt_state(&mut self, seed: u64) {
+        let _ = seed;
+    }
 }

@@ -62,6 +62,19 @@ impl CounterService {
         };
         self.tree.set_leaf(reg as u64, digest);
     }
+
+    /// Recomputes every leaf digest from the concrete register values.
+    /// This is where latent corruption (from [`Service::corrupt_state`] or
+    /// [`CounterService::corrupt_register`]) surfaces as a digest mismatch
+    /// that state transfer can then repair.
+    fn refresh_digests(&mut self) {
+        for reg in 0..self.values.len() {
+            let v = self.values[reg];
+            let digest =
+                if v == 0 { Digest::ZERO } else { leaf_digest(reg as u64, &v.to_be_bytes()) };
+            self.tree.set_leaf(reg as u64, digest);
+        }
+    }
 }
 
 /// Builds an `add` operation.
@@ -159,12 +172,28 @@ impl Service for CounterService {
         self.checkpoints.insert(seq, (self.values.clone(), self.tree.clone()));
     }
 
+    fn prepare_for_transfer(&mut self, _env: &mut ExecEnv<'_>) {
+        self.refresh_digests();
+    }
+
     fn reboot(&mut self, clean: bool, _env: &mut ExecEnv<'_>) {
         if clean {
             self.values = vec![0; COUNTER_REGS as usize];
             self.tree = PartitionTree::new(COUNTER_REGS, 4);
             self.checkpoints.clear();
+        } else {
+            // Warm reboot: the concrete state survives; re-derive the
+            // abstract digests from it so any corruption becomes visible
+            // to the state-transfer comparison.
+            self.refresh_digests();
         }
+    }
+
+    fn corrupt_state(&mut self, seed: u64) {
+        // Flip one register to a seed-derived garbage value. Digests are
+        // deliberately left stale (latent fault).
+        let reg = (seed % COUNTER_REGS) as usize;
+        self.corrupt_register(reg, seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
     }
 }
 
@@ -274,6 +303,27 @@ mod tests {
             b.take_checkpoint(1, &mut env),
             "same history must digest identically"
         );
+    }
+
+    #[test]
+    fn corruption_is_latent_until_refresh() {
+        let mut s = CounterService::default();
+        let mut rng = env_rng();
+        let mut env = ExecEnv::new(0, &mut rng);
+        s.execute(b"add 2 7", 1, &[], false, &mut env);
+        let clean_root = s.current_tree().root_digest();
+
+        s.corrupt_state(2);
+        assert_ne!(s.value(2), 7, "corruption must hit the concrete state");
+        assert_eq!(
+            s.current_tree().root_digest(),
+            clean_root,
+            "corruption is latent: digests must be stale"
+        );
+
+        // A warm reboot recomputes digests and surfaces the damage.
+        s.reboot(false, &mut env);
+        assert_ne!(s.current_tree().root_digest(), clean_root);
     }
 
     #[test]

@@ -13,6 +13,13 @@
 //! correct but out-of-date replica — the property the paper highlights as
 //! essential for state transfer.
 //!
+//! Queries are spread round-robin over the other replicas. A query whose
+//! reply fails digest verification is re-targeted to the next source
+//! immediately; unanswered queries are retransmitted with per-query
+//! exponential backoff and deterministic jitter, so a slow or silent
+//! source delays only its own partitions and retries do not synchronize
+//! into bursts.
+//!
 //! The checkpoint identity covers both the service state and the client
 //! reply cache (which PBFT replicates as part of the state):
 //! `D = H("ckpt" || service_root || H(replies_blob))`.
@@ -64,7 +71,13 @@ enum FetchKey {
 struct Outstanding {
     expected: Digest,
     attempts: u32,
+    /// Tick count at which this query becomes eligible for retransmission
+    /// (exponential backoff with deterministic jitter).
+    next_retry: u64,
 }
+
+/// Retransmission backoff cap, in ticks.
+const MAX_BACKOFF_TICKS: u64 = 32;
 
 /// State machine driving one state transfer.
 #[derive(Debug)]
@@ -81,6 +94,12 @@ pub struct Fetcher {
     objects: Vec<(u64, Option<Vec<u8>>)>,
     /// Round-robin cursor over source replicas.
     cursor: usize,
+    /// Ticks elapsed since the fetch began (drives retry backoff).
+    ticks: u64,
+    /// Replies dropped because their digest did not verify.
+    corrupt_replies: u64,
+    /// Queries retransmitted (timeout or corrupt reply).
+    retransmissions: u64,
     fetched_bytes: u64,
     meta_queries: u64,
     done: bool,
@@ -101,6 +120,9 @@ impl Fetcher {
             outstanding: HashMap::new(),
             objects: Vec::new(),
             cursor: (me as usize + 1) % n,
+            ticks: 0,
+            corrupt_replies: 0,
+            retransmissions: 0,
             fetched_bytes: 0,
             meta_queries: 0,
             done: false,
@@ -115,6 +137,16 @@ impl Fetcher {
     /// True once the fetch has completed (result already returned).
     pub fn is_done(&self) -> bool {
         self.done
+    }
+
+    /// Replies dropped because their digest did not verify.
+    pub fn corrupt_replies(&self) -> u64 {
+        self.corrupt_replies
+    }
+
+    /// Queries retransmitted so far (timeouts plus corrupt replies).
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
     }
 
     fn next_source(&mut self) -> u32 {
@@ -154,13 +186,54 @@ impl Fetcher {
         }
     }
 
+    /// Deterministic per-(key, attempt) jitter in `0..=max`, so retries for
+    /// different keys (and successive retries for one key) spread out
+    /// instead of synchronizing, without consuming simulator randomness.
+    fn jitter(&self, key: FetchKey, attempts: u32, max: u64) -> u64 {
+        let code = match key {
+            FetchKey::Root => 1,
+            FetchKey::Replies => 2,
+            FetchKey::Meta { level, index } => 3 ^ ((level as u64) << 32) ^ index,
+            FetchKey::Object { index } => 5 ^ index,
+        };
+        let mut x = self.seq ^ code ^ (u64::from(attempts) << 48) ^ 0x9e37_79b9_7f4a_7c15;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        if max == 0 { 0 } else { x % (max + 1) }
+    }
+
+    /// Exponential backoff (in ticks) for the next retry of `key`, plus
+    /// jitter of up to half the backoff.
+    fn backoff_ticks(&self, key: FetchKey, attempts: u32) -> u64 {
+        let base = (1u64 << attempts.min(5)).min(MAX_BACKOFF_TICKS);
+        base + self.jitter(key, attempts, base / 2)
+    }
+
     fn issue(&mut self, key: FetchKey, expected: Digest) -> (u32, Message) {
         if matches!(key, FetchKey::Meta { .. } | FetchKey::Root) {
             self.meta_queries += 1;
         }
         let msg = self.request_for(key);
-        self.outstanding.insert(key, Outstanding { expected, attempts: 0 });
+        let next_retry = self.ticks + self.backoff_ticks(key, 0);
+        self.outstanding.insert(key, Outstanding { expected, attempts: 0, next_retry });
         (self.next_source(), msg)
+    }
+
+    /// Re-issues an already outstanding query to the next source, bumping
+    /// its attempt count and pushing back its retry deadline.
+    fn reissue(&mut self, key: FetchKey) -> Option<(u32, Message)> {
+        let attempts = {
+            let o = self.outstanding.get_mut(&key)?;
+            o.attempts += 1;
+            o.attempts
+        };
+        let next_retry = self.ticks + self.backoff_ticks(key, attempts);
+        if let Some(o) = self.outstanding.get_mut(&key) {
+            o.next_retry = next_retry;
+        }
+        self.retransmissions += 1;
+        Some((self.next_source(), self.request_for(key)))
     }
 
     /// Starts the fetch: issues the top-level metadata query.
@@ -168,19 +241,27 @@ impl Fetcher {
         vec![self.issue(FetchKey::Root, self.target)]
     }
 
-    /// Retransmits all outstanding queries (to rotated sources). Call on a
-    /// periodic tick; unanswered or corrupt replies are retried elsewhere.
+    /// Advances the retry clock and retransmits the outstanding queries
+    /// whose backoff expired, each to the next source in rotation. Call on
+    /// a periodic tick.
     pub fn tick(&mut self) -> Vec<(u32, Message)> {
-        let keys: Vec<FetchKey> = self.outstanding.keys().copied().collect();
-        let mut out = Vec::with_capacity(keys.len());
-        for key in keys {
-            if let Some(o) = self.outstanding.get_mut(&key) {
-                o.attempts += 1;
-            }
-            let msg = self.request_for(key);
-            out.push((self.next_source(), msg));
-        }
-        out
+        self.ticks += 1;
+        let due: Vec<FetchKey> = self
+            .outstanding
+            .iter()
+            .filter(|(_, o)| o.next_retry <= self.ticks)
+            .map(|(k, _)| *k)
+            .collect();
+        // HashMap order is nondeterministic: sort so retransmission order
+        // (and thus the simulation trace) is reproducible.
+        let mut due = due;
+        due.sort_unstable_by_key(|k| match *k {
+            FetchKey::Root => (0, 0, 0),
+            FetchKey::Replies => (1, 0, 0),
+            FetchKey::Meta { level, index } => (2, level as u64, index),
+            FetchKey::Object { index } => (3, 0, index),
+        });
+        due.into_iter().filter_map(|key| self.reissue(key)).collect()
     }
 
     /// Handles a metadata reply. Returns follow-up queries and, if the
@@ -198,11 +279,14 @@ impl Fetcher {
         if m.level == META_ROOT_LEVEL {
             // Top-level: digests must be [service_root, replies_digest]
             // hashing to the certified checkpoint digest.
-            if m.digests.len() != 2 {
-                return (Vec::new(), None);
-            }
-            if checkpoint_digest(&m.digests[0], &m.digests[1]) != self.target {
-                return (Vec::new(), None);
+            if m.digests.len() != 2
+                || checkpoint_digest(&m.digests[0], &m.digests[1]) != self.target
+            {
+                // Corrupt root metadata: re-target the query right away
+                // (no-op if the root query is no longer outstanding).
+                self.corrupt_replies += 1;
+                let out = self.reissue(FetchKey::Root).into_iter().collect();
+                return (out, None);
             }
             if self.outstanding.remove(&FetchKey::Root).is_none() {
                 return (Vec::new(), None);
@@ -239,8 +323,11 @@ impl Fetcher {
             None => return (Vec::new(), None),
         };
         if !local.verify_children(m.level, &m.digests, &expected) {
-            // Corrupt or stale reply; keep the query outstanding.
-            return (Vec::new(), None);
+            // Corrupt or stale reply: re-target the query to the next
+            // source immediately instead of waiting out the backoff.
+            self.corrupt_replies += 1;
+            let out = self.reissue(key).into_iter().collect();
+            return (out, None);
         }
         self.outstanding.remove(&key);
 
@@ -291,7 +378,9 @@ impl Fetcher {
                 None => return (Vec::new(), None),
             };
             if Digest::of(&m.data) != expected {
-                return (Vec::new(), None);
+                self.corrupt_replies += 1;
+                let out = self.reissue(FetchKey::Replies).into_iter().collect();
+                return (out, None);
             }
             if self.outstanding.remove(&FetchKey::Replies).is_some() {
                 self.fetched_bytes += m.data.len() as u64;
@@ -306,7 +395,9 @@ impl Fetcher {
             None => return (Vec::new(), None),
         };
         if crate::tree::leaf_digest(m.index, &m.data) != expected {
-            return (Vec::new(), None);
+            self.corrupt_replies += 1;
+            let out = self.reissue(key).into_iter().collect();
+            return (out, None);
         }
         self.outstanding.remove(&key);
         self.fetched_bytes += m.data.len() as u64;

@@ -140,7 +140,8 @@ fn fetcher_rejects_corrupt_meta_and_objects() {
     let mut f = Fetcher::new(3, 4, 128, remote.composite());
     let msgs = f.begin();
 
-    // A Byzantine top-level reply with a forged root must be ignored.
+    // A Byzantine top-level reply with a forged root must not be accepted;
+    // the fetcher re-targets the query to another source right away.
     let bogus = MetaReplyMsg {
         seq: 128,
         level: META_ROOT_LEVEL,
@@ -149,9 +150,10 @@ fn fetcher_rejects_corrupt_meta_and_objects() {
         replica: 2,
     };
     let (out, done) = f.on_meta_reply(&bogus, &local);
-    assert!(out.is_empty());
+    assert_eq!(out.len(), 1, "corrupt root reply is re-targeted immediately");
     assert!(done.is_none());
     assert!(!f.is_done());
+    assert_eq!(f.corrupt_replies(), 1);
 
     // The genuine reply still works afterwards.
     let (_, msg) = &msgs[0];

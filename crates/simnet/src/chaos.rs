@@ -1,0 +1,787 @@
+//! Chaos campaigns: declarative, seeded fault schedules executed over many
+//! simulation runs, with greedy schedule minimization for failing runs.
+//!
+//! A [`FaultSchedule`] is a list of timed events — crash/restore windows,
+//! healing network faults (partitions, corruption, slow links, duplication)
+//! and application-defined faults (Byzantine-mode flips, state corruption,
+//! proactive-recovery triggers) dispatched through a [`ChaosHarness`] hook
+//! so this crate stays protocol-agnostic. [`run_one`] executes a schedule
+//! against a freshly built simulation and returns the deterministic event
+//! trace; [`run_campaign`] drives N seeded runs, generating a
+//! budget-respecting random schedule per seed, auditing each run, and
+//! shrinking any failing schedule with [`minimize`] so the report carries a
+//! minimal replayable reproduction (seed + schedule).
+//!
+//! Everything is deterministic: the same seed and schedule produce the same
+//! trace and the same [`NetStats`], which the determinism tests assert.
+
+use crate::faults::{ActiveWindow, BitFlipper, Duplicator, FilterChain, Isolate, SlowLink};
+use crate::{NetStats, NodeId, SimDuration, SimTime, Simulation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A network-level fault, active for the duration attached to its event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetFault {
+    /// Cut `nodes` off from everyone else (heals when the window ends).
+    Partition {
+        /// The isolated side of the partition.
+        nodes: Vec<NodeId>,
+    },
+    /// Corrupt a fraction of `from`'s outbound messages.
+    Corrupt {
+        /// The node whose outbound traffic is mangled.
+        from: NodeId,
+        /// Per-message corruption probability.
+        prob: f64,
+    },
+    /// Add `extra` one-way delay on one direction of one link.
+    Slow {
+        /// Link source.
+        from: NodeId,
+        /// Link destination.
+        to: NodeId,
+        /// Added one-way delay.
+        extra: SimDuration,
+    },
+    /// Duplicate a fraction of all traffic.
+    Duplicate {
+        /// Per-message duplication probability.
+        prob: f64,
+    },
+}
+
+/// One scheduled fault event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosEvent {
+    /// Crash a node, restoring it after `down`.
+    Crash {
+        /// The node to crash.
+        node: NodeId,
+        /// Downtime before the node restarts.
+        down: SimDuration,
+    },
+    /// A network fault active for `dur` starting at the event time.
+    Net {
+        /// The fault to install.
+        fault: NetFault,
+        /// How long it stays active.
+        dur: SimDuration,
+    },
+    /// An application-defined fault, dispatched to
+    /// [`ChaosHarness::apply_app`]. `tag` selects the fault kind (the
+    /// harness defines the vocabulary), `arg` parameterizes it.
+    App {
+        /// Target node.
+        node: NodeId,
+        /// Harness-defined fault kind.
+        tag: u32,
+        /// Harness-defined parameter.
+        arg: u64,
+    },
+}
+
+/// An event plus its activation time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// Activation instant.
+    pub at: SimTime,
+    /// The fault to apply.
+    pub event: ChaosEvent,
+}
+
+impl fmt::Display for TimedEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}ms ", self.at.as_nanos() / 1_000_000)?;
+        match &self.event {
+            ChaosEvent::Crash { node, down } => {
+                write!(f, "crash node {} for {}ms", node.0, down.as_nanos() / 1_000_000)
+            }
+            ChaosEvent::Net { fault, dur } => {
+                let ms = dur.as_nanos() / 1_000_000;
+                match fault {
+                    NetFault::Partition { nodes } => {
+                        let ids: Vec<String> = nodes.iter().map(|n| n.0.to_string()).collect();
+                        write!(f, "partition {{{}}} for {}ms", ids.join(","), ms)
+                    }
+                    NetFault::Corrupt { from, prob } => {
+                        write!(f, "corrupt from node {} p={:.2} for {}ms", from.0, prob, ms)
+                    }
+                    NetFault::Slow { from, to, extra } => write!(
+                        f,
+                        "slow link {}->{} +{}ms for {}ms",
+                        from.0,
+                        to.0,
+                        extra.as_nanos() / 1_000_000,
+                        ms
+                    ),
+                    NetFault::Duplicate { prob } => {
+                        write!(f, "duplicate p={prob:.2} for {ms}ms")
+                    }
+                }
+            }
+            ChaosEvent::App { node, tag, arg } => {
+                write!(f, "app fault tag={} arg={} at node {}", tag, arg, node.0)
+            }
+        }
+    }
+}
+
+/// A declarative, replayable schedule of fault events.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSchedule {
+    /// The scheduled events, in insertion order.
+    pub events: Vec<TimedEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a crash of `node` at `at`, restored after `down`.
+    pub fn crash(&mut self, at: SimTime, node: NodeId, down: SimDuration) -> &mut Self {
+        self.events.push(TimedEvent { at, event: ChaosEvent::Crash { node, down } });
+        self
+    }
+
+    /// Schedules a network fault active for `dur` starting at `at`.
+    pub fn net(&mut self, at: SimTime, fault: NetFault, dur: SimDuration) -> &mut Self {
+        self.events.push(TimedEvent { at, event: ChaosEvent::Net { fault, dur } });
+        self
+    }
+
+    /// Schedules an application fault (see [`ChaosEvent::App`]).
+    pub fn app(&mut self, at: SimTime, node: NodeId, tag: u32, arg: u64) -> &mut Self {
+        self.events.push(TimedEvent { at, event: ChaosEvent::App { node, tag, arg } });
+        self
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A copy with the `idx`-th event removed (used by the minimizer).
+    pub fn without(&self, idx: usize) -> Self {
+        let mut events = self.events.clone();
+        events.remove(idx);
+        Self { events }
+    }
+
+    /// Events in activation order (stable for equal times).
+    fn sorted(&self) -> Vec<TimedEvent> {
+        let mut evs = self.events.clone();
+        evs.sort_by_key(|e| e.at);
+        evs
+    }
+
+    /// Latest instant at which any event is still in force.
+    pub fn end(&self) -> SimTime {
+        self.events
+            .iter()
+            .map(|e| match &e.event {
+                ChaosEvent::Crash { down, .. } => e.at + *down,
+                ChaosEvent::Net { dur, .. } => e.at + *dur,
+                ChaosEvent::App { .. } => e.at,
+            })
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Multi-line human-readable rendering, for failure reports.
+    pub fn describe(&self) -> String {
+        if self.events.is_empty() {
+            return "  (empty schedule)".to_string();
+        }
+        self.sorted()
+            .iter()
+            .map(|e| format!("  {e}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// System-under-test hooks a campaign needs: how to build a fresh run, how
+/// to apply application faults, and how to audit the end state.
+pub trait ChaosHarness {
+    /// Builds a fresh simulation (replicas, clients, workload) for `seed`.
+    fn build(&mut self, seed: u64) -> Simulation;
+
+    /// Applies an application-defined fault to the running simulation.
+    /// Pushes one line per applied effect onto `trace`.
+    fn apply_app(
+        &mut self,
+        sim: &mut Simulation,
+        node: NodeId,
+        tag: u32,
+        arg: u64,
+        trace: &mut Vec<String>,
+    );
+
+    /// Extra sim-time to run past the last event so the system can settle
+    /// (retransmissions drain, recoveries finish, clients complete).
+    fn settle(&self) -> SimDuration {
+        SimDuration::from_secs(20)
+    }
+
+    /// Audits the finished run; `Err` describes the violated invariant.
+    fn audit(&mut self, sim: &mut Simulation, trace: &mut Vec<String>) -> Result<(), String>;
+}
+
+/// Outcome of a single run: the deterministic event trace plus final
+/// network statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// One line per applied event plus harness-emitted lines.
+    pub trace: Vec<String>,
+    /// Final network statistics of the run.
+    pub stats: NetStats,
+}
+
+/// Executes one schedule against a fresh simulation built by the harness.
+///
+/// Network faults are installed up front as [`ActiveWindow`]-gated filters
+/// (so they activate and heal purely by sim time); crash and app events are
+/// applied at their scheduled instants. After the last event the run
+/// continues for [`ChaosHarness::settle`] before the audit.
+pub fn run_one<H: ChaosHarness>(
+    harness: &mut H,
+    seed: u64,
+    schedule: &FaultSchedule,
+) -> (RunOutcome, Result<(), String>) {
+    let mut sim = harness.build(seed);
+    let mut trace = Vec::new();
+
+    let mut chain = FilterChain::new();
+    let mut any_net = false;
+    for ev in &schedule.events {
+        if let ChaosEvent::Net { fault, dur } = &ev.event {
+            let until = ev.at + *dur;
+            let boxed: Box<dyn crate::NetFilter> = match fault {
+                NetFault::Partition { nodes } => Box::new(Isolate::new(nodes.clone())),
+                NetFault::Corrupt { from, prob } => {
+                    Box::new(BitFlipper { from: *from, prob: *prob })
+                }
+                NetFault::Slow { from, to, extra } => {
+                    Box::new(SlowLink { from: *from, to: *to, extra: *extra })
+                }
+                NetFault::Duplicate { prob } => {
+                    Box::new(Duplicator { prob: *prob, dup_delay: SimDuration::from_millis(2) })
+                }
+            };
+            chain.push(Box::new(ActiveWindow::new(boxed, ev.at, until)));
+            any_net = true;
+        }
+    }
+    if any_net {
+        sim.set_filter(Box::new(chain));
+    }
+
+    for ev in schedule.sorted() {
+        sim.run_until(ev.at);
+        trace.push(ev.to_string());
+        match &ev.event {
+            ChaosEvent::Crash { node, down } => sim.crash(*node, *down),
+            ChaosEvent::Net { .. } => {} // installed above; activates by window
+            ChaosEvent::App { node, tag, arg } => {
+                harness.apply_app(&mut sim, *node, *tag, *arg, &mut trace);
+            }
+        }
+    }
+
+    sim.run_until(schedule.end() + harness.settle());
+    let verdict = harness.audit(&mut sim, &mut trace);
+    (RunOutcome { trace, stats: sim.stats().clone() }, verdict)
+}
+
+/// Greedy event-removal shrinking: repeatedly drops any event whose removal
+/// keeps the audit failing, until no single removal does. The result is a
+/// 1-minimal failing schedule for the given seed.
+pub fn minimize<H: ChaosHarness>(
+    harness: &mut H,
+    seed: u64,
+    schedule: &FaultSchedule,
+) -> FaultSchedule {
+    let mut current = schedule.clone();
+    loop {
+        let mut shrunk = false;
+        let mut idx = 0;
+        while idx < current.len() {
+            let candidate = current.without(idx);
+            let (_, verdict) = run_one(harness, seed, &candidate);
+            if verdict.is_err() {
+                current = candidate;
+                shrunk = true;
+                // Same index now names the next event; don't advance.
+            } else {
+                idx += 1;
+            }
+        }
+        if !shrunk {
+            return current;
+        }
+    }
+}
+
+/// Kinds of application faults a generated schedule may include.
+#[derive(Debug, Clone)]
+pub struct AppFaultSpec {
+    /// Tag passed to [`ChaosHarness::apply_app`].
+    pub tag: u32,
+    /// Args are drawn uniformly from `0..arg_max`.
+    pub arg_max: u64,
+    /// Whether a node under this fault counts as impaired (against the
+    /// `max_impaired` budget).
+    pub impairs: bool,
+    /// If set, a healing event with this tag is scheduled `heal_after`
+    /// later on the same node, ending the impairment.
+    pub heal: Option<HealSpec>,
+}
+
+/// Healing companion for an [`AppFaultSpec`].
+#[derive(Debug, Clone)]
+pub struct HealSpec {
+    /// Tag of the healing event.
+    pub tag: u32,
+    /// Delay between the fault and its healing event.
+    pub after: SimDuration,
+}
+
+/// Parameters for random schedule generation.
+#[derive(Debug, Clone)]
+pub struct ScheduleGenConfig {
+    /// Nodes eligible for faults (typically the replica set).
+    pub nodes: Vec<NodeId>,
+    /// Maximum number of *distinct* nodes simultaneously impaired (crash,
+    /// partition, heavy corruption, or an impairing app fault). For BFT
+    /// replica sets this is `f`.
+    pub max_impaired: usize,
+    /// Events are scheduled in `[0, horizon)`.
+    pub horizon: SimDuration,
+    /// Number of events to attempt (events that would exceed the
+    /// impairment budget are skipped, so fewer may be produced).
+    pub events: usize,
+    /// Application fault vocabulary; may be empty.
+    pub app_faults: Vec<AppFaultSpec>,
+    /// Include network-level faults (partitions, corruption, slow links,
+    /// duplication).
+    pub net_faults: bool,
+}
+
+/// Inclusive-start/exclusive-end impairment interval on one node.
+struct Impairment {
+    node: NodeId,
+    from: SimTime,
+    until: SimTime,
+}
+
+fn budget_allows(
+    existing: &[Impairment],
+    candidate: &Impairment,
+    max_impaired: usize,
+) -> bool {
+    // Count distinct impaired nodes at every boundary instant inside the
+    // candidate's window; intervals are few, so brute force is fine.
+    let mut instants: Vec<SimTime> = vec![candidate.from];
+    for i in existing {
+        if i.from > candidate.from && i.from < candidate.until {
+            instants.push(i.from);
+        }
+    }
+    for t in instants {
+        let mut nodes: Vec<NodeId> = existing
+            .iter()
+            .filter(|i| i.from <= t && t < i.until)
+            .map(|i| i.node)
+            .collect();
+        nodes.push(candidate.node);
+        nodes.sort_unstable_by_key(|n| n.0);
+        nodes.dedup();
+        if nodes.len() > max_impaired {
+            return false;
+        }
+    }
+    true
+}
+
+/// Generates a random schedule under the impairment budget. Deterministic
+/// in (`cfg`, `seed`).
+pub fn generate_schedule(cfg: &ScheduleGenConfig, seed: u64) -> FaultSchedule {
+    assert!(!cfg.nodes.is_empty(), "schedule generation needs candidate nodes");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc4a0_5c4a_05c4_a05c);
+    let mut schedule = FaultSchedule::new();
+    let mut impairments: Vec<Impairment> = Vec::new();
+    let horizon = cfg.horizon.as_nanos();
+
+    let kinds: usize = 2 + usize::from(cfg.net_faults) * 3;
+    for _ in 0..cfg.events {
+        let at = SimTime::from_nanos(rng.gen_range(0..horizon));
+        let node = cfg.nodes[rng.gen_range(0..cfg.nodes.len())];
+        let dur = SimDuration::from_nanos(rng.gen_range(horizon / 20..horizon / 4));
+        let kind = rng.gen_range(0..kinds);
+        match kind {
+            // Crash window.
+            0 => {
+                let candidate = Impairment { node, from: at, until: at + dur };
+                if budget_allows(&impairments, &candidate, cfg.max_impaired) {
+                    schedule.crash(at, node, dur);
+                    impairments.push(candidate);
+                }
+            }
+            // Application fault (if any are configured).
+            1 if !cfg.app_faults.is_empty() => {
+                let spec = &cfg.app_faults[rng.gen_range(0..cfg.app_faults.len())];
+                let arg = if spec.arg_max > 0 { rng.gen_range(0..spec.arg_max) } else { 0 };
+                let until = match &spec.heal {
+                    Some(h) => at + h.after,
+                    // Permanent faults impair through the horizon.
+                    None => SimTime::from_nanos(horizon) + SimDuration::from_secs(3600),
+                };
+                let candidate = Impairment { node, from: at, until };
+                if !spec.impairs || budget_allows(&impairments, &candidate, cfg.max_impaired) {
+                    schedule.app(at, node, spec.tag, arg);
+                    if let Some(h) = &spec.heal {
+                        schedule.app(at + h.after, node, h.tag, 0);
+                    }
+                    if spec.impairs {
+                        impairments.push(candidate);
+                    }
+                }
+            }
+            // Single-node partition (heals with its window).
+            2 => {
+                let candidate = Impairment { node, from: at, until: at + dur };
+                if budget_allows(&impairments, &candidate, cfg.max_impaired) {
+                    schedule.net(at, NetFault::Partition { nodes: vec![node] }, dur);
+                    impairments.push(candidate);
+                }
+            }
+            // Outbound corruption: impairing while active (an honest node
+            // whose traffic is mangled is indistinguishable from faulty).
+            3 => {
+                let candidate = Impairment { node, from: at, until: at + dur };
+                if budget_allows(&impairments, &candidate, cfg.max_impaired) {
+                    let prob = 0.05 + rng.gen::<f64>() * 0.5;
+                    schedule.net(at, NetFault::Corrupt { from: node, prob }, dur);
+                    impairments.push(candidate);
+                }
+            }
+            // Slow link or duplication: annoying but not impairing.
+            _ => {
+                if rng.gen_bool(0.5) {
+                    let to = cfg.nodes[rng.gen_range(0..cfg.nodes.len())];
+                    if to != node {
+                        let extra = SimDuration::from_millis(rng.gen_range(5..60));
+                        schedule.net(at, NetFault::Slow { from: node, to, extra }, dur);
+                    }
+                } else {
+                    let prob = 0.05 + rng.gen::<f64>() * 0.3;
+                    schedule.net(at, NetFault::Duplicate { prob }, dur);
+                }
+            }
+        }
+    }
+    schedule
+}
+
+/// One failing run: the seed, the full and minimized schedules, the audit
+/// failure, and the trace of the minimized replay.
+#[derive(Debug, Clone)]
+pub struct FailureReport {
+    /// Seed of the failing run (replays both schedules exactly).
+    pub seed: u64,
+    /// The audit failure message.
+    pub reason: String,
+    /// The full generated schedule that failed.
+    pub schedule: FaultSchedule,
+    /// The 1-minimal shrunk schedule that still fails.
+    pub minimal: FaultSchedule,
+    /// Event trace of the minimal schedule's replay.
+    pub minimal_trace: Vec<String>,
+}
+
+impl fmt::Display for FailureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "campaign failure: {}", self.reason)?;
+        writeln!(f, "  seed: {}", self.seed)?;
+        writeln!(f, "  schedule ({} events):", self.schedule.len())?;
+        writeln!(f, "{}", self.schedule.describe())?;
+        writeln!(f, "  minimal reproduction ({} events):", self.minimal.len())?;
+        write!(f, "{}", self.minimal.describe())
+    }
+}
+
+/// Aggregate result of a campaign.
+#[derive(Debug, Default)]
+pub struct CampaignReport {
+    /// Seeded runs executed.
+    pub runs: usize,
+    /// Total fault events applied across all runs.
+    pub events_executed: usize,
+    /// One report per failing run, already minimized.
+    pub failures: Vec<FailureReport>,
+}
+
+impl CampaignReport {
+    /// True when every run passed its audit.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Drives one audited, seeded run per seed in `seeds`, generating each
+/// run's schedule from the seed, and minimizes every failing schedule.
+pub fn run_campaign<H: ChaosHarness>(
+    harness: &mut H,
+    cfg: &ScheduleGenConfig,
+    seeds: impl IntoIterator<Item = u64>,
+) -> CampaignReport {
+    let mut report = CampaignReport::default();
+    for seed in seeds {
+        let schedule = generate_schedule(cfg, seed);
+        report.runs += 1;
+        report.events_executed += schedule.len();
+        let (_, verdict) = run_one(harness, seed, &schedule);
+        if let Err(reason) = verdict {
+            let minimal = minimize(harness, seed, &schedule);
+            let (outcome, _) = run_one(harness, seed, &minimal);
+            report.failures.push(FailureReport {
+                seed,
+                reason,
+                schedule,
+                minimal,
+                minimal_trace: outcome.trace,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Actor, Context};
+
+    /// Toy system: every node pings every other node each 10ms; pongs are
+    /// counted. The audit requires each node to have seen pongs from every
+    /// peer after the run settles (liveness through healed faults).
+    struct Pinger {
+        id: NodeId,
+        peers: Vec<NodeId>,
+        pongs: Vec<u64>,
+    }
+
+    impl Actor for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimDuration::from_millis(10), 1);
+        }
+
+        fn on_message(&mut self, from: NodeId, payload: &[u8], ctx: &mut Context<'_>) {
+            match payload {
+                b"ping" => ctx.send(from, b"pong".to_vec()),
+                b"pong" => self.pongs[from.0 as usize] += 1,
+                _ => {}
+            }
+        }
+
+        fn on_timer(&mut self, _token: u64, ctx: &mut Context<'_>) {
+            for &p in &self.peers {
+                if p != self.id {
+                    ctx.send(p, b"ping".to_vec());
+                }
+            }
+            ctx.set_timer(SimDuration::from_millis(10), 1);
+        }
+    }
+
+    struct PingHarness {
+        n: usize,
+    }
+
+    impl ChaosHarness for PingHarness {
+        fn build(&mut self, seed: u64) -> Simulation {
+            let mut sim = Simulation::new(seed);
+            let peers: Vec<NodeId> = (0..self.n).map(NodeId).collect();
+            for id in &peers {
+                sim.add_node(Box::new(Pinger {
+                    id: *id,
+                    peers: peers.clone(),
+                    pongs: vec![0; self.n as usize],
+                }));
+            }
+            sim
+        }
+
+        fn apply_app(
+            &mut self,
+            _sim: &mut Simulation,
+            node: NodeId,
+            tag: u32,
+            arg: u64,
+            trace: &mut Vec<String>,
+        ) {
+            trace.push(format!("applied tag={} arg={} at {}", tag, arg, node.0));
+        }
+
+        fn settle(&self) -> SimDuration {
+            SimDuration::from_secs(2)
+        }
+
+        fn audit(&mut self, sim: &mut Simulation, trace: &mut Vec<String>) -> Result<(), String> {
+            for id in 0..self.n {
+                let p = sim.actor_as::<Pinger>(NodeId(id)).expect("pinger");
+                for (peer, &count) in p.pongs.iter().enumerate() {
+                    if peer != id && count == 0 {
+                        return Err(format!("node {id} never heard from {peer}"));
+                    }
+                }
+            }
+            trace.push("audit ok".into());
+            Ok(())
+        }
+    }
+
+    fn gen_cfg() -> ScheduleGenConfig {
+        ScheduleGenConfig {
+            nodes: (0..4usize).map(NodeId).collect(),
+            max_impaired: 1,
+            horizon: SimDuration::from_secs(4),
+            events: 6,
+            app_faults: vec![AppFaultSpec { tag: 7, arg_max: 3, impairs: false, heal: None }],
+            net_faults: true,
+        }
+    }
+
+    #[test]
+    fn healed_faults_preserve_liveness() {
+        let mut h = PingHarness { n: 4 };
+        let report = run_campaign(&mut h, &gen_cfg(), 0..10);
+        assert_eq!(report.runs, 10);
+        assert!(report.events_executed > 0, "campaign generated no events");
+        for f in &report.failures {
+            panic!("unexpected failure:\n{f}");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace_and_stats() {
+        let mut h = PingHarness { n: 4 };
+        let schedule = generate_schedule(&gen_cfg(), 42);
+        let (a, va) = run_one(&mut h, 42, &schedule);
+        let (b, vb) = run_one(&mut h, 42, &schedule);
+        assert_eq!(a, b);
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = gen_cfg();
+        assert_eq!(generate_schedule(&cfg, 5), generate_schedule(&cfg, 5));
+        assert_ne!(generate_schedule(&cfg, 5), generate_schedule(&cfg, 6));
+    }
+
+    #[test]
+    fn budget_never_exceeded() {
+        let cfg = ScheduleGenConfig { events: 40, ..gen_cfg() };
+        for seed in 0..50 {
+            let schedule = generate_schedule(&cfg, seed);
+            // Rebuild the impairment set and re-check pairwise overlap.
+            let mut intervals: Vec<(NodeId, SimTime, SimTime)> = Vec::new();
+            for ev in &schedule.events {
+                match &ev.event {
+                    ChaosEvent::Crash { node, down } => {
+                        intervals.push((*node, ev.at, ev.at + *down));
+                    }
+                    ChaosEvent::Net { fault: NetFault::Partition { nodes }, dur } => {
+                        for n in nodes {
+                            intervals.push((*n, ev.at, ev.at + *dur));
+                        }
+                    }
+                    ChaosEvent::Net { fault: NetFault::Corrupt { from, .. }, dur } => {
+                        intervals.push((*from, ev.at, ev.at + *dur));
+                    }
+                    _ => {}
+                }
+            }
+            for (i, a) in intervals.iter().enumerate() {
+                for b in intervals.iter().skip(i + 1) {
+                    if a.0 != b.0 && a.1 < b.2 && b.1 < a.2 {
+                        panic!("seed {seed}: two distinct nodes impaired at once");
+                    }
+                }
+            }
+        }
+    }
+
+    /// A deliberately broken harness (audit always fails when any crash
+    /// event is present) shrinks to a single-event schedule.
+    struct CrashSensitive {
+        inner: PingHarness,
+        saw_crash: bool,
+    }
+
+    impl ChaosHarness for CrashSensitive {
+        fn build(&mut self, seed: u64) -> Simulation {
+            self.saw_crash = false;
+            self.inner.build(seed)
+        }
+
+        fn apply_app(
+            &mut self,
+            sim: &mut Simulation,
+            node: NodeId,
+            tag: u32,
+            arg: u64,
+            trace: &mut Vec<String>,
+        ) {
+            self.inner.apply_app(sim, node, tag, arg, trace);
+        }
+
+        fn settle(&self) -> SimDuration {
+            SimDuration::from_millis(100)
+        }
+
+        fn audit(&mut self, sim: &mut Simulation, trace: &mut Vec<String>) -> Result<(), String> {
+            // "Bug": any crash at all is reported as a violation.
+            let crashed = trace.iter().any(|l| l.contains("crash node"));
+            let _ = sim;
+            if crashed {
+                Err("crash intolerance bug".into())
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn minimizer_reduces_to_single_trigger() {
+        let mut h = CrashSensitive { inner: PingHarness { n: 4 }, saw_crash: false };
+        let mut schedule = FaultSchedule::new();
+        schedule
+            .crash(SimTime::from_millis(50), NodeId(1), SimDuration::from_millis(100))
+            .net(
+                SimTime::from_millis(10),
+                NetFault::Duplicate { prob: 0.2 },
+                SimDuration::from_millis(500),
+            )
+            .net(
+                SimTime::from_millis(200),
+                NetFault::Partition { nodes: vec![NodeId(2)] },
+                SimDuration::from_millis(100),
+            )
+            .app(SimTime::from_millis(400), NodeId(3), 7, 1);
+        let (_, verdict) = run_one(&mut h, 9, &schedule);
+        assert!(verdict.is_err());
+        let minimal = minimize(&mut h, 9, &schedule);
+        assert_eq!(minimal.len(), 1, "expected single-event reproduction:\n{}", minimal.describe());
+        assert!(matches!(minimal.events[0].event, ChaosEvent::Crash { node: NodeId(1), .. }));
+    }
+}

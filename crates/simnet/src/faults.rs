@@ -154,6 +154,68 @@ impl NetFilter for Duplicator {
     }
 }
 
+impl<F: NetFilter + ?Sized> NetFilter for Box<F> {
+    fn filter(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: &[u8],
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> FilterAction {
+        (**self).filter(from, to, payload, now, rng)
+    }
+}
+
+/// Restricts another filter to a simulated-time window `[from, until)`.
+///
+/// Outside the window every message passes untouched, so a fault *heals*
+/// on schedule without tearing down the whole chain via
+/// [`crate::Simulation::clear_filter`]. This is what lets a declarative
+/// fault schedule express "partition nodes 1,2 from t=3s to t=8s" as a
+/// single filter installed up front.
+#[derive(Debug, Clone)]
+pub struct ActiveWindow<F> {
+    inner: F,
+    from: SimTime,
+    until: SimTime,
+}
+
+impl<F> ActiveWindow<F> {
+    /// Wraps `inner` so it only acts between `from` (inclusive) and
+    /// `until` (exclusive).
+    pub fn new(inner: F, from: SimTime, until: SimTime) -> Self {
+        Self { inner, from, until }
+    }
+
+    /// Wraps `inner` so it acts from the start of the run until `until`.
+    pub fn until(inner: F, until: SimTime) -> Self {
+        Self::new(inner, SimTime::ZERO, until)
+    }
+
+    /// The wrapped filter.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+}
+
+impl<F: NetFilter> NetFilter for ActiveWindow<F> {
+    fn filter(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: &[u8],
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> FilterAction {
+        if now < self.from || now >= self.until {
+            FilterAction::Pass
+        } else {
+            self.inner.filter(from, to, payload, now, rng)
+        }
+    }
+}
+
 /// Chains several filters; the first non-`Pass` action wins.
 #[derive(Default)]
 pub struct FilterChain {
@@ -229,6 +291,50 @@ mod tests {
         // Traffic from other nodes is untouched.
         assert_eq!(
             f.filter(NodeId(2), NodeId(1), b"abcd", SimTime::ZERO, &mut r),
+            FilterAction::Pass
+        );
+    }
+
+    #[test]
+    fn active_window_gates_inner_filter() {
+        let mut f = ActiveWindow::new(
+            Isolate::new(vec![NodeId(1)]),
+            SimTime::from_millis(10),
+            SimTime::from_millis(20),
+        );
+        let mut r = rng();
+        // Before the window: the partition is not yet in force.
+        assert_eq!(
+            f.filter(NodeId(1), NodeId(0), b"x", SimTime::from_millis(9), &mut r),
+            FilterAction::Pass
+        );
+        // Inside the window (inclusive start): dropped.
+        assert_eq!(
+            f.filter(NodeId(1), NodeId(0), b"x", SimTime::from_millis(10), &mut r),
+            FilterAction::Drop
+        );
+        assert_eq!(
+            f.filter(NodeId(0), NodeId(1), b"x", SimTime::from_millis(19), &mut r),
+            FilterAction::Drop
+        );
+        // At the exclusive end the partition has healed.
+        assert_eq!(
+            f.filter(NodeId(1), NodeId(0), b"x", SimTime::from_millis(20), &mut r),
+            FilterAction::Pass
+        );
+    }
+
+    #[test]
+    fn until_window_is_active_from_start() {
+        let mut f =
+            ActiveWindow::until(Isolate::new(vec![NodeId(2)]), SimTime::from_millis(5));
+        let mut r = rng();
+        assert_eq!(
+            f.filter(NodeId(2), NodeId(0), b"x", SimTime::ZERO, &mut r),
+            FilterAction::Drop
+        );
+        assert_eq!(
+            f.filter(NodeId(2), NodeId(0), b"x", SimTime::from_millis(5), &mut r),
             FilterAction::Pass
         );
     }

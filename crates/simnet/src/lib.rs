@@ -61,6 +61,7 @@
 mod actor;
 mod config;
 mod event;
+pub mod chaos;
 pub mod faults;
 mod sim;
 mod stats;

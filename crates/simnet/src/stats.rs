@@ -8,7 +8,7 @@ use std::collections::HashMap;
 ///
 /// These feed the benchmark tables: state-transfer experiments report bytes
 /// on the wire, and overhead experiments report per-node CPU charges.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct NetStats {
     /// Total messages handed to the network.
     pub messages_sent: u64,

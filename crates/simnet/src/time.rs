@@ -15,6 +15,26 @@ impl SimTime {
     /// The simulation epoch.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The instant `ns` nanoseconds after simulation start.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// The instant `us` microseconds after simulation start.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// The instant `ms` milliseconds after simulation start.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// The instant `s` seconds after simulation start.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
     /// Nanoseconds since simulation start.
     pub fn as_nanos(&self) -> u64 {
         self.0

@@ -1,0 +1,199 @@
+//! Property tests for the chaos campaign engine: schedule generation is a
+//! pure function of its inputs, generated schedules respect the impairment
+//! budget, and replaying any schedule with the same seed reproduces the
+//! identical trace and network statistics.
+
+use base_simnet::chaos::{
+    generate_schedule, run_one, AppFaultSpec, ChaosEvent, ChaosHarness, FaultSchedule, HealSpec,
+    NetFault, ScheduleGenConfig,
+};
+use base_simnet::{Actor, Context, NodeId, SimDuration, SimTime, Simulation};
+use proptest::prelude::*;
+
+/// Toy system-under-test: every node pings all peers each 10ms and counts
+/// pongs; app faults mute a node (tag 1) and unmute it (tag 2).
+struct Pinger {
+    id: NodeId,
+    n: usize,
+    muted: bool,
+    pongs: u64,
+}
+
+impl Actor for Pinger {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(SimDuration::from_millis(10), 1);
+    }
+
+    fn on_message(&mut self, from: NodeId, payload: &[u8], ctx: &mut Context<'_>) {
+        if self.muted {
+            return;
+        }
+        match payload {
+            b"ping" => ctx.send(from, b"pong".to_vec()),
+            b"pong" => self.pongs += 1,
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, _token: u64, ctx: &mut Context<'_>) {
+        for i in 0..self.n {
+            if NodeId(i) != self.id {
+                ctx.send(NodeId(i), b"ping".to_vec());
+            }
+        }
+        ctx.set_timer(SimDuration::from_millis(10), 1);
+    }
+}
+
+struct PingHarness {
+    n: usize,
+}
+
+impl ChaosHarness for PingHarness {
+    fn build(&mut self, seed: u64) -> Simulation {
+        let mut sim = Simulation::new(seed);
+        for i in 0..self.n {
+            sim.add_node(Box::new(Pinger { id: NodeId(i), n: self.n, muted: false, pongs: 0 }));
+        }
+        sim
+    }
+
+    fn apply_app(
+        &mut self,
+        sim: &mut Simulation,
+        node: NodeId,
+        tag: u32,
+        _arg: u64,
+        trace: &mut Vec<String>,
+    ) {
+        if let Some(p) = sim.actor_as_mut::<Pinger>(node) {
+            p.muted = tag == 1;
+            trace.push(format!("node {} muted={}", node.0, p.muted));
+        }
+    }
+
+    fn settle(&self) -> SimDuration {
+        SimDuration::from_secs(1)
+    }
+
+    fn audit(&mut self, sim: &mut Simulation, trace: &mut Vec<String>) -> Result<(), String> {
+        for i in 0..self.n {
+            let p = sim.actor_as::<Pinger>(NodeId(i)).expect("pinger");
+            trace.push(format!("node {i} pongs={}", p.pongs));
+            if p.pongs == 0 {
+                return Err(format!("node {i} heard nothing"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn gen_cfg(n: usize, events: usize, horizon_ms: u64, max_impaired: usize) -> ScheduleGenConfig {
+    ScheduleGenConfig {
+        nodes: (0..n).map(NodeId).collect(),
+        max_impaired,
+        horizon: SimDuration::from_millis(horizon_ms),
+        events,
+        app_faults: vec![AppFaultSpec {
+            tag: 1,
+            arg_max: 4,
+            impairs: true,
+            heal: Some(HealSpec { tag: 2, after: SimDuration::from_millis(300) }),
+        }],
+        net_faults: true,
+    }
+}
+
+/// Rebuilds the impairment intervals of a generated schedule and verifies
+/// that no instant has more than `max_impaired` distinct impaired nodes.
+fn assert_budget(schedule: &FaultSchedule, max_impaired: usize) {
+    let mut intervals: Vec<(NodeId, SimTime, SimTime)> = Vec::new();
+    let far = SimTime::from_nanos(u64::MAX);
+    for ev in &schedule.events {
+        match &ev.event {
+            ChaosEvent::Crash { node, down } => intervals.push((*node, ev.at, ev.at + *down)),
+            ChaosEvent::Net { fault: NetFault::Partition { nodes }, dur } => {
+                for n in nodes {
+                    intervals.push((*n, ev.at, ev.at + *dur));
+                }
+            }
+            ChaosEvent::Net { fault: NetFault::Corrupt { from, .. }, dur } => {
+                intervals.push((*from, ev.at, ev.at + *dur));
+            }
+            ChaosEvent::App { node, tag: 1, .. } => {
+                // Muted until its heal event (same node, tag 2).
+                let heal = schedule
+                    .events
+                    .iter()
+                    .filter(|h| {
+                        matches!(h.event, ChaosEvent::App { node: hn, tag: 2, .. } if hn == *node)
+                            && h.at >= ev.at
+                    })
+                    .map(|h| h.at)
+                    .min()
+                    .unwrap_or(far);
+                intervals.push((*node, ev.at, heal));
+            }
+            _ => {}
+        }
+    }
+    for t in intervals.iter().map(|i| i.1).collect::<Vec<_>>() {
+        let mut nodes: Vec<usize> = intervals
+            .iter()
+            .filter(|(_, from, until)| *from <= t && t < *until)
+            .map(|(n, _, _)| n.0)
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert!(
+            nodes.len() <= max_impaired,
+            "budget exceeded at t={}ns: impaired nodes {nodes:?}",
+            t.as_nanos()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Schedule generation is a pure function of (config, seed).
+    #[test]
+    fn generation_is_pure(
+        seed: u64,
+        events in 1usize..25,
+        horizon_ms in 500u64..5000,
+    ) {
+        let cfg = gen_cfg(4, events, horizon_ms, 1);
+        prop_assert_eq!(generate_schedule(&cfg, seed), generate_schedule(&cfg, seed));
+    }
+
+    /// Generated schedules never impair more distinct nodes at once than
+    /// the budget allows.
+    #[test]
+    fn generated_schedules_respect_budget(
+        seed: u64,
+        events in 1usize..30,
+        max_impaired in 1usize..3,
+    ) {
+        let cfg = gen_cfg(5, events, 2000, max_impaired);
+        assert_budget(&generate_schedule(&cfg, seed), max_impaired);
+    }
+
+    /// Replaying any generated schedule with the same seed reproduces the
+    /// identical event trace and the identical network statistics.
+    #[test]
+    fn replay_is_deterministic(
+        seed: u64,
+        events in 0usize..12,
+        horizon_ms in 500u64..3000,
+    ) {
+        let cfg = gen_cfg(4, events, horizon_ms, 1);
+        let schedule = generate_schedule(&cfg, seed);
+        let mut h = PingHarness { n: 4 };
+        let (a, va) = run_one(&mut h, seed, &schedule);
+        let (b, vb) = run_one(&mut h, seed, &schedule);
+        prop_assert_eq!(a.trace, b.trace);
+        prop_assert_eq!(a.stats, b.stats);
+        prop_assert_eq!(va, vb);
+    }
+}

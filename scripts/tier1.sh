@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the gate every PR must keep green (see ROADMAP.md).
+#
+# Builds the whole workspace in release mode, then runs the full test
+# suite. Offline by construction: .cargo/config.toml pins net.offline and
+# every external dependency is a vendored path dependency, so this runs
+# identically with or without network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q

@@ -1,0 +1,610 @@
+//! Minimal offline stand-in for the `proptest` crate (1.x API subset).
+//!
+//! The build container has no network access, so this path crate replaces
+//! crates.io `proptest`. It keeps the same surface the workspace's property
+//! tests use — `proptest!`, `prop_assert*`, `prop_assume!`, `prop_oneof!`,
+//! `any::<T>()`, range/tuple/`Just`/`prop_map` strategies, regex-lite string
+//! strategies, `collection::vec`, `option::of`, `sample::Index`, and
+//! `ProptestConfig::with_cases` — but generates inputs with a deterministic
+//! seeded RNG (seed = hash of test path + case index) and panics on the
+//! first failing case instead of shrinking. Failures print the case number
+//! so a run can be replayed exactly; statistical coverage is cruder than
+//! real proptest but the determinism is total.
+
+pub mod test_runner {
+    pub use rand::rngs::StdRng as TestRng;
+    use rand::SeedableRng;
+
+    /// Configuration for a `proptest!` block; only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Deterministic per-case RNG: FNV-1a of the test path mixed with the
+    /// case index, so every test fn gets an independent reproducible stream.
+    pub fn rng_for_case(test_path: &str, case: u64) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::seed_from_u64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::rc::Rc;
+
+    /// A generator of values. Unlike real proptest there is no shrinking
+    /// tree; `generate` draws one value from the strategy's distribution.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            Self(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Weighted choice among boxed strategies (backs `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            let total = options.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! weights sum to zero");
+            Self { options, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, s) in &self.options {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategies {
+        ($(($($S:ident . $idx:tt),+);)*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+        (A.0, B.1, C.2, D.3, E.4, F.5);
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);
+    }
+
+    /// `&str` strategies are interpreted as a tiny regex subset:
+    /// `<class>*`, `<class>{m,n}`, or `<class>` where `<class>` is `\PC`
+    /// (printable), `.`, or a `[a-z0-9_]`-style class with ranges.
+    /// Unrecognised patterns fall back to short alphanumeric strings.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+}
+
+pub mod string {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    const PRINTABLE_EXTRA: &[char] = &['é', 'ß', 'λ', '→', '中', '🦀'];
+
+    enum Class {
+        Printable,
+        Set(Vec<char>),
+    }
+
+    fn parse(pattern: &str) -> Option<(Class, usize, usize)> {
+        let (class, rest) = if let Some(rest) = pattern.strip_prefix("\\PC") {
+            (Class::Printable, rest)
+        } else if let Some(rest) = pattern.strip_prefix('.') {
+            (Class::Printable, rest)
+        } else if let Some(stripped) = pattern.strip_prefix('[') {
+            let close = stripped.find(']')?;
+            let body: Vec<char> = stripped[..close].chars().collect();
+            let mut set = Vec::new();
+            let mut i = 0;
+            while i < body.len() {
+                if i + 2 < body.len() && body[i + 1] == '-' {
+                    let (lo, hi) = (body[i], body[i + 2]);
+                    for c in lo..=hi {
+                        set.push(c);
+                    }
+                    i += 3;
+                } else {
+                    set.push(body[i]);
+                    i += 1;
+                }
+            }
+            if set.is_empty() {
+                return None;
+            }
+            (Class::Set(set), &stripped[close + 1..])
+        } else {
+            return None;
+        };
+
+        match rest {
+            "*" => Some((class, 0, 32)),
+            "+" => Some((class, 1, 32)),
+            "" => Some((class, 1, 1)),
+            _ => {
+                let body = rest.strip_prefix('{')?.strip_suffix('}')?;
+                let (lo, hi) = body.split_once(',')?;
+                Some((class, lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+            }
+        }
+    }
+
+    fn printable_char(rng: &mut TestRng) -> char {
+        if rng.gen_bool(0.15) {
+            PRINTABLE_EXTRA[rng.gen_range(0..PRINTABLE_EXTRA.len())]
+        } else {
+            // ASCII space..tilde: the printable range.
+            rng.gen_range(0x20u8..0x7f) as char
+        }
+    }
+
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let (class, lo, hi) = parse(pattern)
+            .unwrap_or((Class::Set(('a'..='z').chain('0'..='9').collect()), 0, 16));
+        let len = rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| match &class {
+                Class::Printable => printable_char(rng),
+                Class::Set(set) => set[rng.gen_range(0..set.len())],
+            })
+            .collect()
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy, reachable through `any::<T>()`.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_prim {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    arbitrary_prim!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f32, f64);
+
+    macro_rules! arbitrary_tuple {
+        ($($T:ident),+) => {
+            impl<$($T: Arbitrary),+> Arbitrary for ($($T,)+) {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    ($($T::arbitrary(rng),)+)
+                }
+            }
+        };
+    }
+    arbitrary_tuple!(A);
+    arbitrary_tuple!(A, B);
+    arbitrary_tuple!(A, B, C);
+    arbitrary_tuple!(A, B, C, D);
+    arbitrary_tuple!(A, B, C, D, E);
+    arbitrary_tuple!(A, B, C, D, E, F);
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Vec<T> {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            let len = rng.gen_range(0usize..=64);
+            (0..len).map(|_| T::arbitrary(rng)).collect()
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Option<T> {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen_bool(0.75).then(|| T::arbitrary(rng))
+        }
+    }
+
+    impl Arbitrary for String {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            crate::string::generate_from_pattern("\\PC*", rng)
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            crate::string::generate_from_pattern("\\PC", rng).chars().next().unwrap()
+        }
+    }
+
+    pub struct Any<A>(PhantomData<A>);
+
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Inclusive length bounds for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    pub struct OptionStrategy<S>(S);
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            rng.gen_bool(0.75).then(|| self.0.generate(rng))
+        }
+    }
+}
+
+pub mod sample {
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// An index drawn uniformly, scaled to any collection length at use
+    /// time via `index(len)`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            ((self.0 as u128 * len as u128) >> 64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Self(rng.gen())
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate as prop;
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg[$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg[$crate::test_runner::Config::default()] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg[$cfg:expr]) => {};
+    (@cfg[$cfg:expr] $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __pt_cfg = $cfg;
+            for __pt_case in 0..__pt_cfg.cases as u64 {
+                let mut __pt_rng = $crate::test_runner::rng_for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __pt_case,
+                );
+                $crate::__pt_bind! { __pt_rng, $($params)* }
+                $body
+            }
+        }
+        $crate::__proptest_fns! { @cfg[$cfg] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __pt_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $p:pat in $s:expr) => {
+        let $p = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+    };
+    ($rng:ident, $p:pat in $s:expr, $($rest:tt)*) => {
+        let $p = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+        $crate::__pt_bind! { $rng, $($rest)* }
+    };
+    ($rng:ident, $i:ident : $t:ty) => {
+        let $i: $t = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+    };
+    ($rng:ident, $i:ident : $t:ty, $($rest:tt)*) => {
+        let $i: $t = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+        $crate::__pt_bind! { $rng, $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case when the assumption fails. Expands to a
+/// `continue` targeting the case loop generated by `proptest!`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($w:literal => $s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(
+            vec![$(($w as u32, $crate::strategy::Strategy::boxed($s))),+]
+        )
+    };
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(
+            vec![$((1u32, $crate::strategy::Strategy::boxed($s))),+]
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn typed_and_strategy_params(v: u32, (a, b) in (0u8..10, 5u64..=6), s in "[a-z]{0,32}") {
+            prop_assert!(a < 10);
+            prop_assert!(b == 5 || b == 6);
+            prop_assert!(s.len() <= 32);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let _ = v;
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_collections(xs in prop::collection::vec(prop_oneof![2 => 0u8..4, 1 => 10u8..14], 0..20)) {
+            prop_assert!(xs.len() < 20);
+            prop_assert!(xs.iter().all(|&x| x < 4 || (10..14).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u64..1000, 0..50);
+        let mut r1 = crate::test_runner::rng_for_case("x", 3);
+        let mut r2 = crate::test_runner::rng_for_case("x", 3);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}
