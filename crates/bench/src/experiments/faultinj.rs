@@ -208,7 +208,7 @@ impl ChaosHarness for NfsChaosHarness {
 pub fn run_faultinj() {
     let mut t = Table::new(
         "E6: fault injection — chaos campaigns over the replicated NFS service",
-        &["mix", "latent bug", "runs", "events", "failed runs", "verdict"],
+        &["mix", "latent bug", "runs", "events", "vc", "st", "rec", "failed runs", "verdict"],
     );
     let cells = [
         (FsMix::Heterogeneous, false, "4 distinct impls"),
@@ -217,11 +217,13 @@ pub fn run_faultinj() {
         (FsMix::HomogeneousInode, true, "4 x inode-fs"),
     ];
     let mut bug_failure = None;
+    let mut total_coverage = base_simnet::chaos::Coverage::default();
     for (mix, bug, mixname) in cells {
         let mut h = NfsChaosHarness::new(mix);
         h.with_latent_bug = bug;
         let cfg = h.gen_config(5, SimDuration::from_secs(6));
         let report = run_campaign(&mut h, &cfg, 6200..6206);
+        total_coverage.merge(&report.coverage);
         let verdict = if report.passed() {
             "masked".to_string()
         } else {
@@ -233,6 +235,9 @@ pub fn run_faultinj() {
             if bug { "armed".into() } else { "-".into() },
             report.runs.to_string(),
             report.events_executed.to_string(),
+            format!("{}/{}", report.coverage.view_changes_started, report.coverage.view_changes_completed),
+            report.coverage.state_transfers_completed.to_string(),
+            report.coverage.recoveries_completed.to_string(),
             report.failures.len().to_string(),
             verdict,
         ]);
@@ -249,6 +254,7 @@ pub fn run_faultinj() {
         }
     }
     t.print();
+    println!("\ncoverage (all cells): {total_coverage}");
     if let Some(f) = bug_failure {
         println!("\ndeterministic-bug reproduction (homogeneous mix):\n{f}");
     }

@@ -14,7 +14,8 @@ type KvReplica = BaseReplica<KvWrapper>;
 struct Out {
     ops: u64,
     elapsed_ns: u64,
-    batches: u64,
+    mean_batch: f64,
+    p99_latency_ns: u64,
 }
 
 fn run_once(clients: usize, ops_per_client: usize) -> Out {
@@ -52,19 +53,51 @@ fn run_once(clients: usize, ops_per_client: usize) -> Out {
     }
     let total_ops = (clients * ops_per_client) as u64;
     assert_eq!(done, total_ops, "all clients must finish");
-    let batches = sim.actor_as::<KvReplica>(replicas[0]).unwrap().stats.executed_batches;
-    Out { ops: total_ops, elapsed_ns: wallclock_of(&sim, &client_nodes), batches }
+    // Batch statistics come from the replica's metrics registry: the
+    // `replica.batch_occupancy` histogram records one sample per executed
+    // pre-prepare, valued at the batch's request count.
+    let occupancy = sim
+        .actor_as::<KvReplica>(replicas[0])
+        .unwrap()
+        .metrics()
+        .histogram("replica.batch_occupancy")
+        .cloned()
+        .unwrap_or_default();
+    // Merge the clients' latency histograms for the aggregate tail.
+    let mut latency = base_simnet::Histogram::default();
+    for &n in &client_nodes {
+        if let Some(h) = sim
+            .actor_as::<BaseClient>(n)
+            .unwrap()
+            .core()
+            .metrics
+            .histogram("client.request_latency_ns")
+        {
+            latency.merge(h);
+        }
+    }
+    assert!(occupancy.count() > 0, "replica recorded no executed batches");
+    Out {
+        ops: total_ops,
+        elapsed_ns: wallclock_of(&sim, &client_nodes),
+        mean_batch: occupancy.mean(),
+        p99_latency_ns: latency.quantile(0.99),
+    }
 }
 
 /// The virtual instant at which the last client finished.
 fn wallclock_of(sim: &Simulation, clients: &[base_simnet::NodeId]) -> u64 {
-    // Clients record per-op latencies, not absolute times; approximate the
-    // makespan by the maximum over clients of the sum of their latencies
-    // (closed-loop ⇒ back-to-back ops, so the sum is that client's span).
+    // Closed-loop clients run back-to-back ops, so each client's span is
+    // the sum of its latency histogram; the makespan is the maximum.
     clients
         .iter()
         .map(|&n| {
-            sim.actor_as::<BaseClient>(n).unwrap().core().latencies_ns.iter().sum::<u64>()
+            sim.actor_as::<BaseClient>(n)
+                .unwrap()
+                .core()
+                .metrics
+                .histogram("client.request_latency_ns")
+                .map_or(0, |h| h.sum())
         })
         .max()
         .unwrap_or(0)
@@ -75,7 +108,7 @@ pub fn run_throughput() {
     let ops_per_client = 150;
     let mut t = Table::new(
         "E9 (extension): throughput vs concurrent clients (150 writes each, batching)",
-        &["clients", "total ops", "makespan (s)", "throughput (ops/s)", "ops per batch"],
+        &["clients", "total ops", "makespan (s)", "throughput (ops/s)", "ops per batch", "p99 latency (ms)"],
     );
     for clients in [1usize, 2, 4, 8] {
         let o = run_once(clients, ops_per_client);
@@ -85,7 +118,8 @@ pub fn run_throughput() {
             o.ops.to_string(),
             format!("{secs:.3}"),
             format!("{:.0}", o.ops as f64 / secs),
-            format!("{:.2}", o.ops as f64 / o.batches.max(1) as f64),
+            format!("{:.2}", o.mean_batch),
+            format!("{:.2}", o.p99_latency_ns as f64 / 1e6),
         ]);
     }
     t.print();

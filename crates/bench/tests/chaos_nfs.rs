@@ -20,6 +20,21 @@ fn nfs_campaign_passes_auditor() {
     if let Some(f) = report.failures.first() {
         panic!("nfs campaign failed:\n{f}");
     }
+
+    // Acceptance campaigns must exercise the paper's mechanisms, not just
+    // schedule faults; CI gates on the forced-view-change count in this
+    // coverage artifact.
+    println!("{}", report.summary());
+    assert!(
+        report.coverage.view_changes_started > 0,
+        "nfs campaign forced no view changes:\n{}",
+        report.coverage
+    );
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/chaos-coverage");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(dir.join("nfs_mixed.json"), report.coverage_json());
+    }
 }
 
 #[test]

@@ -5,6 +5,7 @@ use crate::wrapper::{ModifyLog, Wrapper};
 use base_crypto::Digest;
 use base_pbft::tree::leaf_digest;
 use base_pbft::{CostModel, ExecEnv, PartitionTree, Service};
+use base_simnet::MetricsRegistry;
 use std::collections::{BTreeMap, HashMap};
 
 /// Branching factor of the abstract-state partition tree.
@@ -48,6 +49,9 @@ pub struct BaseService<W: Wrapper> {
     cost: CostModel,
     /// Experiment counters.
     pub stats: BaseStats,
+    /// Abstraction-layer metrics (`base.*` names): checkpoint dirty-set
+    /// sizes, pre-image copies, install/rebuild activity.
+    pub metrics: MetricsRegistry,
 }
 
 impl<W: Wrapper> BaseService<W> {
@@ -63,6 +67,7 @@ impl<W: Wrapper> BaseService<W> {
             last_ckpt: None,
             cost: CostModel::default(),
             stats: BaseStats::default(),
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -111,7 +116,9 @@ impl<W: Wrapper> Service for BaseService<W> {
     ) -> Vec<u8> {
         let before = self.mods.dirty_count();
         let result = self.wrapper.execute(op, client, nondet, read_only, &mut self.mods, env);
-        self.stats.preimage_copies += (self.mods.dirty_count() - before) as u64;
+        let copies = (self.mods.dirty_count() - before) as u64;
+        self.stats.preimage_copies += copies;
+        self.metrics.add("base.preimage_copies", copies);
         result
     }
 
@@ -129,12 +136,14 @@ impl<W: Wrapper> Service for BaseService<W> {
         // reverse-delta record. Before the first checkpoint there is no
         // retained checkpoint to attach them to.
         let copies = self.mods.drain();
+        self.metrics.observe("base.checkpoint_dirty_objects", copies.len() as u64);
         if let Some(prev) = self.last_ckpt {
             self.records.insert(prev, copies);
         }
         self.ckpt_trees.insert(seq, self.tree.clone());
         self.last_ckpt = Some(seq);
         self.stats.checkpoints += 1;
+        self.metrics.inc("base.checkpoints");
         self.tree.root_digest()
     }
 
@@ -188,6 +197,7 @@ impl<W: Wrapper> Service for BaseService<W> {
         env: &mut ExecEnv<'_>,
     ) {
         self.stats.objects_installed += objs.len() as u64;
+        self.metrics.add("base.objects_installed", objs.len() as u64);
         self.wrapper.put_objs(&objs, env);
         for (idx, value) in &objs {
             let digest = match value {
@@ -226,6 +236,7 @@ impl<W: Wrapper> Service for BaseService<W> {
             // mismatches and get repaired by the fetch.
             self.wrapper.rebuild_rep(env);
             self.stats.rebuild_scans += 1;
+            self.metrics.inc("base.rebuild_scans");
             for idx in 0..self.wrapper.n_objects() {
                 let value = self.wrapper.get_obj(idx);
                 let digest = match &value {

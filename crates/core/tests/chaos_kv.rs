@@ -248,6 +248,20 @@ fn kv_campaign_passes_auditor() {
     if let Some(f) = report.failures.first() {
         panic!("kv campaign failed:\n{f}");
     }
+
+    // Trace-derived coverage: the campaign must actually drive the
+    // recovery machinery on the abstraction-wrapped service.
+    println!("{}", report.summary());
+    assert!(
+        report.coverage.recoveries_completed > 0,
+        "kv campaign completed no proactive recoveries:\n{}",
+        report.coverage
+    );
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/chaos-coverage");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(dir.join("kv_mixed.json"), report.coverage_json());
+    }
 }
 
 #[test]

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod oo7;
 pub mod store;
 pub mod wrapper;

@@ -5,7 +5,7 @@
 //! defines the application-fault vocabulary (Byzantine-mode flips, latent
 //! state corruption, proactive-recovery triggers), builds a seeded workload
 //! whose results admit an exact linearizability check, and audits every
-//! finished run for the four campaign invariants:
+//! finished run for the five campaign invariants:
 //!
 //! 1. **Linearizability** of completed client operations. Each write adds a
 //!    distinct power-of-two delta to one register, so every correct result
@@ -19,6 +19,8 @@
 //!    its last write matches the reply cached by the clean replicas.
 //! 4. **Liveness**: every client finishes its whole workload once all
 //!    scheduled faults have healed.
+//! 5. **View agreement**: honest replicas settle in the same view once the
+//!    schedule drains (view-change storms must converge, not spin).
 
 use crate::byzantine::ByzMode;
 use crate::config::Config;
@@ -249,6 +251,28 @@ impl CounterChaosHarness {
         Ok(())
     }
 
+    fn audit_view_agreement(&self, sim: &Simulation) -> Result<(), String> {
+        // After the settle window every honest replica must have converged
+        // on one view: a replica stuck in a higher view than its peers
+        // either lost a new-view message it can no longer recover or is
+        // spinning through view changes — both liveness bugs a view-change
+        // storm is designed to expose.
+        let honest = self.honest_replicas(sim);
+        let mut views: Vec<(NodeId, u64)> =
+            honest.iter().map(|&r| (r, self.replica(sim, r).view())).collect();
+        views.sort_by_key(|&(_, v)| v);
+        if let (Some(&(lo_node, lo)), Some(&(hi_node, hi))) = (views.first(), views.last()) {
+            if lo != hi {
+                return Err(format!(
+                    "view agreement: honest replicas settled in different views \
+                     (replica {} in view {lo}, replica {} in view {hi})",
+                    lo_node.0, hi_node.0
+                ));
+            }
+        }
+        Ok(())
+    }
+
     fn audit_checkpoints(&self, sim: &Simulation) -> Result<(), String> {
         // Pairwise digest agreement at every retained sequence number,
         // among replicas whose local metadata was never poisoned.
@@ -417,6 +441,7 @@ impl ChaosHarness for CounterChaosHarness {
     fn audit(&mut self, sim: &mut Simulation, trace: &mut Vec<String>) -> Result<(), String> {
         self.audit_liveness(sim)?;
         self.audit_linearizability(sim)?;
+        self.audit_view_agreement(sim)?;
         self.audit_checkpoints(sim)?;
         self.audit_reply_certificates(sim)?;
         trace.push(format!(

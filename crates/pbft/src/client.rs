@@ -5,7 +5,7 @@ use crate::config::Config;
 use crate::cost::CostModel;
 use crate::messages::{Message, ReplyMsg, RequestMsg};
 use base_crypto::{Authenticator, NodeKeys};
-use base_simnet::{Actor, Context, NodeId, SimDuration, TimerId};
+use base_simnet::{Actor, Context, MetricsRegistry, NodeId, ProtocolEvent, SimDuration, TimerId};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Timer token used by the embedded client core (high bit set so embedding
@@ -72,6 +72,9 @@ pub struct ClientCore {
     /// queued one; the embedding actor paces submissions itself (see
     /// [`ClientActor::set_pace`]).
     pub auto_pump: bool,
+    /// Client-side metrics (request latency, retransmissions, quorum
+    /// degradations).
+    pub metrics: MetricsRegistry,
 }
 
 impl ClientCore {
@@ -94,6 +97,7 @@ impl ClientCore {
             ro_degradations: 0,
             bug_accept_first_reply: false,
             auto_pump: true,
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -245,8 +249,9 @@ impl ClientCore {
         if let Some(t) = done.timer {
             ctx.cancel_timer(t);
         }
-        self.latencies_ns
-            .push(ctx.now().as_nanos().saturating_sub(done.submitted_at_ns));
+        let latency = ctx.now().as_nanos().saturating_sub(done.submitted_at_ns);
+        self.latencies_ns.push(latency);
+        self.metrics.observe("client.request_latency_ns", latency);
         if self.auto_pump {
             self.pump(ctx);
         }
@@ -263,6 +268,10 @@ impl ClientCore {
         pending.attempts += 1;
         pending.timer = None;
         self.retransmissions += 1;
+        self.metrics.inc("client.retransmissions");
+        let pending_ts = pending.ts;
+        ctx.emit(self.view_guess, pending_ts, ProtocolEvent::ClientRetransmit);
+        let pending = self.pending.as_mut().expect("still pending");
 
         // Read-only fallback: reissue through the full quorum protocol
         // after two failed attempts, or immediately when the immediate
@@ -278,6 +287,8 @@ impl ClientCore {
             pending.votes.clear();
             pending.full.clear();
             self.ro_degradations += 1;
+            self.metrics.inc("client.ro_degradations");
+            ctx.emit(self.view_guess, ts, ProtocolEvent::ReplyQuorumDegraded);
         }
         let req = self.build_request(ts, op, effective_ro, attempts, ctx);
         // Retransmissions are broadcast so backups can nudge the primary

@@ -18,7 +18,7 @@ use crate::messages::{
 use crate::service::{ExecEnv, Service};
 use crate::transfer::{checkpoint_digest, FetchResult, Fetcher, META_ROOT_LEVEL, REPLIES_INDEX};
 use base_crypto::{Authenticator, Digest, NodeKeys};
-use base_simnet::{Actor, Context, NodeId, SimDuration, TimerId};
+use base_simnet::{Actor, Context, MetricsRegistry, NodeId, ProtocolEvent, SimDuration, TimerId};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// Timer tokens.
@@ -121,6 +121,10 @@ pub struct Replica<S: Service> {
 
     /// Public counters.
     pub stats: ReplicaStats,
+    /// Per-replica metrics: counters plus log-scale histograms (request
+    /// batch occupancy, checkpoint duration, transfer sizes, recovery
+    /// wall-time). Always recorded; aggregated by experiments.
+    pub metrics: MetricsRegistry,
 }
 
 impl<S: Service> Replica<S> {
@@ -165,7 +169,13 @@ impl<S: Service> Replica<S> {
             last_exec_at_tick: 0,
             idle_ticks: 0,
             stats: ReplicaStats::default(),
+            metrics: MetricsRegistry::new(),
         }
+    }
+
+    /// The replica's metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Configures Byzantine behaviour (fault injection).
@@ -708,6 +718,8 @@ impl<S: Service> Replica<S> {
     }
 
     fn execute_batch(&mut self, pp: &PrePrepareMsg, ctx: &mut Context<'_>) {
+        ctx.emit(pp.view, pp.seq, ProtocolEvent::RequestExecuted { batch: pp.requests.len() as u64 });
+        self.metrics.observe("replica.batch_occupancy", pp.requests.len() as u64);
         for req in &pp.requests {
             if !self.reply_cache.is_new(req.client, req.timestamp) {
                 // Already executed (e.g. re-proposed across a view change);
@@ -754,6 +766,9 @@ impl<S: Service> Replica<S> {
         }
         self.ckpt_meta.insert(seq, CkptMeta { service_root, replies_blob, composite });
         self.stats.checkpoints_taken += 1;
+        self.metrics.inc("replica.checkpoints_taken");
+        // Duration: the CPU charged for digesting the service state.
+        self.metrics.observe_duration("replica.checkpoint_ns", charged);
 
         let mut msg = CheckpointMsg {
             seq,
@@ -800,6 +815,8 @@ impl<S: Service> Replica<S> {
         self.stable_seq = seq;
         self.stable_cert = cert;
         self.stats.stable_checkpoints += 1;
+        self.metrics.inc("replica.stable_checkpoints");
+        ctx.emit(self.view, seq, ProtocolEvent::CheckpointStable);
         self.log.gc_up_to(seq);
         self.ckpt_collector.gc_up_to(seq);
         // Keep the stable checkpoint itself; discard older ones.
@@ -834,6 +851,8 @@ impl<S: Service> Replica<S> {
             self.send(ctx, NodeId(to as usize), &msg);
         }
         self.fetcher = Some(fetcher);
+        ctx.emit(self.view, seq, ProtocolEvent::StateTransferFetchStarted);
+        self.metrics.inc("transfer.fetches_started");
     }
 
     fn finish_fetch(&mut self, result: FetchResult, ctx: &mut Context<'_>) {
@@ -841,6 +860,17 @@ impl<S: Service> Replica<S> {
         self.stats.state_transfer_bytes += result.fetched_bytes;
         self.stats.state_transfer_objects += result.objects.len() as u64;
         self.stats.state_transfer_meta_queries += result.meta_queries;
+        ctx.emit(
+            self.view,
+            result.seq,
+            ProtocolEvent::StateTransferFetchCompleted { objects: result.objects.len() as u64 },
+        );
+        self.metrics.inc("transfer.completed");
+        self.metrics.observe("transfer.bytes_fetched", result.fetched_bytes);
+        self.metrics.observe("transfer.objects_fetched", result.objects.len() as u64);
+        self.metrics.add("transfer.meta_queries", result.meta_queries);
+        self.metrics.add("transfer.corrupt_replies", result.corrupt_replies);
+        self.metrics.add("transfer.retransmissions", result.retransmissions);
 
         // Install the reply cache and the service objects.
         if let Some(cache) = ReplyCache::from_blob(&result.replies_blob) {
@@ -891,9 +921,16 @@ impl<S: Service> Replica<S> {
                 ctx.now().as_nanos().saturating_sub(self.recovery_started_at_ns);
             // State transfer has replaced any corrupted objects: a replica
             // whose only fault was damaged state is correct again.
-            if matches!(self.byz, ByzMode::CorruptState) {
+            let repaired = matches!(self.byz, ByzMode::CorruptState);
+            if repaired {
                 self.byz = ByzMode::Honest;
             }
+            ctx.emit(
+                self.view,
+                result.seq,
+                ProtocolEvent::RecoveryCompleted { repaired_corruption: repaired },
+            );
+            self.metrics.observe("replica.recovery_ns", self.last_recovery_ns);
         }
 
         // Re-execute any committed batches beyond the checkpoint.
@@ -954,6 +991,11 @@ impl<S: Service> Replica<S> {
             Some(f) => f.on_meta_reply(&m, self.service.current_tree()),
             None => return,
         };
+        ctx.emit(
+            self.view,
+            m.seq,
+            ProtocolEvent::StateTransferFetchChunk { bytes: (m.digests.len() * 32) as u64 },
+        );
         for (to, msg) in out {
             self.send(ctx, NodeId(to as usize), &msg);
         }
@@ -968,6 +1010,11 @@ impl<S: Service> Replica<S> {
             Some(f) => f.on_object_reply(&m, self.service.current_tree()),
             None => return,
         };
+        ctx.emit(
+            self.view,
+            m.seq,
+            ProtocolEvent::StateTransferFetchChunk { bytes: m.data.len() as u64 },
+        );
         for (to, msg) in out {
             self.send(ctx, NodeId(to as usize), &msg);
         }
@@ -1013,6 +1060,8 @@ impl<S: Service> Replica<S> {
             self.stats.recoveries += 1;
             self.last_recovery_ns =
                 ctx.now().as_nanos().saturating_sub(self.recovery_started_at_ns);
+            ctx.emit(self.view, seq, ProtocolEvent::RecoveryCompleted { repaired_corruption: false });
+            self.metrics.observe("replica.recovery_ns", self.last_recovery_ns);
         }
     }
 
@@ -1027,6 +1076,8 @@ impl<S: Service> Replica<S> {
         self.view = target;
         self.in_view_change = true;
         self.stats.view_changes_started += 1;
+        self.metrics.inc("replica.view_changes_started");
+        ctx.emit(target, self.stable_seq, ProtocolEvent::ViewChangeStarted);
 
         // Build our view-change message from the log.
         let mut prepared = Vec::new();
@@ -1244,6 +1295,8 @@ impl<S: Service> Replica<S> {
         self.in_view_change = false;
         self.last_new_view = nv.view;
         self.stats.new_views_installed += 1;
+        self.metrics.inc("replica.new_views_installed");
+        ctx.emit(nv.view, self.stable_seq, ProtocolEvent::ViewChangeCompleted);
         self.own_vc = None;
         self.last_nv_msg = Some(nv.clone());
         self.vc_timeout = self.cfg.view_change_timeout;
@@ -1479,6 +1532,8 @@ impl<S: Service> Replica<S> {
         self.keys.refresh();
         self.recovering = true;
         self.recovery_started_at_ns = ctx.now().as_nanos();
+        ctx.emit(self.view, self.stable_seq, ProtocolEvent::RecoveryStarted);
+        self.metrics.inc("replica.recoveries_started");
         let clock = ctx.local_clock().as_nanos();
         {
             let mut env = ExecEnv::new(clock, ctx.rng());
@@ -1512,6 +1567,8 @@ impl<S: Service> Replica<S> {
             // unless a cert reply teaches us otherwise.
             self.recovering = false;
             self.stats.recoveries += 1;
+            ctx.emit(self.view, 0, ProtocolEvent::RecoveryCompleted { repaired_corruption: false });
+            self.metrics.observe("replica.recovery_ns", 0);
         }
 
         // Re-arm for the next rotation.

@@ -57,6 +57,10 @@ pub struct FetchResult {
     pub fetched_bytes: u64,
     /// Number of meta (partition) queries issued.
     pub meta_queries: u64,
+    /// Replies discarded because their digest did not verify.
+    pub corrupt_replies: u64,
+    /// Queries retransmitted (timeouts plus corrupt replies).
+    pub retransmissions: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -421,6 +425,8 @@ impl Fetcher {
             replies_blob: self.replies_blob.clone().expect("checked above"),
             fetched_bytes: self.fetched_bytes,
             meta_queries: self.meta_queries,
+            corrupt_replies: self.corrupt_replies,
+            retransmissions: self.retransmissions,
         })
     }
 }

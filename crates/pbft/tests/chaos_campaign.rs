@@ -8,11 +8,22 @@
 use base_pbft::chaos::{CounterChaosHarness, APP_BYZ, APP_CORRUPT_STATE};
 use base_pbft::ByzMode;
 use base_simnet::chaos::{
-    generate_schedule, minimize, run_campaign, run_one, ChaosEvent, FaultSchedule, NetFault,
+    generate_schedule, minimize, run_campaign, run_campaign_parallel, run_one, CampaignMode,
+    CampaignReport, ChaosEvent, FaultSchedule, NetFault,
 };
 use base_simnet::{NodeId, SimDuration, SimTime};
 
 const SEEDS: std::ops::Range<u64> = 0..20;
+
+/// Writes the campaign's coverage JSON under `target/chaos-coverage/` so CI
+/// can upload it as an artifact and gate on its contents.
+fn write_coverage_artifact(name: &str, report: &CampaignReport) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/chaos-coverage");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(dir.join(format!("{name}.json")), report.coverage_json());
+    }
+}
 
 #[test]
 fn campaign_composes_faults_and_passes_auditor() {
@@ -45,6 +56,59 @@ fn campaign_composes_faults_and_passes_auditor() {
     if let Some(f) = report.failures.first() {
         panic!("campaign failed:\n{f}");
     }
+
+    // Coverage is derived from the protocol event trace of every run; a
+    // 20-run mixed campaign must actually force the paper's recovery
+    // mechanisms, not merely schedule faults.
+    println!("{}", report.summary());
+    write_coverage_artifact("counter_mixed", &report);
+    let cov = report.coverage;
+    assert!(cov.view_changes_started > 0, "campaign forced no view changes:\n{cov}");
+    assert!(cov.state_transfers_completed > 0, "campaign completed no state transfers:\n{cov}");
+    assert!(cov.recoveries_completed > 0, "campaign completed no recoveries:\n{cov}");
+    assert!(cov.corrupt_state_repairs > 0, "campaign repaired no corrupt state:\n{cov}");
+    assert_eq!(report.seed_coverage.len(), report.runs);
+}
+
+#[test]
+fn storm_campaign_forces_view_changes_and_converges() {
+    let h = CounterChaosHarness::new(4);
+    let cfg = h.gen_config(5, SimDuration::from_secs(8));
+    let report = run_campaign_parallel(
+        || CounterChaosHarness::new(4),
+        CampaignMode::Storm,
+        &cfg,
+        0..8u64,
+        4,
+    );
+    if let Some(f) = report.failures.first() {
+        panic!("storm campaign failed:\n{f}");
+    }
+    println!("{}", report.summary());
+    write_coverage_artifact("counter_storm", &report);
+    assert!(
+        report.coverage.view_changes_completed > 0,
+        "primary-targeting storm must complete view changes:\n{}",
+        report.coverage
+    );
+    assert!(
+        report.runs_with_view_change >= report.runs / 2,
+        "most storm runs should force a view change ({}/{})",
+        report.runs_with_view_change,
+        report.runs
+    );
+
+    // The parallel runner is a determinism-preserving optimization: the
+    // merged report must be byte-identical to the sequential one.
+    let sequential = run_campaign_parallel(
+        || CounterChaosHarness::new(4),
+        CampaignMode::Storm,
+        &cfg,
+        0..8u64,
+        1,
+    );
+    assert_eq!(report.summary(), sequential.summary());
+    assert_eq!(report.coverage_json(), sequential.coverage_json());
 }
 
 #[test]

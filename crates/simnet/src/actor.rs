@@ -1,6 +1,7 @@
 //! Actors and the per-event effect context.
 
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{ProtocolEvent, TraceEvent, TraceSink};
 use rand::rngs::StdRng;
 use std::any::Any;
 
@@ -60,6 +61,8 @@ pub struct Context<'a> {
     pub(crate) charged: SimDuration,
     pub(crate) next_timer_id: &'a mut u64,
     pub(crate) rng: &'a mut StdRng,
+    pub(crate) trace: &'a mut dyn TraceSink,
+    pub(crate) trace_enabled: bool,
 }
 
 impl<'a> Context<'a> {
@@ -135,5 +138,20 @@ impl<'a> Context<'a> {
     /// the simulation seed, so runs are reproducible.
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
+    }
+
+    /// True when a recording [`TraceSink`] is installed. Lets callers skip
+    /// building expensive event payloads when tracing is off.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_enabled
+    }
+
+    /// Emits a protocol event, stamped with the current virtual time and
+    /// this node's id, into the simulation's trace sink. A no-op (one
+    /// untaken branch) when tracing is disabled.
+    pub fn emit(&mut self, view: u64, seq: u64, event: ProtocolEvent) {
+        if self.trace_enabled {
+            self.trace.record(TraceEvent { at: self.now, node: self.self_id, view, seq, event });
+        }
     }
 }

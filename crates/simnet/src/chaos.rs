@@ -16,10 +16,13 @@
 //! trace and the same [`NetStats`], which the determinism tests assert.
 
 use crate::faults::{ActiveWindow, BitFlipper, Duplicator, FilterChain, Isolate, SlowLink};
+use crate::trace::{ProtocolEvent, RingBufferSink, TraceEvent};
 use crate::{NetStats, NodeId, SimDuration, SimTime, Simulation};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
+use std::fmt::Write as _;
+use std::sync::Mutex;
 
 /// A network-level fault, active for the duration attached to its event.
 #[derive(Debug, Clone, PartialEq)]
@@ -236,6 +239,151 @@ pub trait ChaosHarness {
     fn audit(&mut self, sim: &mut Simulation, trace: &mut Vec<String>) -> Result<(), String>;
 }
 
+/// What a run actually exercised, derived from the recorded protocol trace
+/// (see [`crate::trace`]). Thin schedules — ones that never force a view
+/// change or a state transfer — show up as zero rows in the campaign
+/// summary instead of silently passing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Coverage {
+    /// View changes started (replicas moving to a higher view).
+    pub view_changes_started: u64,
+    /// New-view certificates installed.
+    pub view_changes_completed: u64,
+    /// Checkpoints that gathered a stable certificate.
+    pub checkpoints_stable: u64,
+    /// State-transfer fetches started.
+    pub state_transfers_started: u64,
+    /// State transfers that brought a replica up to date.
+    pub state_transfers_completed: u64,
+    /// Proactive recoveries started.
+    pub recoveries_started: u64,
+    /// Proactive recoveries completed.
+    pub recoveries_completed: u64,
+    /// Completed recoveries whose window overlapped an active partition.
+    pub recoveries_overlapping_partition: u64,
+    /// Completed recoveries that repaired corrupt concrete state.
+    pub corrupt_state_repairs: u64,
+    /// Client retransmissions observed.
+    pub client_retransmits: u64,
+    /// Read-only requests degraded to the full protocol.
+    pub quorum_degradations: u64,
+}
+
+impl Coverage {
+    /// Derives coverage from a recorded trace. Partition windows from the
+    /// schedule decide which recoveries count as overlapping a partition:
+    /// a recovery overlaps when its `[started, completed]` span on one
+    /// node intersects any scheduled partition window.
+    pub fn from_trace(events: &[TraceEvent], schedule: &FaultSchedule) -> Coverage {
+        let partitions: Vec<(SimTime, SimTime)> = schedule
+            .events
+            .iter()
+            .filter_map(|e| match &e.event {
+                ChaosEvent::Net { fault: NetFault::Partition { .. }, dur } => {
+                    Some((e.at, e.at + *dur))
+                }
+                _ => None,
+            })
+            .collect();
+
+        let mut cov = Coverage::default();
+        // Earliest unmatched RecoveryStarted per node, for overlap spans.
+        let mut open_recovery: Vec<(NodeId, SimTime)> = Vec::new();
+        for ev in events {
+            match ev.event {
+                ProtocolEvent::ViewChangeStarted => cov.view_changes_started += 1,
+                ProtocolEvent::ViewChangeCompleted => cov.view_changes_completed += 1,
+                ProtocolEvent::CheckpointStable => cov.checkpoints_stable += 1,
+                ProtocolEvent::StateTransferFetchStarted => cov.state_transfers_started += 1,
+                ProtocolEvent::StateTransferFetchChunk { .. } => {}
+                ProtocolEvent::StateTransferFetchCompleted { .. } => {
+                    cov.state_transfers_completed += 1;
+                }
+                ProtocolEvent::RecoveryStarted => {
+                    cov.recoveries_started += 1;
+                    open_recovery.push((ev.node, ev.at));
+                }
+                ProtocolEvent::RecoveryCompleted { repaired_corruption } => {
+                    cov.recoveries_completed += 1;
+                    if repaired_corruption {
+                        cov.corrupt_state_repairs += 1;
+                    }
+                    let started = open_recovery
+                        .iter()
+                        .position(|(n, _)| *n == ev.node)
+                        .map(|i| open_recovery.remove(i).1)
+                        .unwrap_or(ev.at);
+                    if partitions.iter().any(|(from, until)| started < *until && *from < ev.at) {
+                        cov.recoveries_overlapping_partition += 1;
+                    }
+                }
+                ProtocolEvent::RequestExecuted { .. } => {}
+                ProtocolEvent::ClientRetransmit => cov.client_retransmits += 1,
+                ProtocolEvent::ReplyQuorumDegraded => cov.quorum_degradations += 1,
+            }
+        }
+        cov
+    }
+
+    /// Adds `other` into `self` (campaign aggregation).
+    pub fn merge(&mut self, other: &Coverage) {
+        self.view_changes_started += other.view_changes_started;
+        self.view_changes_completed += other.view_changes_completed;
+        self.checkpoints_stable += other.checkpoints_stable;
+        self.state_transfers_started += other.state_transfers_started;
+        self.state_transfers_completed += other.state_transfers_completed;
+        self.recoveries_started += other.recoveries_started;
+        self.recoveries_completed += other.recoveries_completed;
+        self.recoveries_overlapping_partition += other.recoveries_overlapping_partition;
+        self.corrupt_state_repairs += other.corrupt_state_repairs;
+        self.client_retransmits += other.client_retransmits;
+        self.quorum_degradations += other.quorum_degradations;
+    }
+
+    /// Deterministic single-line JSON rendering.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"view_changes_started\":{},\"view_changes_completed\":{},\
+             \"checkpoints_stable\":{},\"state_transfers_started\":{},\
+             \"state_transfers_completed\":{},\"recoveries_started\":{},\
+             \"recoveries_completed\":{},\"recoveries_overlapping_partition\":{},\
+             \"corrupt_state_repairs\":{},\"client_retransmits\":{},\
+             \"quorum_degradations\":{}}}",
+            self.view_changes_started,
+            self.view_changes_completed,
+            self.checkpoints_stable,
+            self.state_transfers_started,
+            self.state_transfers_completed,
+            self.recoveries_started,
+            self.recoveries_completed,
+            self.recoveries_overlapping_partition,
+            self.corrupt_state_repairs,
+            self.client_retransmits,
+            self.quorum_degradations
+        )
+    }
+}
+
+impl fmt::Display for Coverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "vc={}/{} ckpt={} st={}/{} rec={}/{} rec_part={} repairs={} retx={} degr={}",
+            self.view_changes_started,
+            self.view_changes_completed,
+            self.checkpoints_stable,
+            self.state_transfers_started,
+            self.state_transfers_completed,
+            self.recoveries_started,
+            self.recoveries_completed,
+            self.recoveries_overlapping_partition,
+            self.corrupt_state_repairs,
+            self.client_retransmits,
+            self.quorum_degradations
+        )
+    }
+}
+
 /// Outcome of a single run: the deterministic event trace plus final
 /// network statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -244,9 +392,20 @@ pub struct RunOutcome {
     pub trace: Vec<String>,
     /// Final network statistics of the run.
     pub stats: NetStats,
+    /// Protocol events recorded during the run (ring-buffered).
+    pub events: Vec<TraceEvent>,
+    /// Coverage counters derived from `events`.
+    pub coverage: Coverage,
 }
 
-/// Executes one schedule against a fresh simulation built by the harness.
+/// Capacity of the per-run trace ring buffer. Generous for campaign-sized
+/// runs; long runs keep the most recent window, which is what failure
+/// reports and coverage care about.
+const RUN_TRACE_CAP: usize = 1 << 16;
+
+/// Executes one schedule against a fresh simulation built by the harness,
+/// recording protocol events into a [`RingBufferSink`] and deriving the
+/// run's [`Coverage`] from them.
 ///
 /// Network faults are installed up front as [`ActiveWindow`]-gated filters
 /// (so they activate and heal purely by sim time); crash and app events are
@@ -258,6 +417,7 @@ pub fn run_one<H: ChaosHarness>(
     schedule: &FaultSchedule,
 ) -> (RunOutcome, Result<(), String>) {
     let mut sim = harness.build(seed);
+    sim.set_trace_sink(Box::new(RingBufferSink::new(RUN_TRACE_CAP)));
     let mut trace = Vec::new();
 
     let mut chain = FilterChain::new();
@@ -299,7 +459,10 @@ pub fn run_one<H: ChaosHarness>(
 
     sim.run_until(schedule.end() + harness.settle());
     let verdict = harness.audit(&mut sim, &mut trace);
-    (RunOutcome { trace, stats: sim.stats().clone() }, verdict)
+    let events = sim.trace_snapshot();
+    let coverage = Coverage::from_trace(&events, schedule);
+    trace.push(format!("coverage: {coverage}"));
+    (RunOutcome { trace, stats: sim.stats().clone(), events, coverage }, verdict)
 }
 
 /// Greedy event-removal shrinking: repeatedly drops any event whose removal
@@ -492,6 +655,37 @@ pub fn generate_schedule(cfg: &ScheduleGenConfig, seed: u64) -> FaultSchedule {
     schedule
 }
 
+/// Generates a primary-targeting "view-change storm": waves of crash or
+/// partition windows that chase the expected primary through the view
+/// rotation (views advance by one per forced change, and the primary of
+/// view `v` is `nodes[v % n]`), so every run forces repeated view changes.
+///
+/// Uses `cfg.events` as the wave count and spreads the waves across
+/// `cfg.horizon`; each wave impairs exactly one node and heals before the
+/// next starts, so the `max_impaired >= 1` budget always holds.
+/// Deterministic in (`cfg`, `seed`).
+pub fn generate_storm_schedule(cfg: &ScheduleGenConfig, seed: u64) -> FaultSchedule {
+    assert!(!cfg.nodes.is_empty(), "storm generation needs candidate nodes");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5701_4c5a_57c4_a05c);
+    let mut schedule = FaultSchedule::new();
+    let n = cfg.nodes.len();
+    let waves = cfg.events.max(1) as u64;
+    let slot = (cfg.horizon.as_nanos() / waves).max(2);
+    for wave in 0..waves {
+        // Expected view at wave start: one completed change per past wave.
+        let primary = cfg.nodes[(wave as usize) % n];
+        let at = SimTime::from_nanos(wave * slot + rng.gen_range(0..slot / 4));
+        // Heal strictly inside the slot so waves never overlap.
+        let down = SimDuration::from_nanos(rng.gen_range(slot / 3..slot / 2));
+        if rng.gen_bool(0.5) {
+            schedule.crash(at, primary, down);
+        } else {
+            schedule.net(at, NetFault::Partition { nodes: vec![primary] }, down);
+        }
+    }
+    schedule
+}
+
 /// One failing run: the seed, the full and minimized schedules, the audit
 /// failure, and the trace of the minimized replay.
 #[derive(Debug, Clone)]
@@ -528,6 +722,16 @@ pub struct CampaignReport {
     pub events_executed: usize,
     /// One report per failing run, already minimized.
     pub failures: Vec<FailureReport>,
+    /// Coverage aggregated over all runs.
+    pub coverage: Coverage,
+    /// Per-seed coverage, in seed order (the summary's seed table).
+    pub seed_coverage: Vec<(u64, Coverage)>,
+    /// Runs that forced at least one view change.
+    pub runs_with_view_change: usize,
+    /// Runs that completed at least one state transfer.
+    pub runs_with_state_transfer: usize,
+    /// Runs that completed at least one proactive recovery.
+    pub runs_with_recovery: usize,
 }
 
 impl CampaignReport {
@@ -535,6 +739,115 @@ impl CampaignReport {
     pub fn passed(&self) -> bool {
         self.failures.is_empty()
     }
+
+    fn absorb(&mut self, seed: u64, schedule_len: usize, coverage: Coverage) {
+        self.runs += 1;
+        self.events_executed += schedule_len;
+        self.coverage.merge(&coverage);
+        self.seed_coverage.push((seed, coverage));
+        if coverage.view_changes_started > 0 {
+            self.runs_with_view_change += 1;
+        }
+        if coverage.state_transfers_completed > 0 {
+            self.runs_with_state_transfer += 1;
+        }
+        if coverage.recoveries_completed > 0 {
+            self.runs_with_recovery += 1;
+        }
+    }
+
+    /// The seed table plus the campaign-level coverage totals, as printed
+    /// by the acceptance campaigns.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "  seed  vc_start vc_done ckpt st_done rec_done rec_part repairs");
+        for (seed, c) in &self.seed_coverage {
+            let _ = writeln!(
+                out,
+                "  {seed:>4}  {:>8} {:>7} {:>4} {:>7} {:>8} {:>8} {:>7}",
+                c.view_changes_started,
+                c.view_changes_completed,
+                c.checkpoints_stable,
+                c.state_transfers_completed,
+                c.recoveries_completed,
+                c.recoveries_overlapping_partition,
+                c.corrupt_state_repairs
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  campaign: runs={} events={} failures={} with_vc={} with_st={} with_rec={}",
+            self.runs,
+            self.events_executed,
+            self.failures.len(),
+            self.runs_with_view_change,
+            self.runs_with_state_transfer,
+            self.runs_with_recovery
+        );
+        let _ = write!(out, "  coverage: {}", self.coverage);
+        out
+    }
+
+    /// Deterministic JSON rendering of the coverage summary (written as a
+    /// CI artifact by the acceptance campaigns).
+    pub fn coverage_json(&self) -> String {
+        let mut out = format!(
+            "{{\"runs\":{},\"events_executed\":{},\"failures\":{},\
+             \"runs_with_view_change\":{},\"runs_with_state_transfer\":{},\
+             \"runs_with_recovery\":{},\"coverage\":{},\"seeds\":[",
+            self.runs,
+            self.events_executed,
+            self.failures.len(),
+            self.runs_with_view_change,
+            self.runs_with_state_transfer,
+            self.runs_with_recovery,
+            self.coverage.to_json()
+        );
+        for (i, (seed, c)) in self.seed_coverage.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"seed\":{},\"coverage\":{}}}", seed, c.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// How a campaign derives each seed's schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CampaignMode {
+    /// Mixed random faults under the impairment budget
+    /// ([`generate_schedule`]).
+    #[default]
+    Mixed,
+    /// Primary-targeting view-change storms ([`generate_storm_schedule`]).
+    Storm,
+}
+
+fn schedule_for(mode: CampaignMode, cfg: &ScheduleGenConfig, seed: u64) -> FaultSchedule {
+    match mode {
+        CampaignMode::Mixed => generate_schedule(cfg, seed),
+        CampaignMode::Storm => generate_storm_schedule(cfg, seed),
+    }
+}
+
+/// Runs one seed end to end: schedule generation, the audited run, and
+/// minimization on failure.
+fn run_seed<H: ChaosHarness>(
+    harness: &mut H,
+    mode: CampaignMode,
+    cfg: &ScheduleGenConfig,
+    seed: u64,
+) -> (usize, Coverage, Option<FailureReport>) {
+    let schedule = schedule_for(mode, cfg, seed);
+    let (outcome, verdict) = run_one(harness, seed, &schedule);
+    let failure = verdict.err().map(|reason| {
+        let minimal = minimize(harness, seed, &schedule);
+        let (minimal_outcome, _) = run_one(harness, seed, &minimal);
+        FailureReport { seed, reason, schedule: schedule.clone(), minimal, minimal_trace: minimal_outcome.trace }
+    });
+    (schedule.len(), outcome.coverage, failure)
 }
 
 /// Drives one audited, seeded run per seed in `seeds`, generating each
@@ -544,23 +857,70 @@ pub fn run_campaign<H: ChaosHarness>(
     cfg: &ScheduleGenConfig,
     seeds: impl IntoIterator<Item = u64>,
 ) -> CampaignReport {
+    run_campaign_mode(harness, CampaignMode::Mixed, cfg, seeds)
+}
+
+/// [`run_campaign`] with an explicit schedule-generation mode.
+pub fn run_campaign_mode<H: ChaosHarness>(
+    harness: &mut H,
+    mode: CampaignMode,
+    cfg: &ScheduleGenConfig,
+    seeds: impl IntoIterator<Item = u64>,
+) -> CampaignReport {
     let mut report = CampaignReport::default();
     for seed in seeds {
-        let schedule = generate_schedule(cfg, seed);
-        report.runs += 1;
-        report.events_executed += schedule.len();
-        let (_, verdict) = run_one(harness, seed, &schedule);
-        if let Err(reason) = verdict {
-            let minimal = minimize(harness, seed, &schedule);
-            let (outcome, _) = run_one(harness, seed, &minimal);
-            report.failures.push(FailureReport {
-                seed,
-                reason,
-                schedule,
-                minimal,
-                minimal_trace: outcome.trace,
+        let (len, coverage, failure) = run_seed(harness, mode, cfg, seed);
+        report.absorb(seed, len, coverage);
+        report.failures.extend(failure);
+    }
+    report
+}
+
+/// Parallel [`run_campaign_mode`]: a pool of `workers` std threads, each
+/// with its own harness (from `factory`) and therefore its own
+/// `Simulation` per run. Seeds are claimed from a shared queue; results
+/// land in per-seed slots and are folded **in seed order**, so the report
+/// — coverage, seed table, failures — is byte-identical to the sequential
+/// runner's no matter how many workers execute it.
+pub fn run_campaign_parallel<H, F>(
+    factory: F,
+    mode: CampaignMode,
+    cfg: &ScheduleGenConfig,
+    seeds: impl IntoIterator<Item = u64>,
+    workers: usize,
+) -> CampaignReport
+where
+    H: ChaosHarness,
+    F: Fn() -> H + Sync,
+{
+    let seeds: Vec<u64> = seeds.into_iter().collect();
+    let workers = workers.max(1).min(seeds.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<(usize, Coverage, Option<FailureReport>)>>> =
+        Mutex::new(vec![None; seeds.len()]);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut harness = factory();
+                loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if idx >= seeds.len() {
+                        break;
+                    }
+                    let result = run_seed(&mut harness, mode, cfg, seeds[idx]);
+                    slots.lock().expect("campaign worker panicked")[idx] = Some(result);
+                }
             });
         }
+    });
+
+    let mut report = CampaignReport::default();
+    let results = slots.into_inner().expect("campaign worker panicked");
+    for (idx, slot) in results.into_iter().enumerate() {
+        let (len, coverage, failure) = slot.expect("every seed ran");
+        report.absorb(seeds[idx], len, coverage);
+        report.failures.extend(failure);
     }
     report
 }
@@ -686,6 +1046,59 @@ mod tests {
         let cfg = gen_cfg();
         assert_eq!(generate_schedule(&cfg, 5), generate_schedule(&cfg, 5));
         assert_ne!(generate_schedule(&cfg, 5), generate_schedule(&cfg, 6));
+    }
+
+    #[test]
+    fn storm_schedules_chase_the_primary_rotation() {
+        let cfg = gen_cfg();
+        let storm = generate_storm_schedule(&cfg, 3);
+        assert_eq!(storm, generate_storm_schedule(&cfg, 3));
+        assert_eq!(storm.len(), cfg.events);
+        for (wave, ev) in storm.events.iter().enumerate() {
+            let expected = cfg.nodes[wave % cfg.nodes.len()];
+            let target = match &ev.event {
+                ChaosEvent::Crash { node, .. } => *node,
+                ChaosEvent::Net { fault: NetFault::Partition { nodes }, .. } => nodes[0],
+                other => panic!("storm produced non-primary fault {other:?}"),
+            };
+            assert_eq!(target, expected, "wave {wave} missed the expected primary");
+        }
+        // Waves never overlap: one impaired node at a time.
+        let mut windows: Vec<(SimTime, SimTime)> = storm
+            .events
+            .iter()
+            .map(|e| match &e.event {
+                ChaosEvent::Crash { down, .. } => (e.at, e.at + *down),
+                ChaosEvent::Net { dur, .. } => (e.at, e.at + *dur),
+                _ => unreachable!(),
+            })
+            .collect();
+        windows.sort();
+        for pair in windows.windows(2) {
+            assert!(pair[0].1 <= pair[1].0, "storm waves overlap: {windows:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_campaign_matches_sequential() {
+        let mut h = PingHarness { n: 4 };
+        let seq = run_campaign(&mut h, &gen_cfg(), 0..8);
+        for workers in [1, 3, 8] {
+            let par = run_campaign_parallel(
+                || PingHarness { n: 4 },
+                CampaignMode::Mixed,
+                &gen_cfg(),
+                0..8,
+                workers,
+            );
+            assert_eq!(par.runs, seq.runs);
+            assert_eq!(par.events_executed, seq.events_executed);
+            assert_eq!(par.seed_coverage, seq.seed_coverage);
+            assert_eq!(par.coverage, seq.coverage);
+            assert_eq!(par.coverage_json(), seq.coverage_json());
+            assert_eq!(par.summary(), seq.summary());
+            assert!(par.passed());
+        }
     }
 
     #[test]

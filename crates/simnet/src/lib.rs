@@ -63,13 +63,17 @@ mod config;
 mod event;
 pub mod chaos;
 pub mod faults;
+pub mod metrics;
 mod sim;
 mod stats;
 mod time;
+pub mod trace;
 
 pub use actor::{Actor, Context, NodeId, TimerId};
 pub use config::{LatencyModel, NetConfig};
 pub use faults::{FilterAction, NetFilter};
+pub use metrics::{Histogram, MetricsRegistry};
 pub use sim::Simulation;
 pub use stats::NetStats;
 pub use time::{SimDuration, SimTime};
+pub use trace::{NullSink, ProtocolEvent, RingBufferSink, TraceEvent, TraceSink, VecSink};

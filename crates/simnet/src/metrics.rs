@@ -1,0 +1,274 @@
+//! Counters and sim-time histograms for protocol instrumentation.
+//!
+//! A [`MetricsRegistry`] is a flat, name-keyed set of monotonic counters
+//! and log-scale histograms. Protocol layers own one registry per replica
+//! or client and record into it unconditionally — recording is a couple of
+//! array/BTree operations on simulated quantities, cheap enough to stay on
+//! all the time — while campaign and bench code aggregates registries with
+//! [`MetricsRegistry::merge`], which is order-insensitive and therefore
+//! deterministic regardless of how many workers produced the parts.
+
+use crate::time::SimDuration;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of power-of-two buckets; covers the full `u64` range.
+const BUCKETS: usize = 65;
+
+/// A fixed-bucket log₂-scale histogram of `u64` samples (typically
+/// nanoseconds of sim time or byte counts).
+///
+/// Bucket `i` holds samples whose value has `i` significant bits, i.e.
+/// bucket 0 is exactly `{0}`, bucket 1 is `{1}`, bucket 2 is `{2,3}`,
+/// bucket 3 is `{4..8}` and so on — fixed boundaries, so histograms from
+/// different runs merge exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self { counts: [0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn observe(&mut self, value: u64) {
+        self.counts[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket holding quantile `q` (in `[0,1]`), or 0
+    /// when empty. Log-bucket resolution: good for orders of magnitude,
+    /// not exact ranks.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Largest value with i significant bits.
+                return if i == 0 { 0 } else { (u64::MAX >> (BUCKETS - 1 - i)).max(1) };
+            }
+        }
+        self.max
+    }
+
+    /// Adds `other`'s samples into `self` (exact: buckets are fixed).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A named set of counters and histograms.
+///
+/// Names are `&'static str` by convention (`"replica.batch_occupancy"`,
+/// `"client.request_latency_ns"`); `BTreeMap` keys keep every iteration —
+/// and therefore every JSON export — deterministically ordered.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1 to counter `name`.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to counter `name`.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_default() += n;
+    }
+
+    /// Current value of counter `name` (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a sample into histogram `name`.
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().observe(value);
+    }
+
+    /// Records a sim-duration sample (in nanoseconds) into `name`.
+    pub fn observe_duration(&mut self, name: &'static str, d: SimDuration) {
+        self.observe(name, d.as_nanos());
+    }
+
+    /// The histogram named `name`, if any sample was ever recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, name-ordered.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// All histograms, name-ordered.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Adds every counter and histogram of `other` into `self`.
+    /// Commutative and associative, so parallel campaign workers can merge
+    /// in any grouping and the result is identical.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name).or_default() += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name).or_default().merge(h);
+        }
+    }
+
+    /// Deterministic single-line JSON rendering (name-ordered).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{name}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.1}}}",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.mean()
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_have_fixed_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 26.5).abs() < 1e-9);
+        assert!(h.quantile(0.5) >= 2);
+        assert!(h.quantile(1.0) >= 100);
+    }
+
+    #[test]
+    fn merge_is_exact_and_order_insensitive() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.inc("x");
+        a.observe("h", 7);
+        b.add("x", 2);
+        b.observe("h", 900);
+        b.inc("y");
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("x"), 3);
+        assert_eq!(ab.counter("y"), 1);
+        assert_eq!(ab.histogram("h").unwrap().count(), 2);
+        assert_eq!(ab.to_json(), ba.to_json());
+    }
+
+    #[test]
+    fn json_is_name_ordered() {
+        let mut m = MetricsRegistry::new();
+        m.inc("zeta");
+        m.inc("alpha");
+        let j = m.to_json();
+        assert!(j.find("alpha").unwrap() < j.find("zeta").unwrap(), "{j}");
+    }
+}

@@ -6,6 +6,7 @@ use crate::event::{EventKind, EventQueue};
 use crate::faults::{FilterAction, NetFilter};
 use crate::stats::NetStats;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{NullSink, TraceEvent, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
@@ -36,6 +37,7 @@ pub struct Simulation {
     net_rng: StdRng,
     stats: NetStats,
     filter: Option<Box<dyn NetFilter>>,
+    trace: Box<dyn TraceSink>,
     started: bool,
     next_timer_id: u64,
     seed: u64,
@@ -52,6 +54,7 @@ impl Simulation {
             net_rng: StdRng::seed_from_u64(seed ^ 0x006e_6574_5f72_6e67),
             stats: NetStats::default(),
             filter: None,
+            trace: Box::new(NullSink),
             started: false,
             next_timer_id: 0,
             seed,
@@ -118,6 +121,23 @@ impl Simulation {
     /// Removes the message filter.
     pub fn clear_filter(&mut self) {
         self.filter = None;
+    }
+
+    /// Installs a trace sink for protocol events emitted through
+    /// [`Context::emit`]. The default is the disabled [`NullSink`], which
+    /// makes every emission a no-op branch.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = sink;
+    }
+
+    /// The installed trace sink.
+    pub fn trace_sink(&self) -> &dyn TraceSink {
+        self.trace.as_ref()
+    }
+
+    /// The events recorded by the installed sink, oldest first.
+    pub fn trace_snapshot(&self) -> Vec<TraceEvent> {
+        self.trace.snapshot()
     }
 
     /// Downcasts the actor at `id` to a concrete type.
@@ -305,6 +325,7 @@ impl Simulation {
     {
         let skew = self.config.skew(node);
         let slot = &mut self.nodes[node.0];
+        let trace_enabled = self.trace.enabled();
         let mut ctx = Context {
             now: self.now,
             self_id: node,
@@ -313,6 +334,8 @@ impl Simulation {
             charged: SimDuration::ZERO,
             next_timer_id: &mut self.next_timer_id,
             rng: &mut slot.rng,
+            trace: self.trace.as_mut(),
+            trace_enabled,
         };
         f(slot.actor.as_mut(), &mut ctx);
 

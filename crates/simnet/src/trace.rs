@@ -1,0 +1,285 @@
+//! Structured protocol event tracing.
+//!
+//! Protocol layers (the PBFT replica, the state-transfer fetcher, clients)
+//! emit [`ProtocolEvent`]s through [`Context::emit`](crate::Context::emit);
+//! the simulation stamps each one with the virtual time and the emitting
+//! node and hands it to the installed [`TraceSink`].
+//!
+//! The default sink is [`NullSink`], whose `enabled()` gate makes every
+//! `emit` a branch on a cached bool — protocol code pays nothing when
+//! tracing is off. Chaos campaigns install a [`RingBufferSink`] and derive
+//! coverage counters from the recorded stream; determinism tests export the
+//! stream as JSON Lines with [`export_jsonl`] and compare runs byte for
+//! byte (same seed, same schedule ⇒ identical trace).
+
+use crate::actor::NodeId;
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// A protocol-level occurrence worth tracing.
+///
+/// The vocabulary covers the mechanisms the BASE paper's evaluation cares
+/// about: view changes (liveness under primary failure), checkpoint
+/// stability and hierarchical state transfer (§4), proactive recovery (§5),
+/// plus the client-visible symptoms (retransmissions, read-only quorum
+/// degradation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolEvent {
+    /// A replica moved to a new view and sent its view-change message.
+    ViewChangeStarted,
+    /// A replica installed a new-view certificate (primary or backup).
+    ViewChangeCompleted,
+    /// A checkpoint gathered a stable certificate (2f+1 matching).
+    CheckpointStable,
+    /// A state-transfer fetch began (replica out of date or recovering).
+    StateTransferFetchStarted,
+    /// A state-transfer reply was consumed.
+    StateTransferFetchChunk {
+        /// Payload bytes of the fetched partition/object reply.
+        bytes: u64,
+    },
+    /// A state transfer brought the replica up to date.
+    StateTransferFetchCompleted {
+        /// Abstract objects installed by the transfer.
+        objects: u64,
+    },
+    /// A proactive recovery began (watchdog reboot).
+    RecoveryStarted,
+    /// A proactive recovery finished and the replica rejoined.
+    RecoveryCompleted {
+        /// True when the recovery discarded corrupt concrete state (the
+        /// paper's §5 repair-by-abstraction property).
+        repaired_corruption: bool,
+    },
+    /// A replica executed a batch of requests.
+    RequestExecuted {
+        /// Requests in the executed batch.
+        batch: u64,
+    },
+    /// A client retransmitted a request after a reply timeout.
+    ClientRetransmit,
+    /// A client's read-only optimization failed its 2f+1 quorum and the
+    /// request degraded to the full protocol.
+    ReplyQuorumDegraded,
+}
+
+impl ProtocolEvent {
+    /// Stable lowercase name used in JSONL exports and coverage tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolEvent::ViewChangeStarted => "view_change_started",
+            ProtocolEvent::ViewChangeCompleted => "view_change_completed",
+            ProtocolEvent::CheckpointStable => "checkpoint_stable",
+            ProtocolEvent::StateTransferFetchStarted => "state_transfer_fetch_started",
+            ProtocolEvent::StateTransferFetchChunk { .. } => "state_transfer_fetch_chunk",
+            ProtocolEvent::StateTransferFetchCompleted { .. } => "state_transfer_fetch_completed",
+            ProtocolEvent::RecoveryStarted => "recovery_started",
+            ProtocolEvent::RecoveryCompleted { .. } => "recovery_completed",
+            ProtocolEvent::RequestExecuted { .. } => "request_executed",
+            ProtocolEvent::ClientRetransmit => "client_retransmit",
+            ProtocolEvent::ReplyQuorumDegraded => "reply_quorum_degraded",
+        }
+    }
+}
+
+/// A [`ProtocolEvent`] stamped with when, where and which protocol instant
+/// (view/sequence number) it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the emission.
+    pub at: SimTime,
+    /// Emitting node.
+    pub node: NodeId,
+    /// Protocol view at emission (0 where not meaningful).
+    pub view: u64,
+    /// Protocol sequence number at emission (0 where not meaningful).
+    pub seq: u64,
+    /// The event itself.
+    pub event: ProtocolEvent,
+}
+
+impl TraceEvent {
+    /// One deterministic JSON line (no trailing newline). Field order is
+    /// fixed, so identical traces serialize to identical bytes.
+    pub fn to_json(&self) -> String {
+        let mut extra = String::new();
+        match self.event {
+            ProtocolEvent::StateTransferFetchChunk { bytes } => {
+                extra = format!(",\"bytes\":{bytes}");
+            }
+            ProtocolEvent::StateTransferFetchCompleted { objects } => {
+                extra = format!(",\"objects\":{objects}");
+            }
+            ProtocolEvent::RecoveryCompleted { repaired_corruption } => {
+                extra = format!(",\"repaired_corruption\":{repaired_corruption}");
+            }
+            ProtocolEvent::RequestExecuted { batch } => {
+                extra = format!(",\"batch\":{batch}");
+            }
+            _ => {}
+        }
+        format!(
+            "{{\"at_ns\":{},\"node\":{},\"view\":{},\"seq\":{},\"event\":\"{}\"{}}}",
+            self.at.as_nanos(),
+            self.node.0,
+            self.view,
+            self.seq,
+            self.event.name(),
+            extra
+        )
+    }
+}
+
+/// Where emitted trace events go.
+///
+/// Implementations must be deterministic (no wall clocks, no global state):
+/// the recorded stream is part of the reproducible run output.
+pub trait TraceSink {
+    /// Whether emissions should be recorded at all. The simulation caches
+    /// this per handler invocation; when false, `emit` is a no-op and
+    /// protocol code pays only an untaken branch.
+    fn enabled(&self) -> bool;
+
+    /// Records one stamped event.
+    fn record(&mut self, event: TraceEvent);
+
+    /// The recorded events, oldest first (empty for non-recording sinks).
+    fn snapshot(&self) -> Vec<TraceEvent>;
+}
+
+/// The default sink: disabled, records nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: TraceEvent) {}
+
+    fn snapshot(&self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+}
+
+/// A bounded in-memory sink keeping the most recent events.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    buf: VecDeque<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl RingBufferSink {
+    /// A sink keeping at most `cap` events (older events are evicted).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "ring buffer capacity must be positive");
+        Self { buf: VecDeque::with_capacity(cap.min(4096)), cap, dropped: 0 }
+    }
+
+    /// Events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    fn snapshot(&self) -> Vec<TraceEvent> {
+        self.buf.iter().copied().collect()
+    }
+}
+
+/// An unbounded sink that keeps everything (JSONL export, proptests).
+#[derive(Debug, Default)]
+pub struct VecSink {
+    events: Vec<TraceEvent>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.clone()
+    }
+}
+
+/// Serializes a trace as JSON Lines: one event per line, trailing newline
+/// after every line. Byte-identical for identical traces.
+pub fn export_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&ev.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_ms: u64, node: usize, event: ProtocolEvent) -> TraceEvent {
+        TraceEvent { at: SimTime::from_millis(at_ms), node: NodeId(node), view: 1, seq: 2, event }
+    }
+
+    #[test]
+    fn null_sink_records_nothing() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.record(ev(1, 0, ProtocolEvent::ViewChangeStarted));
+        assert!(s.snapshot().is_empty());
+    }
+
+    #[test]
+    fn ring_buffer_keeps_most_recent() {
+        let mut s = RingBufferSink::new(2);
+        s.record(ev(1, 0, ProtocolEvent::ViewChangeStarted));
+        s.record(ev(2, 0, ProtocolEvent::ViewChangeCompleted));
+        s.record(ev(3, 0, ProtocolEvent::CheckpointStable));
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(s.dropped(), 1);
+        assert_eq!(snap[0].event, ProtocolEvent::ViewChangeCompleted);
+        assert_eq!(snap[1].event, ProtocolEvent::CheckpointStable);
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_and_carries_payloads() {
+        let events = vec![
+            ev(1, 3, ProtocolEvent::StateTransferFetchChunk { bytes: 640 }),
+            ev(2, 3, ProtocolEvent::RecoveryCompleted { repaired_corruption: true }),
+        ];
+        let a = export_jsonl(&events);
+        let b = export_jsonl(&events);
+        assert_eq!(a, b);
+        assert!(a.contains("\"bytes\":640"));
+        assert!(a.contains("\"repaired_corruption\":true"));
+        assert_eq!(a.lines().count(), 2);
+    }
+}

@@ -4,10 +4,11 @@
 //! identical trace and network statistics.
 
 use base_simnet::chaos::{
-    generate_schedule, run_one, AppFaultSpec, ChaosEvent, ChaosHarness, FaultSchedule, HealSpec,
-    NetFault, ScheduleGenConfig,
+    generate_schedule, generate_storm_schedule, run_one, AppFaultSpec, ChaosEvent, ChaosHarness,
+    FaultSchedule, HealSpec, NetFault, ScheduleGenConfig,
 };
-use base_simnet::{Actor, Context, NodeId, SimDuration, SimTime, Simulation};
+use base_simnet::trace::export_jsonl;
+use base_simnet::{Actor, Context, NodeId, ProtocolEvent, SimDuration, SimTime, Simulation};
 use proptest::prelude::*;
 
 /// Toy system-under-test: every node pings all peers each 10ms and counts
@@ -30,7 +31,11 @@ impl Actor for Pinger {
         }
         match payload {
             b"ping" => ctx.send(from, b"pong".to_vec()),
-            b"pong" => self.pongs += 1,
+            b"pong" => {
+                self.pongs += 1;
+                // Stress the trace layer: one structured event per pong.
+                ctx.emit(0, self.pongs, ProtocolEvent::RequestExecuted { batch: 1 });
+            }
             _ => {}
         }
     }
@@ -195,5 +200,51 @@ proptest! {
         prop_assert_eq!(a.trace, b.trace);
         prop_assert_eq!(a.stats, b.stats);
         prop_assert_eq!(va, vb);
+    }
+
+    /// Two runs of the same seeded schedule export byte-identical JSONL
+    /// protocol-event traces, and the trace is never empty (the pingers
+    /// emit one event per pong).
+    #[test]
+    fn jsonl_export_is_byte_identical(
+        seed: u64,
+        events in 0usize..10,
+        horizon_ms in 500u64..3000,
+    ) {
+        let cfg = gen_cfg(4, events, horizon_ms, 1);
+        let schedule = generate_schedule(&cfg, seed);
+        let mut h = PingHarness { n: 4 };
+        let (a, _) = run_one(&mut h, seed, &schedule);
+        let (b, _) = run_one(&mut h, seed, &schedule);
+        let ja = export_jsonl(&a.events);
+        prop_assert_eq!(&ja, &export_jsonl(&b.events));
+        prop_assert!(!ja.is_empty(), "pingers must have produced events");
+        prop_assert_eq!(a.coverage, b.coverage);
+    }
+
+    /// With the default null sink installed, `Context::emit` records
+    /// nothing: the trace snapshot stays empty no matter how much the
+    /// actors emit.
+    #[test]
+    fn null_sink_records_no_events(seed: u64, run_ms in 100u64..2000) {
+        let mut h = PingHarness { n: 4 };
+        let mut sim = h.build(seed);
+        sim.run_for(SimDuration::from_millis(run_ms));
+        prop_assert!(!sim.trace_sink().enabled());
+        prop_assert!(sim.trace_snapshot().is_empty());
+    }
+
+    /// Storm generation is a pure function of (config, seed) and respects
+    /// the impairment budget like the mixed generator.
+    #[test]
+    fn storm_generation_is_pure_and_budgeted(
+        seed: u64,
+        events in 1usize..20,
+        horizon_ms in 1000u64..5000,
+    ) {
+        let cfg = gen_cfg(4, events, horizon_ms, 1);
+        let a = generate_storm_schedule(&cfg, seed);
+        prop_assert_eq!(&a, &generate_storm_schedule(&cfg, seed));
+        assert_budget(&a, 1);
     }
 }

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Chaos-coverage gate: the acceptance campaigns (run by the tier-1 test
+# suite) write per-campaign coverage JSON under target/chaos-coverage/.
+# This script fails if no artifact exists or if any acceptance campaign
+# reports zero forced view changes — a campaign that never unseats a
+# primary is not exercising the paper's recovery machinery, whatever its
+# pass rate says.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dir=target/chaos-coverage
+shopt -s nullglob
+files=("$dir"/*.json)
+if [ ${#files[@]} -eq 0 ]; then
+  echo "error: no coverage artifacts in $dir (did the campaign tests run?)" >&2
+  exit 1
+fi
+
+status=0
+for f in "${files[@]}"; do
+  # Campaign-level counter, first match: "view_changes_started":N
+  vc=$(grep -o '"view_changes_started":[0-9]*' "$f" | head -n1 | cut -d: -f2)
+  runs=$(grep -o '"runs":[0-9]*' "$f" | head -n1 | cut -d: -f2)
+  echo "$(basename "$f"): runs=${runs:-?} view_changes_started=${vc:-?}"
+  if [ -z "${vc:-}" ]; then
+    echo "error: $f has no view_changes_started counter" >&2
+    status=1
+  elif [ "$vc" -eq 0 ]; then
+    echo "error: $f reports zero forced view changes" >&2
+    status=1
+  fi
+done
+exit $status
