@@ -20,6 +20,7 @@ const READS: usize = 256;
 
 struct Out {
     mean_read_us: f64,
+    p99_read_us: f64,
     makespan_s: f64,
     messages: u64,
     mib: f64,
@@ -54,8 +55,15 @@ fn run_once(ro_opt: bool) -> Out {
     assert_eq!(cl.completed.len(), WRITES + READS, "workload incomplete");
     let lat = &cl.core().latencies_ns;
     let reads = &lat[WRITES..];
+    // Tail latency comes from the log2 histogram, like the metrics layer
+    // reports it: quantile() returns the bucket's upper bound.
+    let mut hist = base_simnet::Histogram::default();
+    for &ns in reads {
+        hist.observe(ns);
+    }
     Out {
         mean_read_us: reads.iter().sum::<u64>() as f64 / reads.len() as f64 / 1e3,
+        p99_read_us: hist.quantile(0.99) as f64 / 1e3,
         makespan_s: lat.iter().sum::<u64>() as f64 / 1e9,
         messages: sim.stats().messages_delivered,
         mib: sim.stats().bytes_delivered as f64 / (1024.0 * 1024.0),
@@ -66,7 +74,14 @@ fn run_once(ro_opt: bool) -> Out {
 pub fn run_roopt() {
     let mut t = Table::new(
         "E11 (ablation): read-only optimization (32 writes + 256 reads, n = 4)",
-        &["reads via", "mean read latency (µs)", "makespan (s)", "messages", "MiB on the wire"],
+        &[
+            "reads via",
+            "mean read latency (µs)",
+            "p99 read latency (µs)",
+            "makespan (s)",
+            "messages",
+            "MiB on the wire",
+        ],
     );
     let on = run_once(true);
     let off = run_once(false);
@@ -74,6 +89,7 @@ pub fn run_roopt() {
         t.row(&[
             label.to_string(),
             format!("{:.0}", o.mean_read_us),
+            format!("{:.0}", o.p99_read_us),
             format!("{:.3}", o.makespan_s),
             o.messages.to_string(),
             format!("{:.2}", o.mib),

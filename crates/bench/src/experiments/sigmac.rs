@@ -21,6 +21,7 @@ const OPS: usize = 128;
 
 struct Out {
     mean_us: f64,
+    p99_us: f64,
     makespan_s: f64,
     cpu_s: f64,
 }
@@ -58,8 +59,15 @@ fn run_once(signatures: bool) -> Out {
     let cl = sim.actor_as::<BaseClient>(client).unwrap();
     assert_eq!(cl.completed.len(), OPS, "workload incomplete (signatures={signatures})");
     let lat = &cl.core().latencies_ns;
+    // Tail latency from the log2 histogram (bucket upper bound), matching
+    // the metrics layer's reporting.
+    let mut hist = base_simnet::Histogram::default();
+    for &ns in lat.iter() {
+        hist.observe(ns);
+    }
     Out {
         mean_us: lat.iter().sum::<u64>() as f64 / lat.len() as f64 / 1e3,
+        p99_us: hist.quantile(0.99) as f64 / 1e3,
         makespan_s: lat.iter().sum::<u64>() as f64 / 1e9,
         cpu_s: sim.stats().total_cpu().as_nanos() as f64 / 1e9,
     }
@@ -69,7 +77,13 @@ fn run_once(signatures: bool) -> Out {
 pub fn run_sigmac() {
     let mut t = Table::new(
         "E12 (ablation): MAC authenticators vs public-key signatures (128 writes, n = 4)",
-        &["authentication", "mean op latency (µs)", "makespan (s)", "total CPU (s)"],
+        &[
+            "authentication",
+            "mean op latency (µs)",
+            "p99 op latency (µs)",
+            "makespan (s)",
+            "total CPU (s)",
+        ],
     );
     let mac = run_once(false);
     let sig = run_once(true);
@@ -77,6 +91,7 @@ pub fn run_sigmac() {
         t.row(&[
             label.to_string(),
             format!("{:.0}", o.mean_us),
+            format!("{:.0}", o.p99_us),
             format!("{:.3}", o.makespan_s),
             format!("{:.3}", o.cpu_s),
         ]);

@@ -9,6 +9,7 @@
 pub mod andrew;
 pub mod experiments;
 pub mod report;
+pub mod repro;
 pub mod setup;
 
 pub use andrew::{AndrewDriver, AndrewScale, PHASES};

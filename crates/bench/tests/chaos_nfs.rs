@@ -6,8 +6,10 @@
 //! and shrink to an *empty* schedule (no injected fault needed).
 
 use base_bench::experiments::faultinj::NfsChaosHarness;
+use base_bench::repro::write_campaign_artifacts;
 use base_bench::FsMix;
 use base_simnet::chaos::{minimize, run_campaign, run_one, FaultSchedule};
+use base_simnet::ddmin::CountingHarness;
 use base_simnet::SimDuration;
 
 #[test]
@@ -18,7 +20,12 @@ fn nfs_campaign_passes_auditor() {
     assert_eq!(report.runs, 20);
     assert!(report.events_executed > 0);
     if let Some(f) = report.failures.first() {
-        panic!("nfs campaign failed:\n{f}");
+        // Ship the minimized schedules + divergence reports where CI
+        // uploads repro artifacts from before failing the test.
+        let repro_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/repro");
+        let _ = write_campaign_artifacts(&repro_dir, &report);
+        panic!("nfs campaign failed (artifacts in target/repro):\n{f}");
     }
 
     // Acceptance campaigns must exercise the paper's mechanisms, not just
@@ -61,6 +68,81 @@ fn common_mode_bug_fails_homogeneous_and_minimizes_to_empty() {
         "common-mode bug needs no injected fault; got:\n{}",
         minimal.describe()
     );
+}
+
+/// ISSUE 3 acceptance: on a seeded 20-run NFS campaign with an injected
+/// auditor violation (the armed common-mode latent bug), ddmin produces a
+/// schedule no larger than the greedy minimizer's with fewer or equal
+/// harness executions, `tracediff` names the first diverging event, and
+/// both outputs are byte-identical across two runs with the same seed.
+#[test]
+fn repro_lab_acceptance_buggy_campaign() {
+    let run = || {
+        let mut h = NfsChaosHarness::new(FsMix::HomogeneousInode);
+        h.with_latent_bug = true;
+        let cfg = h.gen_config(3, SimDuration::from_secs(4));
+        run_campaign(&mut h, &cfg, 7000..7020)
+    };
+    let report = run();
+    assert_eq!(report.runs, 20);
+    assert!(!report.passed(), "latent bug must violate the auditor");
+
+    // Every failure minimizes to the empty schedule (the bug is in the
+    // service, not the injected faults), its divergence report names the
+    // first diverging protocol event, and ddmin's bookkeeping shows it
+    // reused the already-known failing run.
+    for f in &report.failures {
+        assert!(
+            f.minimal.is_empty(),
+            "seed {}: common-mode bug needs no injected fault; got:\n{}",
+            f.seed,
+            f.minimal.describe()
+        );
+        if f.schedule.is_empty() {
+            continue;
+        }
+        assert!(
+            f.divergence.contains("first divergence at event index")
+                || f.divergence.contains("traces are identical"),
+            "seed {}: divergence report must localize or clear:\n{}",
+            f.seed,
+            f.divergence
+        );
+        // ddmin on an already-known failure tries the empty schedule
+        // first: exactly one execution, versus the greedy minimizer's one
+        // execution per event — fewer or equal, as the ISSUE requires.
+        let executions = f.ddmin_metrics.counter("ddmin.executions");
+        assert_eq!(executions, 1, "seed {}: {}", f.seed, f.ddmin_metrics.to_json());
+
+        let mut greedy_h = CountingHarness::new({
+            let mut h = NfsChaosHarness::new(FsMix::HomogeneousInode);
+            h.with_latent_bug = true;
+            h
+        });
+        let greedy = minimize(&mut greedy_h, f.seed, &f.schedule);
+        assert!(f.minimal.len() <= greedy.len());
+        assert!(
+            executions <= greedy_h.builds as u64,
+            "seed {}: ddmin used {executions} executions, greedy used {}",
+            f.seed,
+            greedy_h.builds
+        );
+    }
+
+    // Same seeds ⇒ byte-identical minimized schedules and divergence
+    // reports.
+    let again = run();
+    assert_eq!(report.failures.len(), again.failures.len());
+    for (a, b) in report.failures.iter().zip(again.failures.iter()) {
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.minimal.describe(), b.minimal.describe());
+        assert_eq!(a.divergence, b.divergence);
+        assert_eq!(a.ddmin_metrics.to_json(), b.ddmin_metrics.to_json());
+        assert_eq!(
+            base_simnet::trace::export_jsonl(&a.minimal_events),
+            base_simnet::trace::export_jsonl(&b.minimal_events)
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,114 @@
+//! Metrics-regression snapshot gate (ROADMAP item).
+//!
+//! Runs one fixed, seeded E9-style batching workload and compares the
+//! merged replica+client metrics registry JSON byte-for-byte against the
+//! checked-in snapshot under `tests/snapshots/`. The simulation is
+//! deterministic, so any diff means protocol behaviour changed — executed
+//! batches, retransmits, view changes, latency distribution — and the
+//! change must be reviewed, not absorbed silently.
+//!
+//! To update after an intentional change:
+//!
+//! ```text
+//! BLESS=1 cargo test -p base-bench --test metrics_snapshot
+//! # or: scripts/check_metrics.sh --bless
+//! ```
+//!
+//! On mismatch the actual JSON is written to
+//! `target/metrics/e9_metrics.actual.json` so CI can upload it and a
+//! reviewer can diff it against the snapshot.
+
+use base::demo::{KvWrapper, TinyKv};
+use base::{BaseClient, BaseReplica, BaseService, Config};
+use base_simnet::{MetricsRegistry, SimDuration, Simulation};
+use std::path::PathBuf;
+
+type KvReplica = BaseReplica<KvWrapper>;
+
+const CLIENTS: usize = 2;
+const OPS_PER_CLIENT: usize = 25;
+const SEED: u64 = 8802;
+
+fn snapshot_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/snapshots/e9_metrics.json")
+}
+
+/// One fixed batching run; returns the merged metrics of every replica and
+/// client, which the deterministic simulator reproduces exactly per seed.
+fn merged_metrics() -> MetricsRegistry {
+    let mut cfg = Config::new(4);
+    // Short checkpoint interval so the run exercises the checkpoint
+    // counters as well as the latency/batching histograms.
+    cfg.checkpoint_interval = 8;
+    cfg.log_window = 256;
+    cfg.max_inflight = 2;
+    let mut sim = Simulation::new(SEED);
+    let dir = base_crypto::KeyDirectory::generate(4 + CLIENTS, SEED);
+    let mut replicas = Vec::new();
+    for i in 0..4 {
+        let keys = base_crypto::NodeKeys::new(dir.clone(), i);
+        let mut w = KvWrapper::new(TinyKv::default());
+        w.op_cost = SimDuration::from_micros(100);
+        replicas.push(sim.add_node(Box::new(KvReplica::new(cfg.clone(), keys, BaseService::new(w)))));
+    }
+    let mut clients = Vec::new();
+    for c in 0..CLIENTS {
+        let keys = base_crypto::NodeKeys::new(dir.clone(), 4 + c);
+        clients.push(sim.add_node(Box::new(BaseClient::new(cfg.clone(), keys))));
+    }
+    for (c, &node) in clients.iter().enumerate() {
+        let cl = sim.actor_as_mut::<BaseClient>(node).unwrap();
+        for i in 0..OPS_PER_CLIENT {
+            cl.invoke(format!("put c{c}k{} v{i}", i % 16).into_bytes(), false);
+        }
+    }
+    sim.run_for(SimDuration::from_secs(60));
+
+    for &node in &clients {
+        let done = sim.actor_as::<BaseClient>(node).unwrap().completed.len();
+        assert_eq!(done, OPS_PER_CLIENT, "client on node {} must finish", node.0);
+    }
+
+    let mut merged = MetricsRegistry::new();
+    for &r in &replicas {
+        merged.merge(sim.actor_as::<KvReplica>(r).unwrap().metrics());
+    }
+    for &c in &clients {
+        merged.merge(&sim.actor_as::<BaseClient>(c).unwrap().core().metrics);
+    }
+    merged
+}
+
+#[test]
+fn e9_metrics_match_snapshot() {
+    let actual = merged_metrics().to_json();
+    let path = snapshot_path();
+
+    if std::env::var("BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create snapshots dir");
+        std::fs::write(&path, &actual).expect("write snapshot");
+    }
+
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing snapshot {} ({e}); run with BLESS=1", path.display()));
+
+    if actual != expected {
+        // Leave the actual output where CI uploads artifacts from.
+        let out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/metrics");
+        let _ = std::fs::create_dir_all(&out_dir);
+        let actual_path = out_dir.join("e9_metrics.actual.json");
+        let _ = std::fs::write(&actual_path, &actual);
+        panic!(
+            "metrics registry drifted from snapshot {}.\nactual written to {}.\n\
+             If the change is intentional: BLESS=1 cargo test -p base-bench --test metrics_snapshot",
+            path.display(),
+            actual_path.display()
+        );
+    }
+}
+
+#[test]
+fn e9_metrics_are_deterministic() {
+    assert_eq!(merged_metrics().to_json(), merged_metrics().to_json());
+}

@@ -468,19 +468,26 @@ pub fn run_one<H: ChaosHarness>(
 /// Greedy event-removal shrinking: repeatedly drops any event whose removal
 /// keeps the audit failing, until no single removal does. The result is a
 /// 1-minimal failing schedule for the given seed.
+///
+/// Candidate verdicts go through a [`crate::ddmin::TestCache`] pre-seeded
+/// with the input schedule's known failure, so neither the already-failing
+/// input nor any repeated candidate (duplicate events, later passes) is
+/// ever executed twice. For subset-level ddmin minimization — usually far
+/// fewer executions on large schedules — see [`crate::ddmin`].
 pub fn minimize<H: ChaosHarness>(
     harness: &mut H,
     seed: u64,
     schedule: &FaultSchedule,
 ) -> FaultSchedule {
+    let mut cache = crate::ddmin::TestCache::new();
+    cache.insert_known_failure(schedule, None);
     let mut current = schedule.clone();
     loop {
         let mut shrunk = false;
         let mut idx = 0;
         while idx < current.len() {
             let candidate = current.without(idx);
-            let (_, verdict) = run_one(harness, seed, &candidate);
-            if verdict.is_err() {
+            if cache.fails(harness, seed, &candidate) {
                 current = candidate;
                 shrunk = true;
                 // Same index now names the next event; don't advance.
@@ -687,7 +694,8 @@ pub fn generate_storm_schedule(cfg: &ScheduleGenConfig, seed: u64) -> FaultSched
 }
 
 /// One failing run: the seed, the full and minimized schedules, the audit
-/// failure, and the trace of the minimized replay.
+/// failure, the trace of the minimized replay, and the repro-lab outputs —
+/// ddmin search counters plus the full-vs-minimal trace divergence.
 #[derive(Debug, Clone)]
 pub struct FailureReport {
     /// Seed of the failing run (replays both schedules exactly).
@@ -700,6 +708,16 @@ pub struct FailureReport {
     pub minimal: FaultSchedule,
     /// Event trace of the minimal schedule's replay.
     pub minimal_trace: Vec<String>,
+    /// Protocol events recorded during the minimal schedule's replay
+    /// (exportable with [`crate::trace::export_jsonl`]).
+    pub minimal_events: Vec<TraceEvent>,
+    /// Divergence report between the full run's protocol trace and the
+    /// minimal run's (see [`crate::tracediff`]): where behaviour first
+    /// changed once the decoy faults were stripped.
+    pub divergence: String,
+    /// ddmin search counters (`ddmin.executions`, `ddmin.cache_hits`,
+    /// `ddmin.subset_tests`, `ddmin.shrink_tests`, `ddmin.sweep_tests`).
+    pub ddmin_metrics: crate::metrics::MetricsRegistry,
 }
 
 impl fmt::Display for FailureReport {
@@ -709,7 +727,20 @@ impl fmt::Display for FailureReport {
         writeln!(f, "  schedule ({} events):", self.schedule.len())?;
         writeln!(f, "{}", self.schedule.describe())?;
         writeln!(f, "  minimal reproduction ({} events):", self.minimal.len())?;
-        write!(f, "{}", self.minimal.describe())
+        writeln!(f, "{}", self.minimal.describe())?;
+        writeln!(
+            f,
+            "  ddmin: executions={} cache_hits={} subset_tests={} shrink_tests={} sweep_tests={}",
+            self.ddmin_metrics.counter("ddmin.executions"),
+            self.ddmin_metrics.counter("ddmin.cache_hits"),
+            self.ddmin_metrics.counter("ddmin.subset_tests"),
+            self.ddmin_metrics.counter("ddmin.shrink_tests"),
+            self.ddmin_metrics.counter("ddmin.sweep_tests")
+        )?;
+        for line in self.divergence.lines() {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
     }
 }
 
@@ -832,8 +863,14 @@ fn schedule_for(mode: CampaignMode, cfg: &ScheduleGenConfig, seed: u64) -> Fault
     }
 }
 
-/// Runs one seed end to end: schedule generation, the audited run, and
-/// minimization on failure.
+/// Events of context shown on each side of a campaign failure's trace
+/// divergence, per replica.
+pub const DIVERGENCE_WINDOW: usize = 3;
+
+/// Runs one seed end to end: schedule generation, the audited run, and on
+/// failure ddmin minimization plus full-vs-minimal trace divergence. The
+/// known-failing run seeds the minimizer's cache, so neither the full nor
+/// the final minimal schedule is ever executed redundantly.
 fn run_seed<H: ChaosHarness>(
     harness: &mut H,
     mode: CampaignMode,
@@ -843,9 +880,24 @@ fn run_seed<H: ChaosHarness>(
     let schedule = schedule_for(mode, cfg, seed);
     let (outcome, verdict) = run_one(harness, seed, &schedule);
     let failure = verdict.err().map(|reason| {
-        let minimal = minimize(harness, seed, &schedule);
-        let (minimal_outcome, _) = run_one(harness, seed, &minimal);
-        FailureReport { seed, reason, schedule: schedule.clone(), minimal, minimal_trace: minimal_outcome.trace }
+        let dd = crate::ddmin::ddmin_from_failure(harness, seed, &schedule, Some(&outcome));
+        let divergence = crate::tracediff::divergence_report(
+            &outcome.events,
+            &dd.outcome.events,
+            DIVERGENCE_WINDOW,
+            "full",
+            "minimal",
+        );
+        FailureReport {
+            seed,
+            reason,
+            schedule: schedule.clone(),
+            minimal: dd.schedule,
+            minimal_trace: dd.outcome.trace,
+            minimal_events: dd.outcome.events,
+            divergence,
+            ddmin_metrics: dd.metrics,
+        }
     });
     (schedule.len(), outcome.coverage, failure)
 }

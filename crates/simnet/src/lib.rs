@@ -62,12 +62,14 @@ mod actor;
 mod config;
 mod event;
 pub mod chaos;
+pub mod ddmin;
 pub mod faults;
 pub mod metrics;
 mod sim;
 mod stats;
 mod time;
 pub mod trace;
+pub mod tracediff;
 
 pub use actor::{Actor, Context, NodeId, TimerId};
 pub use config::{LatencyModel, NetConfig};

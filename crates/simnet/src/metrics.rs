@@ -243,6 +243,55 @@ mod tests {
     }
 
     #[test]
+    fn quantile_from_buckets_is_exact_per_bucket() {
+        // 90 samples in the [4,7] bucket and 10 in the [512,1023] bucket:
+        // the quantile helper must return each bucket's upper bound at the
+        // exact rank boundaries (rank = ceil(q * count), minimum 1).
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.observe(4);
+        }
+        for _ in 0..10 {
+            h.observe(1000);
+        }
+        assert_eq!(h.quantile(0.0), 7, "rank clamps to 1: first bucket's bound");
+        assert_eq!(h.quantile(0.5), 7);
+        assert_eq!(h.quantile(0.90), 7, "rank 90 is still inside the first bucket");
+        assert_eq!(h.quantile(0.91), 1023, "rank 91 crosses into the tail bucket");
+        assert_eq!(h.quantile(0.99), 1023);
+        assert_eq!(h.quantile(1.0), 1023);
+
+        // Boundary buckets: zero lands in bucket 0 (bound 0); an empty
+        // histogram reports 0 everywhere.
+        let mut z = Histogram::default();
+        z.observe(0);
+        assert_eq!(z.quantile(1.0), 0);
+        assert_eq!(Histogram::default().quantile(0.99), 0);
+
+        // Out-of-range q clamps rather than panicking.
+        assert_eq!(h.quantile(-1.0), 7);
+        assert_eq!(h.quantile(2.0), 1023);
+    }
+
+    #[test]
+    fn quantile_is_merge_invariant() {
+        // Splitting the same samples across two histograms and merging
+        // yields the same bucket quantiles as observing them in one.
+        let samples = [3u64, 9, 17, 170, 9_000, 64_000, 1_000_000];
+        let mut whole = Histogram::default();
+        let mut left = Histogram::default();
+        let mut right = Histogram::default();
+        for (i, &s) in samples.iter().enumerate() {
+            whole.observe(s);
+            if i % 2 == 0 { left.observe(s) } else { right.observe(s) }
+        }
+        left.merge(&right);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(left.quantile(q), whole.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
     fn merge_is_exact_and_order_insensitive() {
         let mut a = MetricsRegistry::new();
         let mut b = MetricsRegistry::new();

@@ -4,9 +4,10 @@
 //! identical trace and network statistics.
 
 use base_simnet::chaos::{
-    generate_schedule, generate_storm_schedule, run_one, AppFaultSpec, ChaosEvent, ChaosHarness,
-    FaultSchedule, HealSpec, NetFault, ScheduleGenConfig,
+    generate_schedule, generate_storm_schedule, minimize, run_one, AppFaultSpec, ChaosEvent,
+    ChaosHarness, FaultSchedule, HealSpec, NetFault, ScheduleGenConfig,
 };
+use base_simnet::ddmin::{ddmin, schedule_digest};
 use base_simnet::trace::export_jsonl;
 use base_simnet::{Actor, Context, NodeId, ProtocolEvent, SimDuration, SimTime, Simulation};
 use proptest::prelude::*;
@@ -246,5 +247,155 @@ proptest! {
         let a = generate_storm_schedule(&cfg, seed);
         prop_assert_eq!(&a, &generate_storm_schedule(&cfg, seed));
         assert_budget(&a, 1);
+    }
+}
+
+/// Harness whose failure condition is transparent: the run fails iff the
+/// schedule crashed at least `threshold` times. Every 1-minimal failing
+/// subset therefore contains exactly `threshold` crash events and no
+/// decoys — which makes ddmin's invariants directly checkable.
+struct CrashThreshold {
+    threshold: usize,
+}
+
+struct Idle;
+impl Actor for Idle {
+    fn on_message(&mut self, _: NodeId, _: &[u8], _: &mut Context<'_>) {}
+}
+
+impl ChaosHarness for CrashThreshold {
+    fn build(&mut self, seed: u64) -> Simulation {
+        let mut sim = Simulation::new(seed);
+        for _ in 0..4 {
+            sim.add_node(Box::new(Idle));
+        }
+        sim
+    }
+
+    fn apply_app(
+        &mut self,
+        _sim: &mut Simulation,
+        _node: NodeId,
+        _tag: u32,
+        _arg: u64,
+        _trace: &mut Vec<String>,
+    ) {
+    }
+
+    fn settle(&self) -> SimDuration {
+        SimDuration::from_millis(1)
+    }
+
+    fn audit(&mut self, _sim: &mut Simulation, trace: &mut Vec<String>) -> Result<(), String> {
+        let crashes = trace.iter().filter(|l| l.contains("crash node")).count();
+        if crashes >= self.threshold {
+            Err(format!("saw {crashes} crashes (threshold {})", self.threshold))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Interleaves `crashes` crash events with `decoys` irrelevant events at
+/// deterministic times derived from the index.
+fn crash_schedule(crashes: usize, decoys: usize) -> FaultSchedule {
+    let mut s = FaultSchedule::new();
+    for i in 0..crashes {
+        s.crash(
+            SimTime::from_millis(10 + 20 * i as u64),
+            NodeId(i % 4),
+            SimDuration::from_millis(100 + 13 * i as u64),
+        );
+    }
+    for i in 0..decoys {
+        match i % 3 {
+            0 => {
+                s.net(
+                    SimTime::from_millis(15 + 20 * i as u64),
+                    NetFault::Duplicate { prob: 0.25 },
+                    SimDuration::from_millis(200),
+                );
+            }
+            1 => {
+                s.app(SimTime::from_millis(17 + 20 * i as u64), NodeId(i % 4), 9, i as u64);
+            }
+            _ => {
+                s.net(
+                    SimTime::from_millis(19 + 20 * i as u64),
+                    NetFault::Slow {
+                        from: NodeId(i % 4),
+                        to: NodeId((i + 1) % 4),
+                        extra: SimDuration::from_millis(30),
+                    },
+                    SimDuration::from_millis(150),
+                );
+            }
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// ddmin's result (a) still fails the harness, (b) is 1-minimal under
+    /// single-event removal, and (c) never exceeds the size of the greedy
+    /// `minimize` result.
+    #[test]
+    fn ddmin_invariants(
+        seed: u64,
+        threshold in 1usize..4,
+        extra_crashes in 0usize..3,
+        decoys in 0usize..5,
+    ) {
+        let schedule = crash_schedule(threshold + extra_crashes, decoys);
+        let mut h = CrashThreshold { threshold };
+        let dd = ddmin(&mut h, seed, &schedule).expect("schedule must fail");
+
+        // (a) still failing.
+        let (_, verdict) = run_one(&mut h, seed, &dd.schedule);
+        prop_assert!(verdict.is_err(), "minimized schedule must still fail");
+
+        // (b) 1-minimal: dropping any single event makes the run pass.
+        for idx in 0..dd.schedule.len() {
+            let (_, v) = run_one(&mut h, seed, &dd.schedule.without(idx));
+            prop_assert!(
+                v.is_ok(),
+                "removing event {idx} still fails — not 1-minimal:\n{}",
+                dd.schedule.describe()
+            );
+        }
+
+        // (c) never larger than greedy minimize's result.
+        let greedy = minimize(&mut h, seed, &schedule);
+        prop_assert!(
+            dd.schedule.len() <= greedy.len(),
+            "ddmin {} events > greedy {} events",
+            dd.schedule.len(),
+            greedy.len()
+        );
+    }
+
+    /// Same seed and schedule ⇒ byte-identical minimized schedule, digest
+    /// and metrics.
+    #[test]
+    fn ddmin_same_seed_is_byte_identical(
+        seed: u64,
+        threshold in 1usize..3,
+        extra_crashes in 0usize..3,
+        decoys in 0usize..4,
+    ) {
+        let schedule = crash_schedule(threshold + extra_crashes, decoys);
+        let a = ddmin(&mut CrashThreshold { threshold }, seed, &schedule)
+            .expect("schedule must fail");
+        let b = ddmin(&mut CrashThreshold { threshold }, seed, &schedule)
+            .expect("schedule must fail");
+        prop_assert_eq!(a.schedule.describe(), b.schedule.describe());
+        prop_assert_eq!(schedule_digest(&a.schedule), schedule_digest(&b.schedule));
+        prop_assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+        prop_assert_eq!(
+            export_jsonl(&a.outcome.events),
+            export_jsonl(&b.outcome.events)
+        );
     }
 }

@@ -1,0 +1,92 @@
+//! Golden-file test for the trace-diff divergence report.
+//!
+//! Two JSONL trace fixtures with a known injected divergence are checked
+//! in under `tests/fixtures/`; the expected report is pinned byte-for-byte
+//! in `divergence_report.golden.txt`. If the report format changes
+//! intentionally, regenerate all three files with:
+//!
+//! ```text
+//! BLESS=1 cargo test -p base-simnet --test tracediff_golden
+//! ```
+//!
+//! and review the diff before committing.
+
+use base_simnet::trace::export_jsonl;
+use base_simnet::tracediff::{divergence_report, first_divergence, parse_jsonl};
+use base_simnet::{NodeId, ProtocolEvent, SimTime, TraceEvent};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn ev(at_us: u64, node: usize, view: u64, seq: u64, event: ProtocolEvent) -> TraceEvent {
+    TraceEvent { at: SimTime::from_micros(at_us), node: NodeId(node), view, seq, event }
+}
+
+/// The canonical "full run": four replicas execute two batches, stabilize a
+/// checkpoint, then replica 3 falls behind and state-transfers.
+fn left_trace() -> Vec<TraceEvent> {
+    vec![
+        ev(1_000, 0, 0, 1, ProtocolEvent::RequestExecuted { batch: 2 }),
+        ev(1_040, 1, 0, 1, ProtocolEvent::RequestExecuted { batch: 2 }),
+        ev(1_080, 2, 0, 1, ProtocolEvent::RequestExecuted { batch: 2 }),
+        ev(1_120, 3, 0, 1, ProtocolEvent::RequestExecuted { batch: 2 }),
+        ev(2_000, 0, 0, 8, ProtocolEvent::CheckpointStable),
+        ev(2_050, 1, 0, 8, ProtocolEvent::CheckpointStable),
+        ev(2_100, 2, 0, 8, ProtocolEvent::CheckpointStable),
+        ev(3_000, 3, 0, 8, ProtocolEvent::StateTransferFetchStarted),
+        ev(3_200, 3, 0, 8, ProtocolEvent::StateTransferFetchChunk { bytes: 4096 }),
+        ev(3_400, 3, 0, 8, ProtocolEvent::StateTransferFetchCompleted { objects: 16 }),
+        ev(4_000, 0, 0, 9, ProtocolEvent::RequestExecuted { batch: 1 }),
+        ev(4_040, 1, 0, 9, ProtocolEvent::RequestExecuted { batch: 1 }),
+    ]
+}
+
+/// The "minimized run": identical up to the checkpoint, but replica 2 never
+/// stabilizes it — a view change starts instead, shifting everything after.
+fn right_trace() -> Vec<TraceEvent> {
+    let mut t = left_trace()[..6].to_vec();
+    t.push(ev(2_600, 2, 1, 0, ProtocolEvent::ViewChangeStarted));
+    t.push(ev(2_900, 2, 1, 0, ProtocolEvent::ViewChangeCompleted));
+    t.push(ev(4_000, 0, 1, 9, ProtocolEvent::RequestExecuted { batch: 1 }));
+    t
+}
+
+#[test]
+fn divergence_report_matches_golden() {
+    let left_path = fixture("trace_left.jsonl");
+    let right_path = fixture("trace_right.jsonl");
+    let golden_path = fixture("divergence_report.golden.txt");
+
+    if std::env::var("BLESS").is_ok() {
+        std::fs::create_dir_all(fixture("")).expect("create fixtures dir");
+        std::fs::write(&left_path, export_jsonl(&left_trace())).expect("write left");
+        std::fs::write(&right_path, export_jsonl(&right_trace())).expect("write right");
+        let report = divergence_report(&left_trace(), &right_trace(), 3, "full", "minimal");
+        std::fs::write(&golden_path, &report).expect("write golden");
+    }
+
+    let left = parse_jsonl(&std::fs::read_to_string(&left_path).expect("read left fixture"))
+        .expect("parse left");
+    let right = parse_jsonl(&std::fs::read_to_string(&right_path).expect("read right fixture"))
+        .expect("parse right");
+
+    // The fixtures encode exactly the traces above — the JSONL round-trips.
+    assert_eq!(left, left_trace());
+    assert_eq!(right, right_trace());
+
+    // The injected divergence: replica 2's checkpoint_stable vs its
+    // view_change_started, at index 6.
+    let d = first_divergence(&left, &right).expect("fixtures diverge");
+    assert_eq!(d.index, 6);
+    assert_eq!(d.left.unwrap().event, ProtocolEvent::CheckpointStable);
+    assert_eq!(d.right.unwrap().event, ProtocolEvent::ViewChangeStarted);
+
+    let report = divergence_report(&left, &right, 3, "full", "minimal");
+    let golden = std::fs::read_to_string(&golden_path).expect("read golden fixture");
+    assert_eq!(
+        report, golden,
+        "divergence report drifted from golden; run with BLESS=1 to update"
+    );
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Metrics-regression snapshot gate: re-runs the fixed, seeded E9-style
+# workload and compares the merged metrics registry JSON byte-for-byte
+# against crates/bench/tests/snapshots/e9_metrics.json. The simulator is
+# deterministic, so any drift means protocol behaviour changed (batching,
+# checkpoints, retransmits, latency distribution) and must be reviewed.
+#
+# Usage:
+#   scripts/check_metrics.sh           # verify against the snapshot
+#   scripts/check_metrics.sh --bless   # regenerate the snapshot in place
+#
+# On failure the actual JSON lands in target/metrics/e9_metrics.actual.json
+# for diffing (CI uploads it as an artifact).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--bless" ]; then
+  BLESS=1 cargo test -q -p base-bench --test metrics_snapshot
+  echo "blessed: crates/bench/tests/snapshots/e9_metrics.json"
+  exit 0
+fi
+
+if cargo test -q -p base-bench --test metrics_snapshot; then
+  echo "metrics snapshot: OK"
+else
+  echo "metrics snapshot: DRIFT detected" >&2
+  if [ -f target/metrics/e9_metrics.actual.json ]; then
+    echo "--- diff (snapshot vs actual) ---" >&2
+    diff <(tr ',' '\n' <crates/bench/tests/snapshots/e9_metrics.json) \
+         <(tr ',' '\n' <target/metrics/e9_metrics.actual.json) >&2 || true
+  fi
+  echo "intentional change? run: scripts/check_metrics.sh --bless" >&2
+  exit 1
+fi
