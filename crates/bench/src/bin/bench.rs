@@ -1,0 +1,424 @@
+//! Machine-readable perf lab: measures the repo's three hot paths — the
+//! E9 batching workload, a parallel chaos campaign, and a ddmin
+//! minimization — and emits the numbers as deterministic-schema JSON so
+//! `scripts/check_bench.sh` can gate regressions against a checked-in
+//! baseline.
+//!
+//! ```text
+//! # human-readable table
+//! cargo run --release -p base-bench --bin bench
+//!
+//! # write BENCH_<stamp>.json (schema below) into --out (default ".")
+//! cargo run --release -p base-bench --bin bench -- --json --stamp 20260807
+//!
+//! # gate: re-measure and compare against a baseline (generous threshold
+//! # on wall-clock, exact on deterministic sim quantities)
+//! cargo run --release -p base-bench --bin bench -- --check \
+//!     crates/bench/tests/snapshots/bench_baseline.json
+//! ```
+//!
+//! Simulated quantities (ops, sim ops/s, latency quantiles, ddmin
+//! executions) are deterministic and must match the baseline exactly;
+//! wall-clock milliseconds vary by machine and only gate at a generous
+//! multiple (default 3x).
+
+use base_bench::experiments::throughput::measure_throughput;
+use base_pbft::chaos::{CounterChaosHarness, APP_BYZ};
+use base_simnet::chaos::{
+    run_campaign_parallel, CampaignMode, ChaosHarness, FaultSchedule, NetFault,
+};
+use base_simnet::ddmin::ddmin_from_failure;
+use base_simnet::{NodeId, SimDuration, SimTime, Simulation};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// E9 cell measured by the lab.
+const E9_CLIENTS: usize = 8;
+const E9_OPS_PER_CLIENT: usize = 150;
+/// Written value size. The paper's file-system workloads move multi-KB
+/// blocks; KiB-sized values are what exercise the wire-copy and digest
+/// paths the fabric optimizes.
+const E9_VALUE_BYTES: usize = 1024;
+/// Campaign shape: seeds and worker count.
+const CAMPAIGN_SEEDS: std::ops::Range<u64> = 6200..6212;
+const CAMPAIGN_WORKERS: usize = 4;
+/// Generous wall-clock regression multiple for `--check`.
+const DEFAULT_THRESHOLD: f64 = 3.0;
+
+struct Opts {
+    json: bool,
+    out: PathBuf,
+    stamp: Option<String>,
+    check: Option<PathBuf>,
+    threshold: f64,
+    ddmin_workers: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench [--json] [--out DIR] [--stamp STAMP] [--ddmin-workers N]\n\
+         \x20      bench --check BASELINE.json [--threshold X]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        json: false,
+        out: PathBuf::from("."),
+        stamp: None,
+        check: None,
+        threshold: DEFAULT_THRESHOLD,
+        // Sequential by default: parallel ddmin trades speculative extra
+        // executions for concurrency, which only pays off with >1 CPU.
+        // Keeping the recorded search-effort counters machine-independent
+        // means the default must not probe the host's core count.
+        ddmin_workers: 1,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let need = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => opts.json = true,
+            "--out" => opts.out = PathBuf::from(need(&mut i)),
+            "--stamp" => opts.stamp = Some(need(&mut i)),
+            "--check" => opts.check = Some(PathBuf::from(need(&mut i))),
+            "--threshold" => {
+                opts.threshold = need(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--ddmin-workers" => {
+                opts.ddmin_workers = need(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    opts
+}
+
+/// Wraps the counter harness with a schedule-dependent audit: fail iff at
+/// least `threshold` crash events were applied. Every probe still builds
+/// and runs the full PBFT counter group, so ddmin's search cost is the
+/// realistic one — but which subsets fail is exactly predictable, keeping
+/// the measured search shape (and `ddmin.executions`) deterministic.
+struct CrashCounting {
+    inner: CounterChaosHarness,
+    threshold: usize,
+}
+
+impl ChaosHarness for CrashCounting {
+    fn build(&mut self, seed: u64) -> Simulation {
+        self.inner.build(seed)
+    }
+
+    fn apply_app(
+        &mut self,
+        sim: &mut Simulation,
+        node: NodeId,
+        tag: u32,
+        arg: u64,
+        trace: &mut Vec<String>,
+    ) {
+        self.inner.apply_app(sim, node, tag, arg, trace);
+    }
+
+    fn settle(&self) -> SimDuration {
+        SimDuration::from_secs(2)
+    }
+
+    fn audit(&mut self, _sim: &mut Simulation, trace: &mut Vec<String>) -> Result<(), String> {
+        let crashes = trace.iter().filter(|l| l.contains("crash node")).count();
+        if crashes >= self.threshold {
+            Err(format!("saw {crashes} crashes (threshold {})", self.threshold))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+fn ddmin_harness() -> CrashCounting {
+    CrashCounting { inner: CounterChaosHarness::new(4), threshold: 2 }
+}
+
+/// A fixed 10-event schedule with decoys around the two crashes ddmin must
+/// isolate; every probe replays the counter workload under it.
+fn ddmin_schedule() -> FaultSchedule {
+    let ms = SimTime::from_millis;
+    let dms = SimDuration::from_millis;
+    let mut s = FaultSchedule::new();
+    s.net(ms(100), NetFault::Duplicate { prob: 0.2 }, dms(400))
+        .crash(ms(200), NodeId(0), dms(300))
+        .app(ms(350), NodeId(2), APP_BYZ, 0)
+        .net(
+            ms(500),
+            NetFault::Slow { from: NodeId(1), to: NodeId(2), extra: dms(20) },
+            dms(300),
+        )
+        .net(ms(700), NetFault::Partition { nodes: vec![NodeId(3)] }, dms(200))
+        .crash(ms(900), NodeId(1), dms(350))
+        .app(ms(1000), NodeId(3), APP_BYZ, 0)
+        .net(ms(1100), NetFault::Duplicate { prob: 0.1 }, dms(250))
+        .crash(ms(1300), NodeId(2), dms(200))
+        .net(
+            ms(1500),
+            NetFault::Slow { from: NodeId(0), to: NodeId(3), extra: dms(15) },
+            dms(200),
+        );
+    s
+}
+
+struct BenchReport {
+    e9_ops: u64,
+    e9_sim_ops_per_sec: u64,
+    e9_p50_latency_ns: u64,
+    e9_p99_latency_ns: u64,
+    e9_wall_ms: u64,
+    e9_wall_ops_per_sec: u64,
+    campaign_runs: usize,
+    campaign_failures: usize,
+    campaign_wall_ms: u64,
+    ddmin_workers: usize,
+    ddmin_executions: u64,
+    ddmin_subset_tests: u64,
+    ddmin_minimal_len: usize,
+    ddmin_wall_ms: u64,
+}
+
+fn measure(ddmin_workers: usize) -> BenchReport {
+    // E9 batching throughput: sim ops/s is deterministic; wall-clock is
+    // what the zero-copy/memoization work moves.
+    let t0 = Instant::now();
+    let e9 = measure_throughput(E9_CLIENTS, E9_OPS_PER_CLIENT, E9_VALUE_BYTES);
+    let e9_wall_ms = t0.elapsed().as_millis() as u64;
+    let e9_sim_ops_per_sec = (e9.ops as f64 / (e9.elapsed_ns as f64 / 1e9)).round() as u64;
+    let e9_wall_ops_per_sec =
+        (e9.ops as f64 / (e9_wall_ms.max(1) as f64 / 1e3)).round() as u64;
+
+    // Chaos campaign at a fixed worker count.
+    let t0 = Instant::now();
+    let h = CounterChaosHarness::new(4);
+    let cfg = h.gen_config(5, SimDuration::from_secs(6));
+    let report = run_campaign_parallel(
+        || CounterChaosHarness::new(4),
+        CampaignMode::Mixed,
+        &cfg,
+        CAMPAIGN_SEEDS,
+        CAMPAIGN_WORKERS,
+    );
+    let campaign_wall_ms = t0.elapsed().as_millis() as u64;
+
+    // ddmin over the fixed decoy schedule (known failing: three crashes
+    // exceed the threshold of two).
+    let schedule = ddmin_schedule();
+    let mut h = ddmin_harness();
+    let (outcome, verdict) = base_simnet::chaos::run_one(&mut h, 42, &schedule);
+    assert!(verdict.is_err(), "ddmin bench schedule must fail its audit");
+    let t0 = Instant::now();
+    let dd = if ddmin_workers > 1 {
+        base_simnet::ddmin::ddmin_from_failure_parallel(
+            ddmin_harness,
+            42,
+            &schedule,
+            Some(&outcome),
+            ddmin_workers,
+        )
+    } else {
+        ddmin_from_failure(&mut h, 42, &schedule, Some(&outcome))
+    };
+    let ddmin_wall_ms = t0.elapsed().as_millis() as u64;
+
+    BenchReport {
+        e9_ops: e9.ops,
+        e9_sim_ops_per_sec,
+        e9_p50_latency_ns: e9.p50_latency_ns,
+        e9_p99_latency_ns: e9.p99_latency_ns,
+        e9_wall_ms,
+        e9_wall_ops_per_sec,
+        campaign_runs: report.runs,
+        campaign_failures: report.failures.len(),
+        campaign_wall_ms,
+        ddmin_workers,
+        ddmin_executions: dd.metrics.counter("ddmin.executions"),
+        ddmin_subset_tests: dd.metrics.counter("ddmin.subset_tests"),
+        ddmin_minimal_len: dd.schedule.len(),
+        ddmin_wall_ms,
+    }
+}
+
+impl BenchReport {
+    fn to_json(&self, stamp: &str) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"stamp\":\"{stamp}\",\
+             \"e9\":{{\"clients\":{},\"ops\":{},\"sim_ops_per_sec\":{},\
+             \"p50_latency_ns\":{},\"p99_latency_ns\":{},\"wall_ms\":{},\
+             \"wall_ops_per_sec\":{}}},\
+             \"campaign\":{{\"runs\":{},\"workers\":{},\"failures\":{},\"wall_ms\":{}}},\
+             \"ddmin\":{{\"workers\":{},\"executions\":{},\"subset_tests\":{},\
+             \"minimal_len\":{},\"wall_ms\":{}}}}}",
+            E9_CLIENTS,
+            self.e9_ops,
+            self.e9_sim_ops_per_sec,
+            self.e9_p50_latency_ns,
+            self.e9_p99_latency_ns,
+            self.e9_wall_ms,
+            self.e9_wall_ops_per_sec,
+            self.campaign_runs,
+            CAMPAIGN_WORKERS,
+            self.campaign_failures,
+            self.campaign_wall_ms,
+            self.ddmin_workers,
+            self.ddmin_executions,
+            self.ddmin_subset_tests,
+            self.ddmin_minimal_len,
+            self.ddmin_wall_ms,
+        );
+        out
+    }
+
+    fn print_table(&self) {
+        println!("== bench lab ==");
+        println!(
+            "e9:       clients={} ops={} sim_ops/s={} p50={}ms p99={}ms wall={}ms wall_ops/s={}",
+            E9_CLIENTS,
+            self.e9_ops,
+            self.e9_sim_ops_per_sec,
+            self.e9_p50_latency_ns as f64 / 1e6,
+            self.e9_p99_latency_ns as f64 / 1e6,
+            self.e9_wall_ms,
+            self.e9_wall_ops_per_sec
+        );
+        println!(
+            "campaign: runs={} workers={} failures={} wall={}ms",
+            self.campaign_runs, CAMPAIGN_WORKERS, self.campaign_failures, self.campaign_wall_ms
+        );
+        println!(
+            "ddmin:    workers={} executions={} subset_tests={} minimal_len={} wall={}ms",
+            self.ddmin_workers,
+            self.ddmin_executions,
+            self.ddmin_subset_tests,
+            self.ddmin_minimal_len,
+            self.ddmin_wall_ms
+        );
+    }
+}
+
+/// Extracts `"key":<number>` from the named top-level section of the lab's
+/// own JSON (flat schema, no nesting beyond one object level).
+fn field(json: &str, section: &str, key: &str) -> Option<f64> {
+    // Tolerate pretty-printed baselines: no quoted value in a bench report
+    // contains whitespace, so stripping it wholesale is lossless here.
+    let json: String = json.split_whitespace().collect();
+    let json = json.as_str();
+    let sec = json.find(&format!("\"{section}\":{{"))?;
+    let rest = &json[sec..];
+    let end = rest.find('}')?;
+    let body = &rest[..end];
+    let k = body.find(&format!("\"{key}\":"))?;
+    let val = &body[k + key.len() + 3..];
+    let val = val.split(|c: char| c == ',' || c == '}').next()?;
+    val.trim().parse().ok()
+}
+
+fn check(baseline_path: &PathBuf, threshold: f64, ddmin_workers: usize) -> ExitCode {
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read baseline {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let fresh = measure(ddmin_workers);
+    let fresh_json = fresh.to_json("check");
+    let mut failures = Vec::new();
+
+    // Deterministic sim quantities: exact match or the protocol changed.
+    for (section, key, actual) in [
+        ("e9", "ops", fresh.e9_ops as f64),
+        ("e9", "sim_ops_per_sec", fresh.e9_sim_ops_per_sec as f64),
+        ("e9", "p50_latency_ns", fresh.e9_p50_latency_ns as f64),
+        ("e9", "p99_latency_ns", fresh.e9_p99_latency_ns as f64),
+        ("campaign", "failures", fresh.campaign_failures as f64),
+        ("ddmin", "executions", fresh.ddmin_executions as f64),
+        ("ddmin", "minimal_len", fresh.ddmin_minimal_len as f64),
+    ] {
+        match field(&baseline, section, key) {
+            Some(expected) if (expected - actual).abs() < 0.5 => {}
+            Some(expected) => failures.push(format!(
+                "{section}.{key}: baseline {expected}, measured {actual} (deterministic drift)"
+            )),
+            None => failures.push(format!("{section}.{key}: missing from baseline")),
+        }
+    }
+
+    // Wall-clock: machine-dependent, gate only at a generous multiple.
+    for (section, actual) in [
+        ("e9", fresh.e9_wall_ms as f64),
+        ("campaign", fresh.campaign_wall_ms as f64),
+        ("ddmin", fresh.ddmin_wall_ms as f64),
+    ] {
+        if let Some(expected) = field(&baseline, section, "wall_ms") {
+            if actual > (expected * threshold).max(50.0) {
+                failures.push(format!(
+                    "{section}.wall_ms: baseline {expected}ms, measured {actual}ms \
+                     (> {threshold}x regression)"
+                ));
+            }
+        }
+    }
+
+    println!("measured: {fresh_json}");
+    if failures.is_empty() {
+        println!("bench check: OK (threshold {threshold}x vs {})", baseline_path.display());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench check: FAILED vs {}", baseline_path.display());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        ExitCode::from(1)
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    if let Some(baseline) = &opts.check {
+        return check(baseline, opts.threshold, opts.ddmin_workers);
+    }
+    let report = measure(opts.ddmin_workers);
+    if opts.json {
+        let stamp = opts.stamp.clone().unwrap_or_else(|| {
+            let secs = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            secs.to_string()
+        });
+        let path = opts.out.join(format!("BENCH_{stamp}.json"));
+        let json = report.to_json(&stamp);
+        if let Err(e) = std::fs::create_dir_all(&opts.out) {
+            eprintln!("error creating {}: {e}", opts.out.display());
+            return ExitCode::from(2);
+        }
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("error writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("{json}");
+        println!("wrote {}", path.display());
+    } else {
+        report.print_table();
+    }
+    ExitCode::SUCCESS
+}

@@ -8,6 +8,10 @@
 //!
 //! # localize where two exported runs diverge
 //! cargo run -p base-bench --bin repro -- --diff left.jsonl right.jsonl --window 5
+//!
+//! # export the canonical acceptance-scenario trace (the cross-version gate
+//! # diffs this against the blessed copy under crates/bench/tests/snapshots)
+//! cargo run -p base-bench --bin repro -- --export counter --out target/traces
 //! ```
 //!
 //! Campaigns: `counter` (pbft counter testbed), `counter-buggy` (same, with
@@ -35,13 +39,15 @@ struct Opts {
     out: PathBuf,
     window: usize,
     diff: Option<(PathBuf, PathBuf)>,
+    export: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro --campaign counter|counter-buggy|nfs|nfs-buggy|oodb \
          [--seed N] [--runs N] [--events N] [--horizon-ms N] [--out DIR]\n\
-         \x20      repro --diff LEFT.jsonl RIGHT.jsonl [--window N]"
+         \x20      repro --diff LEFT.jsonl RIGHT.jsonl [--window N]\n\
+         \x20      repro --export counter|nfs|oodb [--out DIR]"
     );
     std::process::exit(2);
 }
@@ -56,6 +62,7 @@ fn parse_args() -> Opts {
         out: PathBuf::from(DEFAULT_ARTIFACT_DIR),
         window: 3,
         diff: None,
+        export: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -77,6 +84,7 @@ fn parse_args() -> Opts {
                 let right = PathBuf::from(need(&mut i));
                 opts.diff = Some((left, right));
             }
+            "--export" => opts.export = Some(need(&mut i)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -148,10 +156,70 @@ fn report_and_write(
     ExitCode::from(1)
 }
 
+/// Runs one canonical acceptance scenario — a fixed seed, a fixed
+/// generated fault schedule, a passing audit — and writes its protocol
+/// event trace as `<scenario>.jsonl` under `out`. The blessed copies under
+/// `crates/bench/tests/snapshots/traces/` pin these byte-for-byte; CI
+/// diffs a fresh export against them (`scripts/check_traces.sh`) so any
+/// cross-version drift in protocol behaviour is localized by `--diff`
+/// instead of discovered downstream.
+fn run_export(scenario: &str, out: &PathBuf) -> ExitCode {
+    let trace = |outcome: base_simnet::chaos::RunOutcome,
+                 verdict: Result<(), String>|
+     -> Vec<base_simnet::TraceEvent> {
+        if let Err(e) = verdict {
+            eprintln!("error: scenario `{scenario}` failed its audit: {e}");
+            std::process::exit(2);
+        }
+        outcome.events
+    };
+    let events = match scenario {
+        "counter" => {
+            let mut h = CounterChaosHarness::new(4);
+            let cfg = h.gen_config(4, SimDuration::from_secs(4));
+            let schedule = base_simnet::chaos::generate_schedule(&cfg, 4100);
+            let (o, v) = base_simnet::chaos::run_one(&mut h, 4100, &schedule);
+            trace(o, v)
+        }
+        "nfs" => {
+            let mut h = NfsChaosHarness::new(FsMix::Heterogeneous);
+            let cfg = h.gen_config(4, SimDuration::from_secs(4));
+            let schedule = base_simnet::chaos::generate_schedule(&cfg, 6200);
+            let (o, v) = base_simnet::chaos::run_one(&mut h, 6200, &schedule);
+            trace(o, v)
+        }
+        "oodb" => {
+            let mut h = OodbChaosHarness::new(4);
+            let cfg = h.gen_config(4, SimDuration::from_secs(6));
+            let schedule = base_simnet::chaos::generate_schedule(&cfg, 200);
+            let (o, v) = base_simnet::chaos::run_one(&mut h, 200, &schedule);
+            trace(o, v)
+        }
+        other => {
+            eprintln!("unknown export scenario: {other}");
+            usage();
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(out) {
+        eprintln!("error: cannot create {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    let path = out.join(format!("{scenario}.jsonl"));
+    if let Err(e) = std::fs::write(&path, base_simnet::trace::export_jsonl(&events)) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        return ExitCode::from(2);
+    }
+    println!("exported {} events to {}", events.len(), path.display());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     if let Some((left, right)) = &opts.diff {
         return run_diff(left, right, opts.window);
+    }
+    if let Some(scenario) = &opts.export {
+        return run_export(scenario, &opts.out);
     }
     if opts.campaign.is_empty() {
         usage();

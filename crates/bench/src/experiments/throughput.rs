@@ -11,14 +11,32 @@ use base_simnet::{SimDuration, Simulation};
 
 type KvReplica = BaseReplica<KvWrapper>;
 
-struct Out {
-    ops: u64,
-    elapsed_ns: u64,
-    mean_batch: f64,
-    p99_latency_ns: u64,
+/// One measured E9 cell, exposed so the `bench` perf lab can sample the
+/// same workload the table prints.
+pub struct ThroughputSample {
+    /// Completed operations across all clients.
+    pub ops: u64,
+    /// Virtual makespan (last client finished) in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Mean executed-batch occupancy from the primary's registry.
+    pub mean_batch: f64,
+    /// Median client latency (log₂-bucket upper bound), nanoseconds.
+    pub p50_latency_ns: u64,
+    /// p99 client latency (log₂-bucket upper bound), nanoseconds.
+    pub p99_latency_ns: u64,
 }
 
-fn run_once(clients: usize, ops_per_client: usize) -> Out {
+/// Runs one E9 cell and returns its measurements.
+///
+/// `value_bytes` pads each written value up to the given size (0 keeps the
+/// bare `v{i}` token). The perf lab measures with KiB-sized values — the
+/// paper's file-system workloads write multi-KB blocks, and realistic
+/// payloads are what exercise the wire-copy and digest paths.
+pub fn measure_throughput(
+    clients: usize,
+    ops_per_client: usize,
+    value_bytes: usize,
+) -> ThroughputSample {
     let mut cfg = Config::new(4);
     cfg.checkpoint_interval = 64;
     cfg.log_window = 256;
@@ -42,7 +60,10 @@ fn run_once(clients: usize, ops_per_client: usize) -> Out {
     for (c, &node) in client_nodes.iter().enumerate() {
         let cl = sim.actor_as_mut::<BaseClient>(node).unwrap();
         for i in 0..ops_per_client {
-            cl.invoke(format!("put c{c}k{} v{i}", i % 16).into_bytes(), false);
+            let mut op = format!("put c{c}k{} v{i}", i % 16).into_bytes();
+            let pad = value_bytes.saturating_sub(op.len());
+            op.extend(std::iter::repeat(b'x').take(pad));
+            cl.invoke(op, false);
         }
     }
     sim.run_for(SimDuration::from_secs(120));
@@ -77,10 +98,11 @@ fn run_once(clients: usize, ops_per_client: usize) -> Out {
         }
     }
     assert!(occupancy.count() > 0, "replica recorded no executed batches");
-    Out {
+    ThroughputSample {
         ops: total_ops,
         elapsed_ns: wallclock_of(&sim, &client_nodes),
         mean_batch: occupancy.mean(),
+        p50_latency_ns: latency.quantile(0.5),
         p99_latency_ns: latency.quantile(0.99),
     }
 }
@@ -111,7 +133,7 @@ pub fn run_throughput() {
         &["clients", "total ops", "makespan (s)", "throughput (ops/s)", "ops per batch", "p99 latency (ms)"],
     );
     for clients in [1usize, 2, 4, 8] {
-        let o = run_once(clients, ops_per_client);
+        let o = measure_throughput(clients, ops_per_client, 0);
         let secs = o.elapsed_ns as f64 / 1e9;
         t.row(&[
             clients.to_string(),

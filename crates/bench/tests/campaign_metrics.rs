@@ -1,0 +1,87 @@
+//! Campaign metrics snapshot gates for the two BASE services (NFS and
+//! OODB): a small fixed, seeded chaos campaign per service whose coverage
+//! JSON — runs, fault events executed, view changes, state transfers,
+//! recoveries, repairs, per-seed breakdown — must match the checked-in
+//! snapshot byte-for-byte. The campaigns are deterministic, so any drift
+//! means fault handling changed and has to be reviewed, not absorbed.
+//!
+//! To update after an intentional change:
+//!
+//! ```text
+//! BLESS=1 cargo test -p base-bench --test campaign_metrics
+//! # or: scripts/check_metrics.sh --bless
+//! ```
+//!
+//! On mismatch the actual JSON is written to
+//! `target/metrics/<service>_metrics.actual.json` for CI artifact upload.
+
+use base_bench::experiments::faultinj::NfsChaosHarness;
+use base_bench::FsMix;
+use base_oodb::chaos::OodbChaosHarness;
+use base_simnet::chaos::run_campaign;
+use base_simnet::SimDuration;
+use std::path::PathBuf;
+
+fn snapshot_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/snapshots/{name}_metrics.json"))
+}
+
+fn check_snapshot(name: &str, actual: &str) {
+    let path = snapshot_path(name);
+    if std::env::var("BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create snapshots dir");
+        std::fs::write(&path, actual).expect("write snapshot");
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing snapshot {} ({e}); run with BLESS=1", path.display()));
+    if actual != expected {
+        let out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/metrics");
+        let _ = std::fs::create_dir_all(&out_dir);
+        let actual_path = out_dir.join(format!("{name}_metrics.actual.json"));
+        let _ = std::fs::write(&actual_path, actual);
+        panic!(
+            "{name} campaign metrics drifted from snapshot {}.\nactual written to {}.\n\
+             If the change is intentional: BLESS=1 cargo test -p base-bench --test campaign_metrics",
+            path.display(),
+            actual_path.display()
+        );
+    }
+}
+
+/// The fixed NFS campaign: heterogeneous testbed, 6 seeds, 4 generated
+/// fault events over a 4 s horizon each.
+fn nfs_coverage() -> String {
+    let mut h = NfsChaosHarness::new(FsMix::Heterogeneous);
+    let cfg = h.gen_config(4, SimDuration::from_secs(4));
+    let report = run_campaign(&mut h, &cfg, 6200..6206);
+    assert_eq!(report.runs, 6);
+    assert!(report.passed(), "fixed NFS campaign must pass: {:?}", report.failures.first());
+    report.coverage_json()
+}
+
+/// The fixed OODB campaign: 4 replicas, 6 seeds, 4 generated fault events
+/// over a 6 s horizon each (the OODB workload paces slower than NFS).
+fn oodb_coverage() -> String {
+    let mut h = OodbChaosHarness::new(4);
+    let cfg = h.gen_config(4, SimDuration::from_secs(6));
+    let report = run_campaign(&mut h, &cfg, 200..206);
+    assert_eq!(report.runs, 6);
+    assert!(report.passed(), "fixed OODB campaign must pass: {:?}", report.failures.first());
+    report.coverage_json()
+}
+
+#[test]
+fn nfs_campaign_metrics_match_snapshot() {
+    check_snapshot("nfs", &nfs_coverage());
+}
+
+#[test]
+fn oodb_campaign_metrics_match_snapshot() {
+    check_snapshot("oodb", &oodb_coverage());
+}
+
+#[test]
+fn campaign_metrics_are_deterministic() {
+    assert_eq!(nfs_coverage(), nfs_coverage());
+    assert_eq!(oodb_coverage(), oodb_coverage());
+}

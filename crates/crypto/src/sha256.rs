@@ -84,14 +84,15 @@ impl Sha256 {
             }
         }
 
-        // Whole blocks straight from the input.
-        while rest.len() >= 64 {
-            let (block, tail) = rest.split_at(64);
-            let mut b = [0u8; 64];
-            b.copy_from_slice(block);
-            self.compress(&b);
-            rest = tail;
+        // Whole blocks are compressed in place, borrowed straight from the
+        // input — the partial-block staging copy is only for a short head
+        // or tail.
+        let mut chunks = rest.chunks_exact(64);
+        for block in &mut chunks {
+            let block: &[u8; 64] = block.try_into().expect("chunks_exact yields 64-byte blocks");
+            self.compress(block);
         }
+        rest = chunks.remainder();
 
         // Stash the remainder.
         if !rest.is_empty() {

@@ -33,6 +33,13 @@ impl std::fmt::Debug for Signature {
     }
 }
 
+impl Default for Signature {
+    /// The all-zero placeholder signature (never verifies).
+    fn default() -> Self {
+        Signature([0u8; SIG_LEN])
+    }
+}
+
 impl XdrEncode for Signature {
     fn encode(&self, enc: &mut XdrEncoder) {
         enc.put_opaque_fixed(&self.0);

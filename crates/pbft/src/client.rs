@@ -5,7 +5,7 @@ use crate::config::Config;
 use crate::cost::CostModel;
 use crate::messages::{Message, ReplyMsg, RequestMsg};
 use base_crypto::{Authenticator, NodeKeys};
-use base_simnet::{Actor, Context, MetricsRegistry, NodeId, ProtocolEvent, SimDuration, TimerId};
+use base_simnet::{Actor, Context, MetricsRegistry, NodeId, Payload, ProtocolEvent, SimDuration, TimerId};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Timer token used by the embedded client core (high bit set so embedding
@@ -159,23 +159,18 @@ impl ClientCore {
         attempts: u32,
         ctx: &mut Context<'_>,
     ) -> RequestMsg {
-        let mut req = RequestMsg {
-            client: self.id,
-            timestamp: ts,
-            read_only,
-            // Rotate the designated full-replier across retransmissions so
-            // a faulty designee cannot starve us of the full result.
-            full_replier: ((ts + u64::from(attempts)) % self.cfg.n as u64) as u32,
-            op,
-            auth: Authenticator::default(),
-        };
-        ctx.charge(self.cost.digest(req.op.len()) + self.cost.authenticator(self.cfg.n));
+        // Rotate the designated full-replier across retransmissions so
+        // a faulty designee cannot starve us of the full result.
+        let full_replier = ((ts + u64::from(attempts)) % self.cfg.n as u64) as u32;
+        let mut req = RequestMsg::new(self.id, ts, read_only, full_replier, op);
+        ctx.charge(self.cost.digest(req.op().len()) + self.cost.authenticator(self.cfg.n));
         req.auth = Authenticator::generate(&self.keys, self.cfg.n, &req.digest());
         req
     }
 
     fn broadcast(&self, req: &RequestMsg, ctx: &mut Context<'_>) {
-        let wire = Message::Request(req.clone()).to_wire();
+        // Encode once; every replica shares the same allocation.
+        let wire = Payload::from(Message::Request(req.clone()).to_wire());
         for i in 0..self.cfg.n {
             ctx.send(NodeId(i), wire.clone());
         }

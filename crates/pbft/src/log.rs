@@ -253,21 +253,7 @@ mod tests {
     use base_crypto::{Authenticator, Signature};
 
     fn pp(view: u64, seq: u64) -> PrePrepareMsg {
-        PrePrepareMsg {
-            view,
-            seq,
-            requests: vec![RequestMsg {
-                client: 9,
-                timestamp: 1,
-                read_only: false,
-                full_replier: 0,
-                op: b"x".to_vec(),
-                auth: Authenticator::default(),
-            }],
-            nondet: Vec::new(),
-            auth: Authenticator::default(),
-            sig: Signature([0; 32]),
-        }
+        PrePrepareMsg::new(view, seq, vec![RequestMsg::new(9, 1, false, 0, b"x".to_vec())], Vec::new())
     }
 
 

@@ -12,6 +12,48 @@ use base_xdr::{
     decode_vec, encode_vec, from_bytes, to_bytes, XdrDecode, XdrDecoder, XdrEncode, XdrEncoder,
     XdrError,
 };
+use std::sync::OnceLock;
+
+/// Lazily computed digest, carried alongside the fields it covers.
+///
+/// The covered fields are construction-only immutable (private, set once
+/// by the constructor or the XDR decoder), so a computed digest stays
+/// valid for the message's lifetime. The cache is pure memoization: it is
+/// never encoded on the wire, compares equal regardless of fill state,
+/// and cloning carries the computed value along with the (immutable)
+/// fields it was derived from.
+#[derive(Default)]
+struct DigestCache(OnceLock<Digest>);
+
+impl DigestCache {
+    fn get_or_init(&self, compute: impl FnOnce() -> Digest) -> Digest {
+        *self.0.get_or_init(compute)
+    }
+}
+
+impl Clone for DigestCache {
+    fn clone(&self) -> Self {
+        let c = DigestCache::default();
+        if let Some(d) = self.0.get() {
+            let _ = c.0.set(*d);
+        }
+        c
+    }
+}
+
+impl std::fmt::Debug for DigestCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("DigestCache(..)")
+    }
+}
+
+impl PartialEq for DigestCache {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for DigestCache {}
 
 /// The digest of a *null request batch* (no requests, no non-deterministic
 /// values), used by view changes to fill sequence-number gaps.
@@ -20,24 +62,64 @@ pub fn null_batch_digest() -> Digest {
 }
 
 /// A client request.
+///
+/// The digest-covered fields (`client`, `timestamp`, `read_only`, `op`)
+/// are private and set only at construction, which makes the memoized
+/// [`RequestMsg::digest`] sound: nothing can change under the cache.
+/// `full_replier` and `auth` stay public — neither is digest-covered.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RequestMsg {
     /// Client node id.
-    pub client: u32,
+    client: u32,
     /// Per-client monotone request number.
-    pub timestamp: u64,
+    timestamp: u64,
     /// True for the read-only optimization path.
-    pub read_only: bool,
+    read_only: bool,
     /// Replica designated to send the *full* result; the others reply
     /// with a digest (the BFT library's reply optimization).
     pub full_replier: u32,
     /// Opaque operation bytes, interpreted by the service.
-    pub op: Vec<u8>,
+    op: Vec<u8>,
     /// MAC vector over the request digest, one entry per replica.
     pub auth: Authenticator,
+    /// Memoized digest of the signed portion.
+    digest_cache: DigestCache,
 }
 
 impl RequestMsg {
+    /// Builds a request with an empty authenticator (fill `auth` after).
+    pub fn new(client: u32, timestamp: u64, read_only: bool, full_replier: u32, op: Vec<u8>) -> Self {
+        Self {
+            client,
+            timestamp,
+            read_only,
+            full_replier,
+            op,
+            auth: Authenticator::default(),
+            digest_cache: DigestCache::default(),
+        }
+    }
+
+    /// Client node id.
+    pub fn client(&self) -> u32 {
+        self.client
+    }
+
+    /// Per-client monotone request number.
+    pub fn timestamp(&self) -> u64 {
+        self.timestamp
+    }
+
+    /// True for the read-only optimization path.
+    pub fn read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Opaque operation bytes, interpreted by the service.
+    pub fn op(&self) -> &[u8] {
+        &self.op
+    }
+
     /// Bytes covered by authentication.
     pub fn signed_bytes(&self) -> Vec<u8> {
         let mut enc = XdrEncoder::new();
@@ -52,9 +134,9 @@ impl RequestMsg {
         // changing the request's identity.
     }
 
-    /// Digest identifying this request.
+    /// Digest identifying this request (computed once, then memoized).
     pub fn digest(&self) -> Digest {
-        Digest::of(&self.signed_bytes())
+        self.digest_cache.get_or_init(|| Digest::of(&self.signed_bytes()))
     }
 }
 
@@ -78,6 +160,7 @@ impl XdrDecode for RequestMsg {
             full_replier: dec.get_u32()?,
             op: dec.get_opaque()?,
             auth: Authenticator::decode(dec)?,
+            digest_cache: DigestCache::default(),
         })
     }
 }
@@ -149,6 +232,12 @@ impl XdrDecode for ReplyMsg {
 }
 
 /// The primary's ordering proposal for one batch of requests.
+///
+/// The batch-digest-covered fields (`requests`, `nondet`) are private and
+/// set only at construction, which makes the memoized
+/// [`PrePrepareMsg::batch_digest`] sound. `view`/`seq` stay public: they
+/// are covered by [`PrePrepareMsg::signed_bytes`] (recomputed on demand)
+/// but deliberately not by the batch digest.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PrePrepareMsg {
     /// View this proposal belongs to.
@@ -156,17 +245,43 @@ pub struct PrePrepareMsg {
     /// Sequence number assigned to the batch.
     pub seq: u64,
     /// The batched requests (piggybacked on the pre-prepare).
-    pub requests: Vec<RequestMsg>,
+    requests: Vec<RequestMsg>,
     /// Non-deterministic values chosen by the primary for this batch
     /// (e.g. the agreed timestamp for NFS mtimes).
-    pub nondet: Vec<u8>,
+    nondet: Vec<u8>,
     /// MAC vector from the primary.
     pub auth: Authenticator,
     /// Primary signature over the header, kept for view-change proofs.
     pub sig: Signature,
+    /// Memoized batch digest.
+    batch_cache: DigestCache,
 }
 
 impl PrePrepareMsg {
+    /// Builds a proposal with empty authentication (fill `auth`/`sig`
+    /// after).
+    pub fn new(view: u64, seq: u64, requests: Vec<RequestMsg>, nondet: Vec<u8>) -> Self {
+        Self {
+            view,
+            seq,
+            requests,
+            nondet,
+            auth: Authenticator::default(),
+            sig: Signature::default(),
+            batch_cache: DigestCache::default(),
+        }
+    }
+
+    /// The batched requests (piggybacked on the pre-prepare).
+    pub fn requests(&self) -> &[RequestMsg] {
+        &self.requests
+    }
+
+    /// Non-deterministic values chosen by the primary for this batch.
+    pub fn nondet(&self) -> &[u8] {
+        &self.nondet
+    }
+
     /// Digest of the request batch + non-deterministic values.
     ///
     /// Deliberately excludes view and sequence number: after a view change
@@ -182,9 +297,10 @@ impl PrePrepareMsg {
         Digest::of(enc.as_bytes())
     }
 
-    /// Digest of the carried batch.
+    /// Digest of the carried batch (computed once, then memoized).
     pub fn batch_digest(&self) -> Digest {
-        Self::batch_digest_of(&self.requests, &self.nondet)
+        self.batch_cache
+            .get_or_init(|| Self::batch_digest_of(&self.requests, &self.nondet))
     }
 
     /// Bytes covered by the primary's authentication: view, seq and batch
@@ -224,6 +340,7 @@ impl XdrDecode for PrePrepareMsg {
             nondet: dec.get_opaque()?,
             auth: Authenticator::decode(dec)?,
             sig: Signature::decode(dec)?,
+            batch_cache: DigestCache::default(),
         })
     }
 }
@@ -909,14 +1026,7 @@ mod tests {
     }
 
     fn sample_request(k: &NodeKeys) -> RequestMsg {
-        let mut r = RequestMsg {
-            client: 4,
-            timestamp: 9,
-            read_only: false,
-            full_replier: 0,
-            op: b"op-bytes".to_vec(),
-            auth: Authenticator::default(),
-        };
+        let mut r = RequestMsg::new(4, 9, false, 0, b"op-bytes".to_vec());
         r.auth = Authenticator::generate(k, 4, &r.digest());
         r
     }
@@ -942,14 +1052,7 @@ mod tests {
     fn batch_digest_excludes_view_and_seq() {
         let k = keys();
         let r = sample_request(&k);
-        let make = |view, seq| PrePrepareMsg {
-            view,
-            seq,
-            requests: vec![r.clone()],
-            nondet: b"nd".to_vec(),
-            auth: Authenticator::default(),
-            sig: Signature([0; 32]),
-        };
+        let make = |view, seq| PrePrepareMsg::new(view, seq, vec![r.clone()], b"nd".to_vec());
         assert_eq!(make(0, 5).batch_digest(), make(3, 9).batch_digest());
     }
 
@@ -968,13 +1071,11 @@ mod tests {
     fn all_message_kinds_round_trip() {
         let k = keys();
         let r = sample_request(&k);
-        let pp = PrePrepareMsg {
-            view: 1,
-            seq: 2,
-            requests: vec![r.clone()],
-            nondet: vec![1, 2],
-            auth: Authenticator::generate(&k, 4, &Digest::of(b"x")),
-            sig: k.sign(b"pp"),
+        let pp = {
+            let mut pp = PrePrepareMsg::new(1, 2, vec![r.clone()], vec![1, 2]);
+            pp.auth = Authenticator::generate(&k, 4, &Digest::of(b"x"));
+            pp.sig = k.sign(b"pp");
+            pp
         };
         let prepare = PrepareMsg {
             view: 1,
@@ -1058,14 +1159,7 @@ mod tests {
     fn view_change_digest_binds_pset() {
         let k = keys();
         let r = sample_request(&k);
-        let pp = PrePrepareMsg {
-            view: 0,
-            seq: 2,
-            requests: vec![r],
-            nondet: vec![],
-            auth: Authenticator::default(),
-            sig: Signature([0; 32]),
-        };
+        let pp = PrePrepareMsg::new(0, 2, vec![r], vec![]);
         let mut vc = ViewChangeMsg {
             new_view: 1,
             stable_seq: 0,

@@ -18,7 +18,7 @@ use crate::messages::{
 use crate::service::{ExecEnv, Service};
 use crate::transfer::{checkpoint_digest, FetchResult, Fetcher, META_ROOT_LEVEL, REPLIES_INDEX};
 use base_crypto::{Authenticator, Digest, NodeKeys};
-use base_simnet::{Actor, Context, MetricsRegistry, NodeId, ProtocolEvent, SimDuration, TimerId};
+use base_simnet::{Actor, Context, MetricsRegistry, NodeId, Payload, ProtocolEvent, SimDuration, TimerId};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// Timer tokens.
@@ -309,7 +309,8 @@ impl<S: Service> Replica<S> {
         if matches!(self.byz, ByzMode::Mute) {
             return;
         }
-        let wire = msg.to_wire();
+        // Encode once; every recipient shares the same allocation.
+        let wire = Payload::from(msg.to_wire());
         for i in 0..self.cfg.n {
             if i != self.id as usize {
                 ctx.send(NodeId(i), wire.clone());
@@ -324,25 +325,25 @@ impl<S: Service> Replica<S> {
     fn handle_request(&mut self, req: RequestMsg, ctx: &mut Context<'_>) {
         // Authenticate: the authenticator must verify for this replica
         // under the claimed client's key.
-        ctx.charge(self.cost.mac + self.cost.digest(req.op.len()));
-        if !req.auth.check(&self.keys, req.client as usize, &req.digest()) {
+        ctx.charge(self.cost.mac + self.cost.digest(req.op().len()));
+        if !req.auth.check(&self.keys, req.client() as usize, &req.digest()) {
             self.stats.rejected_messages += 1;
             return;
         }
 
-        if req.read_only {
+        if req.read_only() {
             self.execute_read_only(&req, ctx);
             return;
         }
 
         // Retransmission of the last executed request: resend the reply.
-        if let Some(result) = self.reply_cache.cached_result(req.client, req.timestamp) {
+        if let Some(result) = self.reply_cache.cached_result(req.client(), req.timestamp()) {
             let full = self.is_full_replier(&req);
-            let reply = self.make_reply(req.client, req.timestamp, result.to_vec(), full, ctx);
-            self.send(ctx, NodeId(req.client as usize), &Message::Reply(reply));
+            let reply = self.make_reply(req.client(), req.timestamp(), result.to_vec(), full, ctx);
+            self.send(ctx, NodeId(req.client() as usize), &Message::Reply(reply));
             return;
         }
-        if !self.reply_cache.is_new(req.client, req.timestamp) {
+        if !self.reply_cache.is_new(req.client(), req.timestamp()) {
             return; // Stale.
         }
 
@@ -355,7 +356,7 @@ impl<S: Service> Replica<S> {
         } else {
             // Forward to the primary and start the progress timer.
             let primary = self.cfg.primary_of(self.view);
-            let key = (req.client, req.timestamp);
+            let key = (req.client(), req.timestamp());
             let is_new = self.awaiting.insert(key);
             self.send(ctx, NodeId(primary), &Message::Request(req));
             if is_new && self.vc_timer.is_none() && !self.in_view_change {
@@ -368,14 +369,14 @@ impl<S: Service> Replica<S> {
         let clock = ctx.local_clock().as_nanos();
         let (result, charged) = {
             let mut env = ExecEnv::new(clock, ctx.rng());
-            let result = self.service.execute(&req.op, req.client, &[], true, &mut env);
+            let result = self.service.execute(req.op(), req.client(), &[], true, &mut env);
             let charged = env.charged();
             (result, charged)
         };
         ctx.charge(charged);
         let full = self.is_full_replier(req);
-        let reply = self.make_reply(req.client, req.timestamp, result, full, ctx);
-        self.send(ctx, NodeId(req.client as usize), &Message::Reply(reply));
+        let reply = self.make_reply(req.client(), req.timestamp(), result, full, ctx);
+        self.send(ctx, NodeId(req.client() as usize), &Message::Reply(reply));
     }
 
     fn make_reply(
@@ -456,14 +457,7 @@ impl<S: Service> Replica<S> {
                 nondet = forged.to_be_bytes().to_vec();
             }
 
-            let mut pp = PrePrepareMsg {
-                view: self.view,
-                seq,
-                requests: batch,
-                nondet,
-                auth: Authenticator::default(),
-                sig: base_crypto::Signature([0; 32]),
-            };
+            let mut pp = PrePrepareMsg::new(self.view, seq, batch, nondet);
             ctx.charge(self.cost.authenticator(self.cfg.n) + self.cost.signature);
             pp.sig = self.keys.sign(&pp.signed_bytes());
             pp.auth = Authenticator::generate(&self.keys, self.cfg.n, &pp.batch_digest());
@@ -481,12 +475,11 @@ impl<S: Service> Replica<S> {
     /// Byzantine primary: send conflicting proposals to the two halves of
     /// the backup set.
     fn equivocate(&mut self, pp: &PrePrepareMsg, ctx: &mut Context<'_>) {
-        let mut alt = pp.clone();
-        alt.nondet = {
-            let mut nd = pp.nondet.clone();
-            nd.push(0xff);
-            nd
-        };
+        // The covered fields are construction-only, so the conflicting
+        // proposal is rebuilt (its batch digest is memoized afresh).
+        let mut nd = pp.nondet().to_vec();
+        nd.push(0xff);
+        let mut alt = PrePrepareMsg::new(pp.view, pp.seq, pp.requests().to_vec(), nd);
         alt.sig = self.keys.sign(&alt.signed_bytes());
         alt.auth = Authenticator::generate(&self.keys, self.cfg.n, &alt.batch_digest());
         for i in 0..self.cfg.n {
@@ -520,9 +513,9 @@ impl<S: Service> Replica<S> {
             return;
         }
         // Authenticate every piggybacked request.
-        for r in &pp.requests {
-            ctx.charge(self.cost.mac + self.cost.digest(r.op.len()));
-            if !r.auth.check(&self.keys, r.client as usize, &r.digest()) {
+        for r in pp.requests() {
+            ctx.charge(self.cost.mac + self.cost.digest(r.op().len()));
+            if !r.auth.check(&self.keys, r.client() as usize, &r.digest()) {
                 self.stats.rejected_messages += 1;
                 return;
             }
@@ -539,7 +532,7 @@ impl<S: Service> Replica<S> {
         let clock = ctx.local_clock().as_nanos();
         let endorse = {
             let mut env = ExecEnv::new(clock, ctx.rng());
-            self.service.check_nondet(&pp.nondet, &mut env)
+            self.service.check_nondet(pp.nondet(), &mut env)
         };
         if !endorse {
             self.stats.rejected_messages += 1;
@@ -718,17 +711,17 @@ impl<S: Service> Replica<S> {
     }
 
     fn execute_batch(&mut self, pp: &PrePrepareMsg, ctx: &mut Context<'_>) {
-        ctx.emit(pp.view, pp.seq, ProtocolEvent::RequestExecuted { batch: pp.requests.len() as u64 });
-        self.metrics.observe("replica.batch_occupancy", pp.requests.len() as u64);
-        for req in &pp.requests {
-            if !self.reply_cache.is_new(req.client, req.timestamp) {
+        ctx.emit(pp.view, pp.seq, ProtocolEvent::RequestExecuted { batch: pp.requests().len() as u64 });
+        self.metrics.observe("replica.batch_occupancy", pp.requests().len() as u64);
+        for req in pp.requests() {
+            if !self.reply_cache.is_new(req.client(), req.timestamp()) {
                 // Already executed (e.g. re-proposed across a view change);
                 // resend the cached reply if this was the last request.
-                if let Some(result) = self.reply_cache.cached_result(req.client, req.timestamp) {
+                if let Some(result) = self.reply_cache.cached_result(req.client(), req.timestamp()) {
                     let full = self.is_full_replier(req);
                     let reply =
-                        self.make_reply(req.client, req.timestamp, result.to_vec(), full, ctx);
-                    self.send(ctx, NodeId(req.client as usize), &Message::Reply(reply));
+                        self.make_reply(req.client(), req.timestamp(), result.to_vec(), full, ctx);
+                    self.send(ctx, NodeId(req.client() as usize), &Message::Reply(reply));
                 }
                 continue;
             }
@@ -736,16 +729,16 @@ impl<S: Service> Replica<S> {
             let (result, charged) = {
                 let mut env = ExecEnv::new(clock, ctx.rng());
                 let result =
-                    self.service.execute(&req.op, req.client, &pp.nondet, false, &mut env);
+                    self.service.execute(req.op(), req.client(), pp.nondet(), false, &mut env);
                 (result, env.charged())
             };
             ctx.charge(charged);
-            self.reply_cache.record(req.client, req.timestamp, result.clone());
+            self.reply_cache.record(req.client(), req.timestamp(), result.clone());
             self.stats.executed_requests += 1;
             let full = self.is_full_replier(req);
-            let reply = self.make_reply(req.client, req.timestamp, result, full, ctx);
-            self.send(ctx, NodeId(req.client as usize), &Message::Reply(reply));
-            self.awaiting.remove(&(req.client, req.timestamp));
+            let reply = self.make_reply(req.client(), req.timestamp(), result, full, ctx);
+            self.send(ctx, NodeId(req.client() as usize), &Message::Reply(reply));
+            self.awaiting.remove(&(req.client(), req.timestamp()));
         }
     }
 
@@ -1641,17 +1634,10 @@ pub fn compute_o(
             .filter(|p| p.pre_prepare.seq == seq)
             .max_by_key(|p| p.pre_prepare.view);
         let (requests, nondet) = match best {
-            Some(p) => (p.pre_prepare.requests.clone(), p.pre_prepare.nondet.clone()),
+            Some(p) => (p.pre_prepare.requests().to_vec(), p.pre_prepare.nondet().to_vec()),
             None => (Vec::new(), Vec::new()), // Null request.
         };
-        out.push(PrePrepareMsg {
-            view,
-            seq,
-            requests,
-            nondet,
-            auth: Authenticator::default(),
-            sig: base_crypto::Signature([0; 32]),
-        });
+        out.push(PrePrepareMsg::new(view, seq, requests, nondet));
     }
     let _ = cfg;
     (min_s, out)

@@ -43,13 +43,10 @@ fn arb_request() -> impl Strategy<Value = RequestMsg> {
         proptest::collection::vec(any::<u8>(), 0..128),
         arb_auth(),
     )
-        .prop_map(|(client, timestamp, read_only, full_replier, op, auth)| RequestMsg {
-            client,
-            timestamp,
-            read_only,
-            full_replier,
-            op,
-            auth,
+        .prop_map(|(client, timestamp, read_only, full_replier, op, auth)| {
+            let mut r = RequestMsg::new(client, timestamp, read_only, full_replier, op);
+            r.auth = auth;
+            r
         })
 }
 
@@ -83,13 +80,11 @@ fn arb_pre_prepare() -> impl Strategy<Value = PrePrepareMsg> {
         arb_auth(),
         arb_sig(),
     )
-        .prop_map(|(view, seq, requests, nondet, auth, sig)| PrePrepareMsg {
-            view,
-            seq,
-            requests,
-            nondet,
-            auth,
-            sig,
+        .prop_map(|(view, seq, requests, nondet, auth, sig)| {
+            let mut pp = PrePrepareMsg::new(view, seq, requests, nondet);
+            pp.auth = auth;
+            pp.sig = sig;
+            pp
         })
 }
 
@@ -233,5 +228,44 @@ proptest! {
         let mut wire = msg.to_wire();
         wire.extend_from_slice(&extra);
         prop_assert_eq!(Message::from_wire(&wire), None);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The memoized request digest is always the digest of the signed
+    /// bytes — caching must be invisible — and clones carry the cache
+    /// without drifting from a fresh computation.
+    #[test]
+    fn memoized_request_digest_matches_fresh(req in arb_request()) {
+        prop_assert_eq!(req.digest(), Digest::of(&req.signed_bytes()));
+        prop_assert_eq!(req.clone().digest(), req.digest());
+    }
+
+    /// Same invariant for the pre-prepare batch digest: the memoized
+    /// value equals the associated-function recomputation over the same
+    /// requests and nondeterministic choices, before and after cloning.
+    #[test]
+    fn memoized_batch_digest_matches_fresh(pp in arb_pre_prepare()) {
+        prop_assert_eq!(
+            pp.batch_digest(),
+            PrePrepareMsg::batch_digest_of(pp.requests(), pp.nondet())
+        );
+        prop_assert_eq!(pp.clone().batch_digest(), pp.batch_digest());
+    }
+
+    /// A request that went over the wire (fresh decode, empty cache)
+    /// digests identically to the sender's memoized copy.
+    #[test]
+    fn decoded_request_digest_agrees_with_sender(req in arb_request()) {
+        let digest_at_sender = req.digest();
+        let wire = Message::Request(req).to_wire();
+        match Message::from_wire(&wire) {
+            Some(Message::Request(decoded)) => {
+                prop_assert_eq!(decoded.digest(), digest_at_sender);
+            }
+            _ => prop_assert!(false, "request failed to round-trip"),
+        }
     }
 }

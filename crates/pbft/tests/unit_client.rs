@@ -43,7 +43,7 @@ impl MockReplica {
             Policy::WrongResult => b"WRONG".to_vec(),
             _ => {
                 let mut b = b"ok:".to_vec();
-                b.extend_from_slice(&req.op);
+                b.extend_from_slice(req.op());
                 b
             }
         };
@@ -55,31 +55,31 @@ impl MockReplica {
         };
         let mut reply = ReplyMsg {
             view: 0,
-            timestamp: req.timestamp,
-            client: req.client,
+            timestamp: req.timestamp(),
+            client: req.client(),
             replica: self.id,
             digest_only,
             result,
             mac: base_crypto::Mac([0; 8]),
         };
-        reply.mac = Authenticator::point(&self.keys, req.client as usize, &reply.digest());
+        reply.mac = Authenticator::point(&self.keys, req.client() as usize, &reply.digest());
         if self.policy == Policy::BadMac {
             reply.mac.0[0] ^= 0xff;
         }
-        ctx.send(NodeId(req.client as usize), Message::Reply(reply).to_wire());
+        ctx.send(NodeId(req.client() as usize), Message::Reply(reply).to_wire());
     }
 }
 
 impl Actor for MockReplica {
     fn on_message(&mut self, from: NodeId, payload: &[u8], ctx: &mut Context<'_>) {
         let Some(Message::Request(req)) = Message::from_wire(payload) else { return };
-        self.seen.push((req.timestamp, req.full_replier, req.read_only, from.0));
+        self.seen.push((req.timestamp(), req.full_replier, req.read_only(), from.0));
         if self.policy == Policy::Mute {
             return;
         }
         // The mock primary stands in for ordering: it relays the request to
         // the backups the way a pre-prepare would carry it.
-        if self.id == 0 && from.0 >= self.n && !req.read_only {
+        if self.id == 0 && from.0 >= self.n && !req.read_only() {
             for i in 1..self.n {
                 ctx.send(NodeId(i), payload.to_vec());
             }

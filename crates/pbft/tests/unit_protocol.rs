@@ -3,7 +3,7 @@
 //! logic, new-view computation (`compute_o`), checkpoint-certificate
 //! validation, and the client core's quorum matching.
 
-use base_crypto::{Authenticator, Digest, KeyDirectory, NodeKeys, Signature};
+use base_crypto::{Digest, KeyDirectory, NodeKeys, Signature};
 use base_pbft::messages::{
     CheckpointMsg, Message, MetaReplyMsg, ObjectReplyMsg, PrePrepareMsg, PreparedProof,
     RequestMsg, ViewChangeMsg,
@@ -210,26 +210,12 @@ fn keys(n: usize) -> Vec<NodeKeys> {
 }
 
 fn request(op: &[u8]) -> RequestMsg {
-    RequestMsg {
-        client: 4,
-        timestamp: 1,
-        read_only: false,
-        full_replier: 0,
-        op: op.to_vec(),
-        auth: Authenticator::default(),
-    }
+    RequestMsg::new(4, 1, false, 0, op.to_vec())
 }
 
 fn prepared_proof(view: u64, seq: u64, op: &[u8]) -> PreparedProof {
     PreparedProof {
-        pre_prepare: PrePrepareMsg {
-            view,
-            seq,
-            requests: vec![request(op)],
-            nondet: Vec::new(),
-            auth: Authenticator::default(),
-            sig: Signature([0; 32]),
-        },
+        pre_prepare: PrePrepareMsg::new(view, seq, vec![request(op)], Vec::new()),
         prepares: Vec::new(),
     }
 }
@@ -259,9 +245,9 @@ fn compute_o_fills_gaps_with_null_requests() {
     assert_eq!(min_s, 2);
     let seqs: Vec<u64> = o.iter().map(|p| p.seq).collect();
     assert_eq!(seqs, vec![3, 4, 5]);
-    assert_eq!(o[0].requests[0].op, b"op3");
-    assert!(o[1].requests.is_empty(), "gap filled with a null request");
-    assert_eq!(o[2].requests[0].op, b"op5");
+    assert_eq!(o[0].requests()[0].op(), b"op3");
+    assert!(o[1].requests().is_empty(), "gap filled with a null request");
+    assert_eq!(o[2].requests()[0].op(), b"op5");
     assert!(o.iter().all(|p| p.view == 1));
 }
 
@@ -275,7 +261,7 @@ fn compute_o_prefers_the_highest_view_certificate() {
     ];
     let (_, o) = compute_o(&cfg, 2, &vcs);
     assert_eq!(o.len(), 1);
-    assert_eq!(o[0].requests[0].op, b"newer", "view-1 certificate wins over view-0");
+    assert_eq!(o[0].requests()[0].op(), b"newer", "view-1 certificate wins over view-0");
 }
 
 #[test]

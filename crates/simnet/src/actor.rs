@@ -4,6 +4,8 @@ use crate::time::{SimDuration, SimTime};
 use crate::trace::{ProtocolEvent, TraceEvent, TraceSink};
 use rand::rngs::StdRng;
 use std::any::Any;
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// Identifies a node in the simulation.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -18,6 +20,67 @@ impl std::fmt::Display for NodeId {
 /// Handle for cancelling a pending timer.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct TimerId(pub(crate) u64);
+
+/// Refcounted, immutable message bytes.
+///
+/// A sender encodes a message once into a `Payload`; every queued
+/// delivery, network duplicate and fan-out recipient then shares the same
+/// allocation — cloning bumps a refcount instead of copying bytes. All
+/// send-side APIs take `impl Into<Payload>`, so call sites can keep
+/// passing `Vec<u8>` (one conversion, no copy) or pre-convert once and
+/// clone the handle per recipient.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Payload(Arc<[u8]>);
+
+impl Payload {
+    /// True when `a` and `b` share the same underlying allocation, i.e.
+    /// one is a refcount-bump clone of the other.
+    pub fn ptr_eq(a: &Payload, b: &Payload) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+
+    /// Number of strong references to the underlying allocation.
+    pub fn ref_count(p: &Payload) -> usize {
+        Arc::strong_count(&p.0)
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload(v.into())
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Self {
+        Payload(v.into())
+    }
+}
+
+impl From<&Vec<u8>> for Payload {
+    fn from(v: &Vec<u8>) -> Self {
+        Payload(v.as_slice().into())
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Payload {
+    fn from(v: &[u8; N]) -> Self {
+        Payload(v.as_slice().into())
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
 
 /// A simulated node.
 ///
@@ -44,7 +107,7 @@ pub trait Actor: Any {
 }
 
 pub(crate) enum Effect {
-    Send { to: NodeId, payload: Vec<u8> },
+    Send { to: NodeId, payload: Payload },
     SetTimer { delay: SimDuration, token: u64, id: TimerId },
     CancelTimer(TimerId),
 }
@@ -88,15 +151,21 @@ impl<'a> Context<'a> {
     ///
     /// The message leaves this node once the handler returns (after any
     /// charged CPU time) and arrives after the configured link latency.
-    pub fn send(&mut self, to: NodeId, payload: Vec<u8>) {
-        self.effects.push(Effect::Send { to, payload });
+    /// Passing an already-converted [`Payload`] (or a clone of one) is
+    /// free; passing a `Vec<u8>` converts without copying.
+    pub fn send(&mut self, to: NodeId, payload: impl Into<Payload>) {
+        self.effects.push(Effect::Send { to, payload: payload.into() });
     }
 
     /// Queues `payload` to every node in `nodes` (including `self` if
     /// listed; self-sends loop back through the queue with zero latency).
-    pub fn multicast(&mut self, nodes: impl IntoIterator<Item = NodeId>, payload: &[u8]) {
+    ///
+    /// The payload is converted once; every recipient shares the same
+    /// allocation.
+    pub fn multicast(&mut self, nodes: impl IntoIterator<Item = NodeId>, payload: impl Into<Payload>) {
+        let payload = payload.into();
         for n in nodes {
-            self.send(n, payload.to_vec());
+            self.send(n, payload.clone());
         }
     }
 

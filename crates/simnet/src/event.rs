@@ -1,13 +1,13 @@
 //! The internal event queue.
 
-use crate::actor::{NodeId, TimerId};
+use crate::actor::{NodeId, Payload, TimerId};
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 #[derive(Debug)]
 pub(crate) enum EventKind {
-    Deliver { from: NodeId, to: NodeId, payload: Vec<u8> },
+    Deliver { from: NodeId, to: NodeId, payload: Payload },
     Timer { node: NodeId, token: u64, id: TimerId },
 }
 

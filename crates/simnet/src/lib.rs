@@ -71,7 +71,7 @@ mod time;
 pub mod trace;
 pub mod tracediff;
 
-pub use actor::{Actor, Context, NodeId, TimerId};
+pub use actor::{Actor, Context, NodeId, Payload, TimerId};
 pub use config::{LatencyModel, NetConfig};
 pub use faults::{FilterAction, NetFilter};
 pub use metrics::{Histogram, MetricsRegistry};

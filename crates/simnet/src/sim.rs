@@ -1,6 +1,6 @@
 //! The simulation driver.
 
-use crate::actor::{Actor, Context, Effect, NodeId, TimerId};
+use crate::actor::{Actor, Context, Effect, NodeId, Payload, TimerId};
 use crate::config::NetConfig;
 use crate::event::{EventKind, EventQueue};
 use crate::faults::{FilterAction, NetFilter};
@@ -200,8 +200,8 @@ impl Simulation {
 
     /// Injects a message into the network as if `from` had sent it
     /// (useful for driving tests without a dedicated actor).
-    pub fn inject(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) {
-        self.route_message(from, to, payload, self.now);
+    pub fn inject(&mut self, from: NodeId, to: NodeId, payload: impl Into<Payload>) {
+        self.route_message(from, to, payload.into(), self.now);
     }
 
     /// Runs the simulation until virtual time `t`.
@@ -363,8 +363,10 @@ impl Simulation {
     }
 
     /// Applies the network model and fault filter to one message and
-    /// schedules its delivery.
-    fn route_message(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>, departure: SimTime) {
+    /// schedules its delivery. The payload is shared, not copied: a
+    /// duplicate (and every fan-out sibling queued by the sender) bumps a
+    /// refcount on the same allocation; only a `Rewrite` allocates.
+    fn route_message(&mut self, from: NodeId, to: NodeId, payload: Payload, departure: SimTime) {
         self.stats.record_send(from, payload.len());
 
         if to.0 >= self.nodes.len() {
@@ -412,7 +414,7 @@ impl Simulation {
                         return;
                     }
                     FilterAction::Delay(d) => arrival += d,
-                    FilterAction::Rewrite(p) => deliver_payload = p,
+                    FilterAction::Rewrite(p) => deliver_payload = p.into(),
                     FilterAction::Duplicate(d) => {
                         self.queue.push(
                             arrival + d,
@@ -622,6 +624,116 @@ mod tests {
         assert!(sim.actor_as::<Counter>(a).unwrap().received.is_empty());
         sim.run_for(SimDuration::from_millis(600));
         assert_eq!(sim.actor_as::<Counter>(a).unwrap().received.len(), 1);
+    }
+
+    /// Receives messages and keeps the delivered `Payload` handles so the
+    /// test can check allocation sharing.
+    #[derive(Default)]
+    struct Keeper {
+        received: Vec<Payload>,
+    }
+
+    impl Actor for Keeper {
+        fn on_message(&mut self, _from: NodeId, payload: &[u8], _ctx: &mut Context<'_>) {
+            self.received.push(Payload::from(payload));
+        }
+    }
+
+    /// Broadcasts one payload to every peer via `Context::multicast`.
+    struct Broadcaster {
+        peers: Vec<NodeId>,
+    }
+
+    impl Actor for Broadcaster {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.multicast(self.peers.clone(), b"broadcast-me".to_vec());
+        }
+        fn on_message(&mut self, _f: NodeId, _p: &[u8], _ctx: &mut Context<'_>) {}
+    }
+
+    #[test]
+    fn fan_out_shares_one_allocation_and_accounts_bytes() {
+        // A multicast to k peers must still *account* k sends on the wire
+        // (the network model charges per copy in flight) while sharing a
+        // single refcounted allocation in memory.
+        struct Probe {
+            peers: Vec<NodeId>,
+        }
+        impl Actor for Probe {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let p = Payload::from(b"shared".as_slice());
+                for &n in &self.peers {
+                    ctx.send(n, p.clone());
+                }
+                // Sender still holds `p` plus one queued effect per peer.
+                assert_eq!(Payload::ref_count(&p), 1 + self.peers.len());
+            }
+            fn on_message(&mut self, _f: NodeId, _p: &[u8], _ctx: &mut Context<'_>) {}
+        }
+        let mut sim = Simulation::new(1);
+        let a = sim.add_node(Box::<Counter>::default());
+        let b = sim.add_node(Box::<Counter>::default());
+        let c = sim.add_node(Box::<Counter>::default());
+        let src = sim.add_node(Box::new(Probe { peers: vec![a, b, c] }));
+        sim.run_for(SimDuration::from_millis(10));
+        // Wire accounting is per-copy even though memory is shared.
+        assert_eq!(sim.stats().bytes_sent_by[&src], 3 * b"shared".len() as u64);
+        assert_eq!(sim.stats().messages_delivered, 3);
+        for n in [a, b, c] {
+            assert_eq!(sim.actor_as::<Counter>(n).unwrap().received.len(), 1);
+        }
+    }
+
+    #[test]
+    fn multicast_converts_once() {
+        let mut sim = Simulation::new(1);
+        let a = sim.add_node(Box::<Keeper>::default());
+        let b = sim.add_node(Box::<Keeper>::default());
+        let src = sim.add_node(Box::new(Broadcaster { peers: vec![a, b] }));
+        sim.run_for(SimDuration::from_millis(10));
+        assert_eq!(sim.stats().bytes_sent_by[&src], 2 * b"broadcast-me".len() as u64);
+        for n in [a, b] {
+            assert_eq!(sim.actor_as::<Keeper>(n).unwrap().received.len(), 1);
+        }
+    }
+
+    #[test]
+    fn duplicate_shares_the_original_allocation() {
+        use crate::faults::{Duplicator, FilterAction, NetFilter};
+        // Sanity: the Duplicator fault produces two deliveries...
+        let mut sim = Simulation::new(1);
+        let a = sim.add_node(Box::<Counter>::default());
+        let b = sim.add_node(Box::<Counter>::default());
+        sim.set_filter(Box::new(Duplicator { prob: 1.0, dup_delay: SimDuration::from_millis(1) }));
+        sim.inject(a, b, b"dup".to_vec());
+        sim.run_for(SimDuration::from_millis(10));
+        assert_eq!(sim.actor_as::<Counter>(b).unwrap().received.len(), 2);
+        // ...and the queued duplicate is a refcount bump, observable on an
+        // injected Payload handle we retain.
+        let mut sim = Simulation::new(1);
+        let a = sim.add_node(Box::<Counter>::default());
+        let b = sim.add_node(Box::<Counter>::default());
+        struct AlwaysDup;
+        impl NetFilter for AlwaysDup {
+            fn filter(
+                &mut self,
+                _f: NodeId,
+                _t: NodeId,
+                _p: &[u8],
+                _now: SimTime,
+                _r: &mut rand::rngs::StdRng,
+            ) -> FilterAction {
+                FilterAction::Duplicate(SimDuration::from_millis(1))
+            }
+        }
+        sim.set_filter(Box::new(AlwaysDup));
+        let handle = Payload::from(b"dup".as_slice());
+        sim.inject(a, b, handle.clone());
+        // Original + duplicate sit in the queue sharing our allocation.
+        assert_eq!(Payload::ref_count(&handle), 3);
+        sim.run_for(SimDuration::from_millis(10));
+        assert_eq!(sim.actor_as::<Counter>(b).unwrap().received.len(), 2);
+        assert_eq!(Payload::ref_count(&handle), 1);
     }
 
     #[test]

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Bench-regression gate: re-runs the perf lab's fixed workloads and
+# compares the machine-readable report against the checked-in baseline
+# (crates/bench/tests/snapshots/bench_baseline.json).
+#
+# Deterministic quantities (op counts, simulated ops/s, latency quantiles,
+# campaign failure counts, ddmin search effort) must match EXACTLY — the
+# simulator is seeded, so any drift is a behaviour change. Wall-clock
+# fields are gated at a generous multiple of the baseline (default 3x,
+# override with --threshold or BENCH_THRESHOLD) so shared-runner noise
+# does not flake the gate while order-of-magnitude regressions still fail.
+#
+# Usage:
+#   scripts/check_bench.sh                 # verify against the baseline
+#   scripts/check_bench.sh --threshold 5   # looser wall-clock gate
+#   scripts/check_bench.sh --bless         # regenerate the baseline in place
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=crates/bench/tests/snapshots/bench_baseline.json
+THRESHOLD="${BENCH_THRESHOLD:-3.0}"
+
+case "${1:-}" in
+  --bless)
+    cargo build --release -q -p base-bench --bin bench
+    ./target/release/bench --json --stamp baseline --out crates/bench/tests/snapshots >/dev/null
+    mv crates/bench/tests/snapshots/BENCH_baseline.json "$BASELINE"
+    echo "blessed: $BASELINE"
+    exit 0
+    ;;
+  --threshold)
+    THRESHOLD="${2:?--threshold needs a value}"
+    ;;
+esac
+
+cargo build --release -q -p base-bench --bin bench
+if ./target/release/bench --check "$BASELINE" --threshold "$THRESHOLD"; then
+  echo "bench check: baseline holds"
+else
+  echo "bench regression vs $BASELINE (wall threshold ${THRESHOLD}x)" >&2
+  echo "intentional change? run: scripts/check_bench.sh --bless" >&2
+  exit 1
+fi

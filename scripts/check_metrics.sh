@@ -1,34 +1,41 @@
 #!/usr/bin/env bash
-# Metrics-regression snapshot gate: re-runs the fixed, seeded E9-style
-# workload and compares the merged metrics registry JSON byte-for-byte
-# against crates/bench/tests/snapshots/e9_metrics.json. The simulator is
-# deterministic, so any drift means protocol behaviour changed (batching,
-# checkpoints, retransmits, latency distribution) and must be reviewed.
+# Metrics-regression snapshot gates: re-run the fixed, seeded workloads and
+# compare their metrics JSON byte-for-byte against the checked-in snapshots
+# under crates/bench/tests/snapshots/:
+#   e9_metrics.json    merged replica+client registry of an E9 batching run
+#   nfs_metrics.json   coverage of a fixed NFS chaos campaign
+#   oodb_metrics.json  coverage of a fixed OODB chaos campaign
+# The simulator is deterministic, so any drift means protocol or fault-
+# handling behaviour changed (batching, checkpoints, retransmits, view
+# changes, state transfers, recoveries) and must be reviewed.
 #
 # Usage:
-#   scripts/check_metrics.sh           # verify against the snapshot
-#   scripts/check_metrics.sh --bless   # regenerate the snapshot in place
+#   scripts/check_metrics.sh           # verify against the snapshots
+#   scripts/check_metrics.sh --bless   # regenerate the snapshots in place
 #
-# On failure the actual JSON lands in target/metrics/e9_metrics.actual.json
-# for diffing (CI uploads it as an artifact).
+# On failure the actual JSON lands in target/metrics/*.actual.json for
+# diffing (CI uploads it as an artifact).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [ "${1:-}" = "--bless" ]; then
-  BLESS=1 cargo test -q -p base-bench --test metrics_snapshot
-  echo "blessed: crates/bench/tests/snapshots/e9_metrics.json"
+  BLESS=1 cargo test -q -p base-bench --test metrics_snapshot --test campaign_metrics
+  echo "blessed: crates/bench/tests/snapshots/{e9,nfs,oodb}_metrics.json"
   exit 0
 fi
 
-if cargo test -q -p base-bench --test metrics_snapshot; then
-  echo "metrics snapshot: OK"
+if cargo test -q -p base-bench --test metrics_snapshot --test campaign_metrics; then
+  echo "metrics snapshots: OK"
 else
-  echo "metrics snapshot: DRIFT detected" >&2
-  if [ -f target/metrics/e9_metrics.actual.json ]; then
-    echo "--- diff (snapshot vs actual) ---" >&2
-    diff <(tr ',' '\n' <crates/bench/tests/snapshots/e9_metrics.json) \
-         <(tr ',' '\n' <target/metrics/e9_metrics.actual.json) >&2 || true
-  fi
+  echo "metrics snapshots: DRIFT detected" >&2
+  for name in e9 nfs oodb; do
+    actual="target/metrics/${name}_metrics.actual.json"
+    snap="crates/bench/tests/snapshots/${name}_metrics.json"
+    if [ -f "$actual" ]; then
+      echo "--- $name diff (snapshot vs actual) ---" >&2
+      diff <(tr ',' '\n' <"$snap") <(tr ',' '\n' <"$actual") >&2 || true
+    fi
+  done
   echo "intentional change? run: scripts/check_metrics.sh --bless" >&2
   exit 1
 fi

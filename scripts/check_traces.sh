@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Cross-version trace gate: re-runs the canonical acceptance scenario for
+# each testbed (pbft counter, replicated NFS, replicated OODB) with its
+# fixed seed and fault schedule, exports the protocol event trace as
+# JSONL, and diffs it against the blessed copy under
+# crates/bench/tests/snapshots/traces/ with `repro --diff`.
+#
+# The simulator is deterministic, so the traces must match byte-for-byte.
+# On drift, `repro --diff` prints the first diverging protocol event with
+# per-replica context — the change is localized, not just detected.
+#
+# Usage:
+#   scripts/check_traces.sh           # verify against the blessed traces
+#   scripts/check_traces.sh --bless   # regenerate the blessed traces
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SNAPDIR=crates/bench/tests/snapshots/traces
+OUTDIR=target/traces
+SCENARIOS="counter nfs oodb"
+
+cargo build --release -q -p base-bench --bin repro
+
+for s in $SCENARIOS; do
+  ./target/release/repro --export "$s" --out "$OUTDIR" >/dev/null
+done
+
+if [ "${1:-}" = "--bless" ]; then
+  mkdir -p "$SNAPDIR"
+  for s in $SCENARIOS; do
+    cp "$OUTDIR/$s.jsonl" "$SNAPDIR/$s.jsonl"
+  done
+  echo "blessed: $SNAPDIR/{counter,nfs,oodb}.jsonl"
+  exit 0
+fi
+
+status=0
+for s in $SCENARIOS; do
+  if ./target/release/repro --diff "$SNAPDIR/$s.jsonl" "$OUTDIR/$s.jsonl" >"$OUTDIR/$s.diff" 2>&1; then
+    echo "trace gate: $s OK"
+  else
+    echo "trace gate: $s DIVERGED" >&2
+    cat "$OUTDIR/$s.diff" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "intentional protocol change? run: scripts/check_traces.sh --bless" >&2
+fi
+exit "$status"
