@@ -22,13 +22,22 @@
 //! wall-clock milliseconds vary by machine and only gate at a generous
 //! multiple (default 3x).
 
+use base::{BaseService, ModifyLog, Wrapper};
 use base_bench::experiments::throughput::measure_throughput;
+use base_crypto::Digest;
 use base_pbft::chaos::{CounterChaosHarness, APP_BYZ};
+use base_pbft::messages::{Message, MetaReplyMsg, ObjectReplyMsg};
+use base_pbft::transfer::{
+    checkpoint_digest, Fetcher, DEFAULT_FETCH_WINDOW, META_ROOT_LEVEL, REPLIES_INDEX,
+};
+use base_pbft::tree::{leaf_digest, PartitionTree};
+use base_pbft::{ExecEnv, Service};
 use base_simnet::chaos::{
     run_campaign_parallel, CampaignMode, ChaosHarness, FaultSchedule, NetFault,
 };
 use base_simnet::ddmin::ddmin_from_failure;
 use base_simnet::{NodeId, SimDuration, SimTime, Simulation};
+use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -47,6 +56,18 @@ const CAMPAIGN_WORKERS: usize = 4;
 /// Generous wall-clock regression multiple for `--check`.
 const DEFAULT_THRESHOLD: f64 = 3.0;
 
+/// Checkpoint-lab shape: a deep sparse tree so batching has headroom.
+const CKPT_OBJECTS: u64 = 4096;
+const CKPT_VALUE_BYTES: usize = 512;
+const CKPT_EPOCHS: u64 = 32;
+const CKPT_DIRTY_PER_EPOCH: u64 = 64;
+
+/// Transfer-lab shape: remote checkpoint with this many live objects, of
+/// which `TRANSFER_STALE` are stale at the fetching replica.
+const TRANSFER_LIVE: u64 = 256;
+const TRANSFER_STALE: u64 = 192;
+const TRANSFER_VALUE_BYTES: usize = 1024;
+
 struct Opts {
     json: bool,
     out: PathBuf,
@@ -54,11 +75,13 @@ struct Opts {
     check: Option<PathBuf>,
     threshold: f64,
     ddmin_workers: usize,
+    digest_workers: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench [--json] [--out DIR] [--stamp STAMP] [--ddmin-workers N]\n\
+        "usage: bench [--json] [--out DIR] [--stamp STAMP] [--ddmin-workers N] \
+         [--digest-workers N]\n\
          \x20      bench --check BASELINE.json [--threshold X]"
     );
     std::process::exit(2);
@@ -76,6 +99,10 @@ fn parse_args() -> Opts {
         // Keeping the recorded search-effort counters machine-independent
         // means the default must not probe the host's core count.
         ddmin_workers: 1,
+        // Same reasoning: the checkpoint lab's deterministic counters are
+        // worker-count-invariant, but the default stays sequential so the
+        // recorded wall-clock is comparable across runs of one machine.
+        digest_workers: 1,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -94,6 +121,9 @@ fn parse_args() -> Opts {
             }
             "--ddmin-workers" => {
                 opts.ddmin_workers = need(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--digest-workers" => {
+                opts.digest_workers = need(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--help" | "-h" => usage(),
             other => {
@@ -177,6 +207,244 @@ fn ddmin_schedule() -> FaultSchedule {
     s
 }
 
+/// A plain array service for the checkpoint lab: abstract object `i` is
+/// the raw value at index `i`, addressed directly by the operation so the
+/// dirty-set shape is exactly the one scripted below.
+struct ArrayWrapper {
+    vals: Vec<Option<Vec<u8>>>,
+}
+
+impl Wrapper for ArrayWrapper {
+    fn execute(
+        &mut self,
+        op: &[u8],
+        _client: u32,
+        _nondet: &[u8],
+        _read_only: bool,
+        mods: &mut ModifyLog,
+        _env: &mut ExecEnv<'_>,
+    ) -> Vec<u8> {
+        // op = 8-byte BE index || value bytes.
+        let idx = u64::from_be_bytes(op[..8].try_into().expect("short op")) as usize;
+        mods.modify(idx as u64, || self.vals[idx].clone());
+        self.vals[idx] = Some(op[8..].to_vec());
+        Vec::new()
+    }
+
+    fn get_obj(&mut self, index: u64) -> Option<Vec<u8>> {
+        self.vals[index as usize].clone()
+    }
+
+    fn put_objs(&mut self, objs: &[(u64, Option<Vec<u8>>)], _env: &mut ExecEnv<'_>) {
+        for (i, v) in objs {
+            self.vals[*i as usize] = v.clone();
+        }
+    }
+
+    fn n_objects(&self) -> u64 {
+        self.vals.len() as u64
+    }
+
+    fn propose_nondet(&mut self, _env: &mut ExecEnv<'_>) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn check_nondet(&self, nondet: &[u8], _env: &mut ExecEnv<'_>) -> bool {
+        nondet.is_empty()
+    }
+
+    fn reset(&mut self, _env: &mut ExecEnv<'_>) {
+        self.vals = vec![None; self.vals.len()];
+    }
+}
+
+struct CheckpointOut {
+    checkpoints: u64,
+    objects_digested: u64,
+    node_hashes: u64,
+    /// What the pre-batching per-leaf root-path rehash would have cost:
+    /// every digested object re-hashed its full path of internal nodes.
+    naive_node_hashes: u64,
+    wall_ms: u64,
+}
+
+/// Checkpoint lab: populate a 4096-object service, then run sparse
+/// clustered dirty epochs with a checkpoint each. Every counter is
+/// deterministic and worker-count-invariant; only wall-clock moves with
+/// `digest_workers`.
+fn measure_checkpoint(digest_workers: usize) -> CheckpointOut {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut svc = BaseService::new(ArrayWrapper {
+        vals: vec![None; CKPT_OBJECTS as usize],
+    });
+    svc.set_digest_workers(digest_workers);
+    let depth = u64::from(svc.current_tree().depth());
+
+    fn write(
+        svc: &mut BaseService<ArrayWrapper>,
+        rng: &mut rand::rngs::StdRng,
+        idx: u64,
+        fill: u8,
+    ) {
+        let mut op = idx.to_be_bytes().to_vec();
+        op.extend(std::iter::repeat(fill).take(CKPT_VALUE_BYTES));
+        let mut env = ExecEnv::new(1, rng);
+        svc.execute(&op, 1, &[], false, &mut env);
+    }
+
+    let t0 = Instant::now();
+    // Epoch 0: full population (the worst-case dense flush).
+    for i in 0..CKPT_OBJECTS {
+        write(&mut svc, &mut rng, i, 0x11);
+    }
+    let mut env = ExecEnv::new(1, &mut rng);
+    svc.take_checkpoint(0, &mut env);
+
+    // Sparse epochs: one clustered run of dirty objects each, the shape
+    // hierarchical checkpointing is supposed to exploit.
+    for e in 1..=CKPT_EPOCHS {
+        let start = (e * 613) % (CKPT_OBJECTS - CKPT_DIRTY_PER_EPOCH);
+        for i in 0..CKPT_DIRTY_PER_EPOCH {
+            write(&mut svc, &mut rng, start + i, e as u8);
+        }
+        let mut env = ExecEnv::new(1, &mut rng);
+        svc.take_checkpoint(e * 128, &mut env);
+        if e % 8 == 0 {
+            svc.discard_checkpoints_below(e.saturating_sub(4) * 128);
+        }
+    }
+    let wall_ms = t0.elapsed().as_millis() as u64;
+
+    CheckpointOut {
+        checkpoints: svc.stats.checkpoints,
+        objects_digested: svc.stats.objects_digested,
+        node_hashes: svc.stats.node_hashes,
+        naive_node_hashes: svc.stats.objects_digested * depth,
+        wall_ms,
+    }
+}
+
+struct TransferOut {
+    rounds_serial: u64,
+    rounds_windowed: u64,
+    meta_queries: u64,
+    objects_fetched: u64,
+    fetched_bytes: u64,
+    wall_ms: u64,
+}
+
+/// Serves one fetch query the way a correct replica would.
+fn serve_fetch(
+    tree: &PartitionTree,
+    objects: &[Option<Vec<u8>>],
+    replies_blob: &[u8],
+    msg: &Message,
+) -> Option<Message> {
+    match msg {
+        Message::FetchMeta(m) if m.level == META_ROOT_LEVEL => {
+            Some(Message::MetaReply(MetaReplyMsg {
+                seq: m.seq,
+                level: m.level,
+                index: m.index,
+                digests: vec![tree.root_digest(), Digest::of(replies_blob)],
+                replica: 0,
+            }))
+        }
+        Message::FetchMeta(m) => Some(Message::MetaReply(MetaReplyMsg {
+            seq: m.seq,
+            level: m.level,
+            index: m.index,
+            digests: tree.children_digests(m.level, m.index)?,
+            replica: 0,
+        })),
+        Message::FetchObject(m) if m.index == REPLIES_INDEX => {
+            Some(Message::ObjectReply(ObjectReplyMsg {
+                seq: m.seq,
+                index: m.index,
+                data: replies_blob.to_vec(),
+                replica: 0,
+            }))
+        }
+        Message::FetchObject(m) => Some(Message::ObjectReply(ObjectReplyMsg {
+            seq: m.seq,
+            index: m.index,
+            data: objects[m.index as usize].clone()?,
+            replica: 0,
+        })),
+        _ => None,
+    }
+}
+
+/// Transfer lab: a lockstep round model of the hierarchical fetch. Each
+/// round answers every query currently on the wire and collects the
+/// follow-ups; the round count is the number of request/reply round trips
+/// a transfer needs, which is exactly what pipelining cuts.
+fn measure_transfer() -> TransferOut {
+    let mut remote = PartitionTree::new(CKPT_OBJECTS, 16);
+    let mut objects: Vec<Option<Vec<u8>>> = vec![None; CKPT_OBJECTS as usize];
+    for i in 0..TRANSFER_LIVE {
+        let v = vec![i as u8; TRANSFER_VALUE_BYTES];
+        remote.set_leaf(i, leaf_digest(i, &v));
+        objects[i as usize] = Some(v);
+    }
+    let replies_blob = b"bench-reply-cache".to_vec();
+    let target = checkpoint_digest(&remote.root_digest(), &Digest::of(&replies_blob));
+
+    // The fetching replica already has the newest TRANSFER_LIVE -
+    // TRANSFER_STALE objects right.
+    let mut local = PartitionTree::new(CKPT_OBJECTS, 16);
+    for i in TRANSFER_STALE..TRANSFER_LIVE {
+        let v = vec![i as u8; TRANSFER_VALUE_BYTES];
+        local.set_leaf(i, leaf_digest(i, &v));
+    }
+
+    let run = |window: usize| -> (u64, base_pbft::transfer::FetchResult) {
+        let mut f = Fetcher::with_window(3, 4, 128, target, window);
+        let mut wire = f.begin();
+        let mut rounds = 0u64;
+        let mut result = None;
+        while !wire.is_empty() {
+            rounds += 1;
+            assert!(rounds < 100_000, "transfer lab did not converge");
+            let mut next = Vec::new();
+            for (_, msg) in wire.drain(..) {
+                let reply = serve_fetch(&remote, &objects, &replies_blob, &msg)
+                    .expect("lab serves every query");
+                let (more, done) = match reply {
+                    Message::MetaReply(m) => f.on_meta_reply(&m, &local),
+                    Message::ObjectReply(m) => f.on_object_reply(&m, &local),
+                    _ => unreachable!(),
+                };
+                next.extend(more);
+                if let Some(r) = done {
+                    result = Some(r);
+                }
+            }
+            wire = next;
+        }
+        (rounds, result.expect("transfer lab completes"))
+    };
+
+    let t0 = Instant::now();
+    let (rounds_serial, serial) = run(1);
+    let (rounds_windowed, windowed) = run(DEFAULT_FETCH_WINDOW);
+    let wall_ms = t0.elapsed().as_millis() as u64;
+
+    // Pipelining must change scheduling only, never what gets fetched.
+    assert_eq!(serial.objects.len(), windowed.objects.len());
+    assert_eq!(serial.fetched_bytes, windowed.fetched_bytes);
+    assert_eq!(serial.meta_queries, windowed.meta_queries);
+
+    TransferOut {
+        rounds_serial,
+        rounds_windowed,
+        meta_queries: windowed.meta_queries,
+        objects_fetched: windowed.objects.len() as u64,
+        fetched_bytes: windowed.fetched_bytes,
+        wall_ms,
+    }
+}
+
 struct BenchReport {
     e9_ops: u64,
     e9_sim_ops_per_sec: u64,
@@ -192,9 +460,12 @@ struct BenchReport {
     ddmin_subset_tests: u64,
     ddmin_minimal_len: usize,
     ddmin_wall_ms: u64,
+    ckpt_digest_workers: usize,
+    ckpt: CheckpointOut,
+    transfer: TransferOut,
 }
 
-fn measure(ddmin_workers: usize) -> BenchReport {
+fn measure(ddmin_workers: usize, digest_workers: usize) -> BenchReport {
     // E9 batching throughput: sim ops/s is deterministic; wall-clock is
     // what the zero-copy/memoization work moves.
     let t0 = Instant::now();
@@ -237,6 +508,9 @@ fn measure(ddmin_workers: usize) -> BenchReport {
     };
     let ddmin_wall_ms = t0.elapsed().as_millis() as u64;
 
+    let ckpt = measure_checkpoint(digest_workers);
+    let transfer = measure_transfer();
+
     BenchReport {
         e9_ops: e9.ops,
         e9_sim_ops_per_sec,
@@ -252,6 +526,9 @@ fn measure(ddmin_workers: usize) -> BenchReport {
         ddmin_subset_tests: dd.metrics.counter("ddmin.subset_tests"),
         ddmin_minimal_len: dd.schedule.len(),
         ddmin_wall_ms,
+        ckpt_digest_workers: digest_workers,
+        ckpt,
+        transfer,
     }
 }
 
@@ -266,7 +543,13 @@ impl BenchReport {
              \"wall_ops_per_sec\":{}}},\
              \"campaign\":{{\"runs\":{},\"workers\":{},\"failures\":{},\"wall_ms\":{}}},\
              \"ddmin\":{{\"workers\":{},\"executions\":{},\"subset_tests\":{},\
-             \"minimal_len\":{},\"wall_ms\":{}}}}}",
+             \"minimal_len\":{},\"wall_ms\":{}}},\
+             \"checkpoint\":{{\"digest_workers\":{},\"checkpoints\":{},\
+             \"objects_digested\":{},\"node_hashes\":{},\"naive_node_hashes\":{},\
+             \"wall_ms\":{}}},\
+             \"transfer\":{{\"window\":{},\"rounds_serial\":{},\"rounds_windowed\":{},\
+             \"meta_queries\":{},\"objects_fetched\":{},\"fetched_bytes\":{},\
+             \"wall_ms\":{}}}}}",
             E9_CLIENTS,
             self.e9_ops,
             self.e9_sim_ops_per_sec,
@@ -283,6 +566,19 @@ impl BenchReport {
             self.ddmin_subset_tests,
             self.ddmin_minimal_len,
             self.ddmin_wall_ms,
+            self.ckpt_digest_workers,
+            self.ckpt.checkpoints,
+            self.ckpt.objects_digested,
+            self.ckpt.node_hashes,
+            self.ckpt.naive_node_hashes,
+            self.ckpt.wall_ms,
+            DEFAULT_FETCH_WINDOW,
+            self.transfer.rounds_serial,
+            self.transfer.rounds_windowed,
+            self.transfer.meta_queries,
+            self.transfer.objects_fetched,
+            self.transfer.fetched_bytes,
+            self.transfer.wall_ms,
         );
         out
     }
@@ -311,6 +607,27 @@ impl BenchReport {
             self.ddmin_minimal_len,
             self.ddmin_wall_ms
         );
+        println!(
+            "ckpt:     workers={} checkpoints={} digested={} node_hashes={} \
+             naive={} wall={}ms",
+            self.ckpt_digest_workers,
+            self.ckpt.checkpoints,
+            self.ckpt.objects_digested,
+            self.ckpt.node_hashes,
+            self.ckpt.naive_node_hashes,
+            self.ckpt.wall_ms
+        );
+        println!(
+            "transfer: window={} rounds(serial)={} rounds(windowed)={} meta_queries={} \
+             objects={} bytes={} wall={}ms",
+            DEFAULT_FETCH_WINDOW,
+            self.transfer.rounds_serial,
+            self.transfer.rounds_windowed,
+            self.transfer.meta_queries,
+            self.transfer.objects_fetched,
+            self.transfer.fetched_bytes,
+            self.transfer.wall_ms
+        );
     }
 }
 
@@ -331,7 +648,12 @@ fn field(json: &str, section: &str, key: &str) -> Option<f64> {
     val.trim().parse().ok()
 }
 
-fn check(baseline_path: &PathBuf, threshold: f64, ddmin_workers: usize) -> ExitCode {
+fn check(
+    baseline_path: &PathBuf,
+    threshold: f64,
+    ddmin_workers: usize,
+    digest_workers: usize,
+) -> ExitCode {
     let baseline = match std::fs::read_to_string(baseline_path) {
         Ok(s) => s,
         Err(e) => {
@@ -339,7 +661,7 @@ fn check(baseline_path: &PathBuf, threshold: f64, ddmin_workers: usize) -> ExitC
             return ExitCode::from(2);
         }
     };
-    let fresh = measure(ddmin_workers);
+    let fresh = measure(ddmin_workers, digest_workers);
     let fresh_json = fresh.to_json("check");
     let mut failures = Vec::new();
 
@@ -352,6 +674,15 @@ fn check(baseline_path: &PathBuf, threshold: f64, ddmin_workers: usize) -> ExitC
         ("campaign", "failures", fresh.campaign_failures as f64),
         ("ddmin", "executions", fresh.ddmin_executions as f64),
         ("ddmin", "minimal_len", fresh.ddmin_minimal_len as f64),
+        ("checkpoint", "checkpoints", fresh.ckpt.checkpoints as f64),
+        ("checkpoint", "objects_digested", fresh.ckpt.objects_digested as f64),
+        ("checkpoint", "node_hashes", fresh.ckpt.node_hashes as f64),
+        ("checkpoint", "naive_node_hashes", fresh.ckpt.naive_node_hashes as f64),
+        ("transfer", "rounds_serial", fresh.transfer.rounds_serial as f64),
+        ("transfer", "rounds_windowed", fresh.transfer.rounds_windowed as f64),
+        ("transfer", "meta_queries", fresh.transfer.meta_queries as f64),
+        ("transfer", "objects_fetched", fresh.transfer.objects_fetched as f64),
+        ("transfer", "fetched_bytes", fresh.transfer.fetched_bytes as f64),
     ] {
         match field(&baseline, section, key) {
             Some(expected) if (expected - actual).abs() < 0.5 => {}
@@ -367,6 +698,8 @@ fn check(baseline_path: &PathBuf, threshold: f64, ddmin_workers: usize) -> ExitC
         ("e9", fresh.e9_wall_ms as f64),
         ("campaign", fresh.campaign_wall_ms as f64),
         ("ddmin", fresh.ddmin_wall_ms as f64),
+        ("checkpoint", fresh.ckpt.wall_ms as f64),
+        ("transfer", fresh.transfer.wall_ms as f64),
     ] {
         if let Some(expected) = field(&baseline, section, "wall_ms") {
             if actual > (expected * threshold).max(50.0) {
@@ -394,9 +727,9 @@ fn check(baseline_path: &PathBuf, threshold: f64, ddmin_workers: usize) -> ExitC
 fn main() -> ExitCode {
     let opts = parse_args();
     if let Some(baseline) = &opts.check {
-        return check(baseline, opts.threshold, opts.ddmin_workers);
+        return check(baseline, opts.threshold, opts.ddmin_workers, opts.digest_workers);
     }
-    let report = measure(opts.ddmin_workers);
+    let report = measure(opts.ddmin_workers, opts.digest_workers);
     if opts.json {
         let stamp = opts.stamp.clone().unwrap_or_else(|| {
             let secs = std::time::SystemTime::now()

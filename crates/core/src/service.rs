@@ -6,7 +6,7 @@ use base_crypto::Digest;
 use base_pbft::tree::leaf_digest;
 use base_pbft::{CostModel, ExecEnv, PartitionTree, Service};
 use base_simnet::MetricsRegistry;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Branching factor of the abstract-state partition tree.
 const BRANCHING: u32 = 16;
@@ -18,12 +18,54 @@ pub struct BaseStats {
     pub checkpoints: u64,
     /// `get_obj` calls made to digest modified objects at checkpoints.
     pub objects_digested: u64,
+    /// Internal partition-tree nodes rehashed by batched digest updates.
+    /// Grows with *distinct touched nodes*, not dirty-leaves × depth.
+    pub node_hashes: u64,
     /// Pre-image copies captured by the `modify` upcall.
     pub preimage_copies: u64,
     /// Objects written through `put_objs` during installs.
     pub objects_installed: u64,
     /// Full abstraction-function scans (warm reboots).
     pub rebuild_scans: u64,
+}
+
+/// Computes the leaf digest of every `(index, value)` pair, fanning the
+/// hashing over `workers` scoped threads when it pays.
+///
+/// Output slot `i` always holds the digest of `values[i]` — workers claim
+/// items through an atomic cursor but write results by index, so the fold
+/// the caller performs over the returned vector is identical at any worker
+/// count (the same discipline as `run_campaign_parallel` / parallel ddmin).
+fn digest_values(values: &[(u64, Option<Vec<u8>>)], workers: usize) -> Vec<Digest> {
+    let digest_one = |&(idx, ref value): &(u64, Option<Vec<u8>>)| match value {
+        Some(v) => leaf_digest(idx, v),
+        None => Digest::ZERO,
+    };
+    if workers <= 1 || values.len() < 2 {
+        return values.iter().map(digest_one).collect();
+    }
+    let workers = workers.min(values.len());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: std::sync::Mutex<Vec<Option<Digest>>> =
+        std::sync::Mutex::new(vec![None; values.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= values.len() {
+                    break;
+                }
+                let d = digest_one(&values[idx]);
+                slots.lock().expect("digest worker panicked")[idx] = Some(d);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("digest worker panicked")
+        .into_iter()
+        .map(|d| d.expect("every value digested"))
+        .collect()
 }
 
 /// Implements the replication library's [`Service`] interface on top of a
@@ -43,9 +85,18 @@ pub struct BaseService<W: Wrapper> {
     /// Finalized reverse-delta records: checkpoint seq → (object → value
     /// *at that checkpoint*, captured at its first later modification).
     records: BTreeMap<u64, HashMap<u64, Option<Vec<u8>>>>,
+    /// Per-object index over `records`: object → sorted checkpoint seqs of
+    /// the records containing a pre-image of it. Lets `checkpoint_object`
+    /// resolve a fetch in O(log retained-ckpts) instead of scanning every
+    /// retained record.
+    record_seqs: HashMap<u64, BTreeSet<u64>>,
     /// Digest-tree snapshots per retained checkpoint (O(1) clones).
     ckpt_trees: BTreeMap<u64, PartitionTree>,
     last_ckpt: Option<u64>,
+    /// Worker threads used to digest abstract objects at checkpoint flushes
+    /// and warm-reboot rescans (1 = sequential; results are byte-identical
+    /// at any count).
+    digest_workers: usize,
     cost: CostModel,
     /// Experiment counters.
     pub stats: BaseStats,
@@ -63,8 +114,10 @@ impl<W: Wrapper> BaseService<W> {
             tree: PartitionTree::new(n, BRANCHING),
             mods: ModifyLog::new(),
             records: BTreeMap::new(),
+            record_seqs: HashMap::new(),
             ckpt_trees: BTreeMap::new(),
             last_ckpt: None,
+            digest_workers: 1,
             cost: CostModel::default(),
             stats: BaseStats::default(),
             metrics: MetricsRegistry::new(),
@@ -86,22 +139,49 @@ impl<W: Wrapper> BaseService<W> {
         self.mods.dirty_count()
     }
 
-    /// Refreshes the digest-tree leaves of all dirty objects so `tree`
-    /// reflects the true current abstract state.
-    fn flush_tree(&mut self, env: &mut ExecEnv<'_>) {
-        let dirty: Vec<u64> = self.mods.dirty_indices().collect();
-        for idx in dirty {
-            let value = self.wrapper.get_obj(idx);
-            self.stats.objects_digested += 1;
-            let digest = match &value {
-                Some(v) => {
-                    env.charge(self.cost.digest(v.len()));
-                    leaf_digest(idx, v)
-                }
-                None => Digest::ZERO,
-            };
-            self.tree.set_leaf(idx, digest);
+    /// Sets the number of worker threads used to digest abstract state at
+    /// checkpoint flushes and warm-reboot rescans. Roots, stats and metrics
+    /// are byte-identical at any count; only wall-clock changes.
+    pub fn set_digest_workers(&mut self, workers: usize) {
+        self.digest_workers = workers.max(1);
+    }
+
+    /// Digests `values` (in parallel across `digest_workers`) and applies
+    /// them to the tree as one batch. Charges and stats fold in ascending
+    /// index order, independent of the worker count. `count_digested`
+    /// selects whether the pass counts toward `stats.objects_digested`
+    /// (checkpoint flushes do; warm-reboot rescans historically have not).
+    fn digest_into_tree(
+        &mut self,
+        values: Vec<(u64, Option<Vec<u8>>)>,
+        count_digested: bool,
+        env: &mut ExecEnv<'_>,
+    ) {
+        let digests = digest_values(&values, self.digest_workers);
+        let mut updates = Vec::with_capacity(values.len());
+        for ((idx, value), digest) in values.iter().zip(&digests) {
+            if count_digested {
+                self.stats.objects_digested += 1;
+            }
+            if let Some(v) = value {
+                env.charge(self.cost.digest(v.len()));
+            }
+            updates.push((*idx, *digest));
         }
+        let batch = self.tree.set_leaves(updates);
+        self.stats.node_hashes += batch.internal_hashes;
+        self.metrics.add("base.tree_node_hashes", batch.internal_hashes);
+    }
+
+    /// Refreshes the digest-tree leaves of all dirty objects so `tree`
+    /// reflects the true current abstract state. One batched tree update:
+    /// each internal node above the dirty set is rehashed exactly once.
+    fn flush_tree(&mut self, env: &mut ExecEnv<'_>) {
+        let mut dirty: Vec<u64> = self.mods.dirty_indices().collect();
+        dirty.sort_unstable();
+        let values: Vec<(u64, Option<Vec<u8>>)> =
+            dirty.into_iter().map(|idx| (idx, self.wrapper.get_obj(idx))).collect();
+        self.digest_into_tree(values, true, env);
     }
 }
 
@@ -138,6 +218,9 @@ impl<W: Wrapper> Service for BaseService<W> {
         let copies = self.mods.drain();
         self.metrics.observe("base.checkpoint_dirty_objects", copies.len() as u64);
         if let Some(prev) = self.last_ckpt {
+            for &idx in copies.keys() {
+                self.record_seqs.entry(idx).or_default().insert(prev);
+            }
             self.records.insert(prev, copies);
         }
         self.ckpt_trees.insert(seq, self.tree.clone());
@@ -152,7 +235,18 @@ impl<W: Wrapper> Service for BaseService<W> {
         // A record keyed `k` only answers queries for checkpoints `<= k`;
         // with every retained checkpoint now `>= seq`, records below `seq`
         // are unreachable.
-        self.records = self.records.split_off(&seq);
+        let kept = self.records.split_off(&seq);
+        let dropped = std::mem::replace(&mut self.records, kept);
+        for (s, record) in dropped {
+            for idx in record.keys() {
+                if let Some(seqs) = self.record_seqs.get_mut(idx) {
+                    seqs.remove(&s);
+                    if seqs.is_empty() {
+                        self.record_seqs.remove(idx);
+                    }
+                }
+            }
+        }
     }
 
     fn checkpoint_meta(&self, seq: u64, level: u32, index: u64) -> Option<Vec<Digest>> {
@@ -165,9 +259,16 @@ impl<W: Wrapper> Service for BaseService<W> {
         }
         // Value at checkpoint `seq` = the pre-image in the first record at
         // or after `seq` that contains the object (the object was unchanged
-        // between `seq` and that record's checkpoint) ...
-        for (_, record) in self.records.range(seq..) {
-            if let Some(value) = record.get(&index) {
+        // between `seq` and that record's checkpoint). The per-object seq
+        // index resolves that record in O(log retained-ckpts) instead of a
+        // scan over every retained record.
+        if let Some(seqs) = self.record_seqs.get(&index) {
+            if let Some(s) = seqs.range(seq..).next() {
+                let value = self
+                    .records
+                    .get(s)
+                    .and_then(|record| record.get(&index))
+                    .expect("record_seqs entries mirror records");
                 return value.clone();
             }
         }
@@ -199,13 +300,12 @@ impl<W: Wrapper> Service for BaseService<W> {
         self.stats.objects_installed += objs.len() as u64;
         self.metrics.add("base.objects_installed", objs.len() as u64);
         self.wrapper.put_objs(&objs, env);
-        for (idx, value) in &objs {
-            let digest = match value {
-                Some(v) => leaf_digest(*idx, v),
-                None => Digest::ZERO,
-            };
-            self.tree.set_leaf(*idx, digest);
-        }
+        let digests = digest_values(&objs, self.digest_workers);
+        let batch = self
+            .tree
+            .set_leaves(objs.iter().map(|(idx, _)| *idx).zip(digests));
+        self.stats.node_hashes += batch.internal_hashes;
+        self.metrics.add("base.tree_node_hashes", batch.internal_hashes);
         debug_assert_eq!(
             self.tree.root_digest(),
             root,
@@ -214,6 +314,7 @@ impl<W: Wrapper> Service for BaseService<W> {
         // The current state *is* the checkpoint now.
         let _ = self.mods.drain();
         self.records.clear();
+        self.record_seqs.clear();
         self.ckpt_trees.insert(seq, self.tree.clone());
         self.last_ckpt = Some(seq);
     }
@@ -227,27 +328,23 @@ impl<W: Wrapper> Service for BaseService<W> {
             self.tree = PartitionTree::new(self.wrapper.n_objects(), BRANCHING);
             let _ = self.mods.drain();
             self.records.clear();
+            self.record_seqs.clear();
             self.ckpt_trees.clear();
             self.last_ckpt = None;
         } else {
             // Warm reboot (§3.4): the concrete state survived; rebuild the
             // conformance rep and recompute the abstraction function over
             // every object so corrupt or stale objects show up as digest
-            // mismatches and get repaired by the fetch.
+            // mismatches and get repaired by the fetch. The full rescan is
+            // the heaviest digest pass in the system, so it fans across the
+            // digest workers and lands as a single batched tree update.
             self.wrapper.rebuild_rep(env);
             self.stats.rebuild_scans += 1;
             self.metrics.inc("base.rebuild_scans");
-            for idx in 0..self.wrapper.n_objects() {
-                let value = self.wrapper.get_obj(idx);
-                let digest = match &value {
-                    Some(v) => {
-                        env.charge(self.cost.digest(v.len()));
-                        leaf_digest(idx, v)
-                    }
-                    None => Digest::ZERO,
-                };
-                self.tree.set_leaf(idx, digest);
-            }
+            let values: Vec<(u64, Option<Vec<u8>>)> = (0..self.wrapper.n_objects())
+                .map(|idx| (idx, self.wrapper.get_obj(idx)))
+                .collect();
+            self.digest_into_tree(values, false, env);
         }
     }
 

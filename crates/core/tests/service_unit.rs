@@ -249,3 +249,98 @@ fn preimage_copy_counted_once_per_epoch() {
     r.set(7, "four");
     assert_eq!(r.svc.stats.preimage_copies, copies_first_epoch + 1);
 }
+
+#[test]
+fn parallel_digesting_is_worker_count_invariant() {
+    // Same workload at 1, 2 and 8 digest workers: roots, stats, charged
+    // simulated CPU and the metrics JSON must be byte-identical — the
+    // worker pool only changes wall-clock.
+    let run = |workers: usize| {
+        let mut r = Rig::new();
+        r.svc.set_digest_workers(workers);
+        for i in 0..N {
+            r.set(i, &format!("v{i}"));
+        }
+        let c8 = r.ckpt(8);
+        for i in (0..N).step_by(3) {
+            r.set(i, &format!("w{i}"));
+        }
+        let c16 = r.ckpt(16);
+        // Warm reboot: full abstraction-function rescan through the pool.
+        let mut env = ExecEnv::new(1, &mut r.rng);
+        r.svc.reboot(false, &mut env);
+        let charged = env.charged();
+        (
+            c8,
+            c16,
+            r.svc.current_tree().root_digest(),
+            r.svc.stats.objects_digested,
+            r.svc.stats.node_hashes,
+            charged,
+            r.svc.metrics.to_json(),
+        )
+    };
+    let base = run(1);
+    assert_eq!(run(2), base, "2 workers must match sequential");
+    assert_eq!(run(8), base, "8 workers must match sequential");
+}
+
+#[test]
+fn node_hash_counter_grows_sublinearly_on_sparse_dirty_sets() {
+    // 16 objects, branching 16: depth 1, so this rig can't show the
+    // effect; measure directly on a deeper tree instead. 4096 leaves at
+    // branching 16 give depth 3; 64 clustered dirty leaves share their
+    // level-1 parents, so batching must rehash far fewer than the
+    // dirty × depth nodes the per-leaf path would.
+    use base_pbft::tree::leaf_digest as ld;
+    let mut t = base_pbft::PartitionTree::new(4096, 16);
+    t.set_leaves((0..4096u64).map(|i| (i, ld(i, b"init"))));
+    let stats = t.set_leaves((0..64u64).map(|i| (i, ld(i, b"dirty"))));
+    assert_eq!(stats.leaves_updated, 64);
+    let naive = 64 * 3; // dirty × depth root-path rehashes
+    assert!(
+        stats.internal_hashes < naive / 10,
+        "expected sub-linear internal hashing, got {} vs naive {naive}",
+        stats.internal_hashes
+    );
+}
+
+#[test]
+fn checkpoint_object_pins_values_across_epochs_and_discards() {
+    // Object 5 changes value in several epochs; every retained checkpoint
+    // must keep answering with its own frozen value, including after
+    // discard_checkpoints_below drops older records — the behaviour the
+    // per-object seq index must preserve from the old linear scan.
+    let mut r = Rig::new();
+    r.set(5, "e1");
+    r.set(9, "stable");
+    let _c8 = r.ckpt(8);
+    r.set(5, "e2");
+    let _c16 = r.ckpt(16);
+    // Epoch with no change to object 5.
+    r.set(9, "stable2");
+    let _c24 = r.ckpt(24);
+    r.set(5, "e4");
+    let _c32 = r.ckpt(32);
+    r.set(5, "open");
+
+    assert_eq!(r.svc.checkpoint_object(8, 5), Some(b"e1".to_vec()));
+    assert_eq!(r.svc.checkpoint_object(16, 5), Some(b"e2".to_vec()));
+    assert_eq!(r.svc.checkpoint_object(24, 5), Some(b"e2".to_vec()));
+    assert_eq!(r.svc.checkpoint_object(32, 5), Some(b"e4".to_vec()));
+    // Object untouched since 24 resolves through the open-epoch pre-image.
+    assert_eq!(r.svc.checkpoint_object(24, 9), Some(b"stable2".to_vec()));
+    assert_eq!(r.svc.checkpoint_object(8, 9), Some(b"stable".to_vec()));
+
+    r.svc.discard_checkpoints_below(24);
+    assert_eq!(r.svc.checkpoint_object(8, 5), None, "discarded checkpoint");
+    assert_eq!(r.svc.checkpoint_object(16, 5), None, "discarded checkpoint");
+    assert_eq!(r.svc.checkpoint_object(24, 5), Some(b"e2".to_vec()));
+    assert_eq!(r.svc.checkpoint_object(32, 5), Some(b"e4".to_vec()));
+    assert_eq!(r.svc.checkpoint_object(24, 9), Some(b"stable2".to_vec()));
+
+    // A fresh checkpoint freezes the open epoch; earlier answers hold.
+    let _c40 = r.ckpt(40);
+    assert_eq!(r.svc.checkpoint_object(32, 5), Some(b"e4".to_vec()));
+    assert_eq!(r.svc.checkpoint_object(40, 5), Some(b"open".to_vec()));
+}

@@ -11,7 +11,7 @@
 //! epoch invalidates every key other nodes used to authenticate traffic to
 //! it, exactly the property proactive recovery needs.
 
-use crate::hmac::hmac_sha256;
+use crate::hmac::{HmacMidstate, HmacSha256};
 use crate::sig::KeyDirectory;
 
 /// Length of a node's root secret in bytes.
@@ -38,8 +38,18 @@ impl KeyPair {
 }
 
 /// A pairwise symmetric session key.
+///
+/// Carries the precomputed HMAC ipad/opad compression states for its key
+/// bytes, so each [`SessionKey::mac`] skips the two key-block compression
+/// rounds — for the 32-byte digests PBFT authenticators MAC, that halves
+/// the hashing work per tag. The midstate is a pure function of the key
+/// bytes, so the derived equality over both fields matches key equality.
 #[derive(Clone, PartialEq, Eq)]
-pub struct SessionKey(pub(crate) [u8; 32]);
+pub struct SessionKey {
+    pub(crate) key: [u8; 32],
+    /// Precomputed ipad/opad states for HMAC under `key`.
+    midstate: HmacMidstate,
+}
 
 impl std::fmt::Debug for SessionKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -48,9 +58,16 @@ impl std::fmt::Debug for SessionKey {
 }
 
 impl SessionKey {
+    /// Wraps raw key bytes, precomputing the HMAC key schedule.
+    pub(crate) fn new(key: [u8; 32]) -> Self {
+        Self { midstate: HmacMidstate::new(&key), key }
+    }
+
     /// Computes the MAC of `message` under this key.
     pub fn mac(&self, message: &[u8]) -> [u8; 32] {
-        hmac_sha256(&self.0, message)
+        let mut mac = HmacSha256::from_midstate(&self.midstate);
+        mac.update(message);
+        mac.finalize()
     }
 }
 

@@ -37,7 +37,7 @@ pub mod sig;
 
 pub use auth::{Authenticator, Mac, MAC_LEN};
 pub use digest::{digest_of, Digest, DIGEST_LEN};
-pub use hmac::{hmac_sha256, HmacSha256};
+pub use hmac::{hmac_sha256, HmacMidstate, HmacSha256};
 pub use keys::{KeyPair, NodeKeys, SessionKey, SECRET_LEN};
-pub use sha256::Sha256;
+pub use sha256::{Sha256, Sha256Midstate};
 pub use sig::{KeyDirectory, Signature, SIG_LEN};

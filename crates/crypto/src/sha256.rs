@@ -47,6 +47,18 @@ pub struct Sha256 {
     block_len: usize,
 }
 
+/// Compression state captured at a 64-byte block boundary.
+///
+/// Hashing a fixed prefix (e.g. an HMAC ipad/opad block) once, capturing
+/// the midstate, and resuming from it for every message amortizes the
+/// prefix's compression rounds across all uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sha256Midstate {
+    state: [u32; 8],
+    /// Bytes absorbed so far (a multiple of 64).
+    len: u64,
+}
+
 impl Default for Sha256 {
     fn default() -> Self {
         Self::new()
@@ -64,6 +76,23 @@ impl Sha256 {
         let mut h = Self::new();
         h.update(data);
         h.finalize()
+    }
+
+    /// Captures the compression state for later resumption.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the hasher sits exactly at a block boundary (the
+    /// total bytes fed so far are a multiple of 64), since a partial
+    /// block cannot be resumed without its buffered bytes.
+    pub fn midstate(&self) -> Sha256Midstate {
+        assert!(self.block_len == 0, "midstate requires a 64-byte block boundary");
+        Sha256Midstate { state: self.state, len: self.len }
+    }
+
+    /// Resumes hashing from a previously captured midstate.
+    pub fn from_midstate(m: Sha256Midstate) -> Self {
+        Self { state: m.state, len: m.len, block: [0; 64], block_len: 0 }
     }
 
     /// Feeds `data` into the hash.
@@ -237,6 +266,30 @@ mod tests {
             }
             assert_eq!(inc.finalize(), Sha256::digest(&data), "length {len}");
         }
+    }
+
+    #[test]
+    fn midstate_resumption_matches_straight_hashing() {
+        let prefix = [0x36u8; 64];
+        let mut h = Sha256::new();
+        h.update(&prefix);
+        let mid = h.midstate();
+        for tail_len in [0usize, 1, 55, 56, 64, 129] {
+            let tail = vec![0x9cu8; tail_len];
+            let mut resumed = Sha256::from_midstate(mid);
+            resumed.update(&tail);
+            let mut full: Vec<u8> = prefix.to_vec();
+            full.extend_from_slice(&tail);
+            assert_eq!(resumed.finalize(), Sha256::digest(&full), "tail {tail_len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block boundary")]
+    fn midstate_mid_block_panics() {
+        let mut h = Sha256::new();
+        h.update(b"partial");
+        let _ = h.midstate();
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use crate::hmac::{hmac_sha256, verify_tag};
 use crate::keys::{SessionKey, SECRET_LEN};
 use base_xdr::{XdrDecode, XdrDecoder, XdrEncode, XdrEncoder, XdrError};
+use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
 /// Length of a signature in bytes.
@@ -60,6 +61,11 @@ struct Inner {
     secrets: Vec<[u8; SECRET_LEN]>,
     /// Per-node receive-key epochs, bumped by proactive recovery.
     epochs: Vec<u64>,
+    /// Memoized session keys (with their precomputed HMAC midstates),
+    /// keyed by `(sender, receiver, receiver-epoch)`. Entries for a
+    /// node's old epochs are pruned when it refreshes, so MACs under
+    /// stale keys cannot be produced from the cache.
+    session_cache: HashMap<(usize, usize, u64), SessionKey>,
 }
 
 /// The shared key infrastructure for one simulated system.
@@ -87,7 +93,13 @@ impl KeyDirectory {
             let tag = hmac_sha256(&seed.to_be_bytes(), format!("node-secret-{i}").as_bytes());
             secrets.push(tag);
         }
-        Self { inner: Arc::new(RwLock::new(Inner { secrets, epochs: vec![0; n] })) }
+        Self {
+            inner: Arc::new(RwLock::new(Inner {
+                secrets,
+                epochs: vec![0; n],
+                session_cache: HashMap::new(),
+            })),
+        }
     }
 
     /// Number of nodes in the directory.
@@ -102,18 +114,36 @@ impl KeyDirectory {
 
     /// Derives the session key authenticating traffic from `sender` to
     /// `receiver` (chosen by the receiver; depends on the receiver's epoch).
+    ///
+    /// Keys are memoized per `(sender, receiver, epoch)` together with
+    /// their HMAC midstates, so repeated authenticator generation under a
+    /// stable epoch pays the key derivation and key-schedule compressions
+    /// only once.
     pub(crate) fn session_key(&self, sender: usize, receiver: usize) -> SessionKey {
-        let inner = self.inner.read().expect("key directory poisoned");
+        {
+            let inner = self.inner.read().expect("key directory poisoned");
+            let epoch = inner.epochs[receiver];
+            if let Some(key) = inner.session_cache.get(&(sender, receiver, epoch)) {
+                return key.clone();
+            }
+        }
+        let mut inner = self.inner.write().expect("key directory poisoned");
+        let epoch = inner.epochs[receiver];
         let mut msg = Vec::with_capacity(24);
         msg.extend_from_slice(b"sess");
         msg.extend_from_slice(&(sender as u64).to_be_bytes());
-        msg.extend_from_slice(&inner.epochs[receiver].to_be_bytes());
-        SessionKey(hmac_sha256(&inner.secrets[receiver], &msg))
+        msg.extend_from_slice(&epoch.to_be_bytes());
+        let key = SessionKey::new(hmac_sha256(&inner.secrets[receiver], &msg));
+        inner.session_cache.insert((sender, receiver, epoch), key.clone());
+        key
     }
 
-    /// Bumps `node`'s receive-key epoch (proactive-recovery key refresh).
+    /// Bumps `node`'s receive-key epoch (proactive-recovery key refresh),
+    /// dropping every cached session key for traffic to it.
     pub(crate) fn refresh(&self, node: usize) {
-        self.inner.write().expect("key directory poisoned").epochs[node] += 1;
+        let mut inner = self.inner.write().expect("key directory poisoned");
+        inner.epochs[node] += 1;
+        inner.session_cache.retain(|&(_, receiver, _), _| receiver != node);
     }
 
     /// Signs `message` as `node`.

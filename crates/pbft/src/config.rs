@@ -33,6 +33,9 @@ pub struct Config {
     /// Tolerance when backups validate the primary's proposed timestamp
     /// non-determinism.
     pub nondet_skew_tolerance: SimDuration,
+    /// State-transfer pipelining: maximum concurrently outstanding
+    /// meta/object fetch queries (1 = strictly serial tree walk).
+    pub fetch_window: usize,
 }
 
 impl Config {
@@ -56,6 +59,7 @@ impl Config {
             recovery_period: None,
             reboot_time: SimDuration::from_secs(30),
             nondet_skew_tolerance: SimDuration::from_secs(10),
+            fetch_window: crate::transfer::DEFAULT_FETCH_WINDOW,
         }
     }
 

@@ -75,4 +75,4 @@ pub use cost::CostModel;
 pub use messages::Message;
 pub use replica::{Replica, ReplicaStats};
 pub use service::{ExecEnv, Service};
-pub use tree::PartitionTree;
+pub use tree::{PartitionTree, TreeUpdateStats};

@@ -839,7 +839,8 @@ impl<S: Service> Replica<S> {
             let charged = env.charged();
             ctx.charge(charged);
         }
-        let mut fetcher = Fetcher::new(self.id, self.cfg.n, seq, digest);
+        let mut fetcher =
+            Fetcher::with_window(self.id, self.cfg.n, seq, digest, self.cfg.fetch_window);
         for (to, msg) in fetcher.begin() {
             self.send(ctx, NodeId(to as usize), &msg);
         }

@@ -13,12 +13,14 @@
 //! correct but out-of-date replica — the property the paper highlights as
 //! essential for state transfer.
 //!
-//! Queries are spread round-robin over the other replicas. A query whose
-//! reply fails digest verification is re-targeted to the next source
-//! immediately; unanswered queries are retransmitted with per-query
-//! exponential backoff and deterministic jitter, so a slow or silent
-//! source delays only its own partitions and retries do not synchronize
-//! into bursts.
+//! Queries are spread round-robin over the other replicas and pipelined:
+//! up to a configurable window of meta/object queries is outstanding at a
+//! time ([`DEFAULT_FETCH_WINDOW`]), with further discovered queries parked
+//! in FIFO order until a slot frees up. A query whose reply fails digest
+//! verification is re-targeted to the next source immediately; unanswered
+//! queries are retransmitted with per-query exponential backoff and
+//! deterministic jitter, so a slow or silent source delays only its own
+//! partitions and retries do not synchronize into bursts.
 //!
 //! The checkpoint identity covers both the service state and the client
 //! reply cache (which PBFT replicates as part of the state):
@@ -27,7 +29,18 @@
 use crate::messages::{FetchMetaMsg, FetchObjectMsg, Message, MetaReplyMsg, ObjectReplyMsg};
 use crate::tree::PartitionTree;
 use base_crypto::Digest;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+
+/// Default window of concurrently outstanding fetch queries.
+///
+/// The fetcher pipelines its tree walk: up to this many meta/object
+/// queries are in flight at once, and each reply both advances the walk
+/// and releases a window slot for the next parked query. `window = 1`
+/// degenerates to a strictly serial walk (one query, one reply, repeat);
+/// larger windows overlap query round-trips and cut the number of
+/// request/reply rounds a transfer needs, while still bounding how hard a
+/// recovering replica hammers its sources.
+pub const DEFAULT_FETCH_WINDOW: usize = 4;
 
 /// Pseudo-level used to fetch the checkpoint's top-level metadata
 /// (`[service_root, replies_digest]`).
@@ -94,6 +107,11 @@ pub struct Fetcher {
     replies_digest: Option<Digest>,
     replies_blob: Option<Vec<u8>>,
     outstanding: HashMap<FetchKey, Outstanding>,
+    /// Discovered queries parked until a window slot frees up (FIFO, so
+    /// the walk order matches discovery order at any window size).
+    pending: VecDeque<(FetchKey, Digest)>,
+    /// Maximum number of concurrently outstanding queries.
+    window: usize,
     /// Objects collected so far.
     objects: Vec<(u64, Option<Vec<u8>>)>,
     /// Round-robin cursor over source replicas.
@@ -112,7 +130,14 @@ pub struct Fetcher {
 impl Fetcher {
     /// Creates a fetcher targeting checkpoint (`seq`, `target`), where
     /// `target` is the composite digest proven by a checkpoint certificate.
+    /// Uses the default pipelining window ([`DEFAULT_FETCH_WINDOW`]).
     pub fn new(me: u32, n: usize, seq: u64, target: Digest) -> Self {
+        Self::with_window(me, n, seq, target, DEFAULT_FETCH_WINDOW)
+    }
+
+    /// Creates a fetcher with an explicit pipelining window (clamped to a
+    /// minimum of 1). `window = 1` walks the tree strictly serially.
+    pub fn with_window(me: u32, n: usize, seq: u64, target: Digest, window: usize) -> Self {
         Self {
             me,
             n,
@@ -122,6 +147,8 @@ impl Fetcher {
             replies_digest: None,
             replies_blob: None,
             outstanding: HashMap::new(),
+            pending: VecDeque::new(),
+            window: window.max(1),
             objects: Vec::new(),
             cursor: (me as usize + 1) % n,
             ticks: 0,
@@ -214,14 +241,27 @@ impl Fetcher {
         base + self.jitter(key, attempts, base / 2)
     }
 
-    fn issue(&mut self, key: FetchKey, expected: Digest) -> (u32, Message) {
-        if matches!(key, FetchKey::Meta { .. } | FetchKey::Root) {
-            self.meta_queries += 1;
+    /// Queues a newly discovered query. It is sent immediately if the
+    /// window has room, otherwise parked until an outstanding query
+    /// completes; queries go out in discovery order either way.
+    fn issue(&mut self, key: FetchKey, expected: Digest, out: &mut Vec<(u32, Message)>) {
+        self.pending.push_back((key, expected));
+        self.pump(out);
+    }
+
+    /// Moves parked queries onto the wire while window slots are free.
+    fn pump(&mut self, out: &mut Vec<(u32, Message)>) {
+        while self.outstanding.len() < self.window {
+            let Some((key, expected)) = self.pending.pop_front() else { break };
+            if matches!(key, FetchKey::Meta { .. } | FetchKey::Root) {
+                self.meta_queries += 1;
+            }
+            let msg = self.request_for(key);
+            let next_retry = self.ticks + self.backoff_ticks(key, 0);
+            self.outstanding.insert(key, Outstanding { expected, attempts: 0, next_retry });
+            let src = self.next_source();
+            out.push((src, msg));
         }
-        let msg = self.request_for(key);
-        let next_retry = self.ticks + self.backoff_ticks(key, 0);
-        self.outstanding.insert(key, Outstanding { expected, attempts: 0, next_retry });
-        (self.next_source(), msg)
     }
 
     /// Re-issues an already outstanding query to the next source, bumping
@@ -242,7 +282,9 @@ impl Fetcher {
 
     /// Starts the fetch: issues the top-level metadata query.
     pub fn begin(&mut self) -> Vec<(u32, Message)> {
-        vec![self.issue(FetchKey::Root, self.target)]
+        let mut out = Vec::new();
+        self.issue(FetchKey::Root, self.target, &mut out);
+        out
     }
 
     /// Advances the retry clock and retransmits the outstanding queries
@@ -299,7 +341,7 @@ impl Fetcher {
             let replies_digest = m.digests[1];
             self.service_root = Some(service_root);
             self.replies_digest = Some(replies_digest);
-            out.push(self.issue(FetchKey::Replies, replies_digest));
+            self.issue(FetchKey::Replies, replies_digest, &mut out);
 
             // Walk the service tree only where it differs locally.
             if service_root != local.root_digest() {
@@ -308,13 +350,14 @@ impl Fetcher {
                     if service_root.is_zero() {
                         self.objects.push((0, None));
                     } else {
-                        out.push(self.issue(FetchKey::Object { index: 0 }, service_root));
+                        self.issue(FetchKey::Object { index: 0 }, service_root, &mut out);
                     }
                 } else {
-                    out.push(self.issue(
+                    self.issue(
                         FetchKey::Meta { level: local.depth(), index: 0 },
                         service_root,
-                    ));
+                        &mut out,
+                    );
                 }
             }
             return (out, self.maybe_complete());
@@ -352,18 +395,24 @@ impl Fetcher {
                     if remote_digest.is_zero() {
                         self.objects.push((child_index, None));
                     } else {
-                        out.push(
-                            self.issue(FetchKey::Object { index: child_index }, *remote_digest),
+                        self.issue(
+                            FetchKey::Object { index: child_index },
+                            *remote_digest,
+                            &mut out,
                         );
                     }
                 }
             } else {
-                out.push(self.issue(
+                self.issue(
                     FetchKey::Meta { level: m.level - 1, index: child_index },
                     *remote_digest,
-                ));
+                    &mut out,
+                );
             }
         }
+        // The completed query freed a window slot even if this node
+        // contributed no new queries: let a parked one through.
+        self.pump(&mut out);
         (out, self.maybe_complete())
     }
 
@@ -390,7 +439,9 @@ impl Fetcher {
                 self.fetched_bytes += m.data.len() as u64;
                 self.replies_blob = Some(m.data.clone());
             }
-            return (Vec::new(), self.maybe_complete());
+            let mut out = Vec::new();
+            self.pump(&mut out);
+            return (out, self.maybe_complete());
         }
 
         let key = FetchKey::Object { index: m.index };
@@ -406,12 +457,15 @@ impl Fetcher {
         self.outstanding.remove(&key);
         self.fetched_bytes += m.data.len() as u64;
         self.objects.push((m.index, Some(m.data.clone())));
-        (Vec::new(), self.maybe_complete())
+        let mut out = Vec::new();
+        self.pump(&mut out);
+        (out, self.maybe_complete())
     }
 
     fn maybe_complete(&mut self) -> Option<FetchResult> {
         if self.done
             || !self.outstanding.is_empty()
+            || !self.pending.is_empty()
             || self.service_root.is_none()
             || self.replies_blob.is_none()
         {

@@ -53,6 +53,23 @@ struct Node {
     children: Vec<Option<Arc<Node>>>,
 }
 
+/// Hash-work accounting returned by [`PartitionTree::set_leaves`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TreeUpdateStats {
+    /// Distinct leaves written (duplicates in the batch collapse).
+    pub leaves_updated: u64,
+    /// Internal nodes rehashed — each touched node exactly once.
+    pub internal_hashes: u64,
+}
+
+impl TreeUpdateStats {
+    /// Accumulates another batch's counts.
+    pub fn absorb(&mut self, other: TreeUpdateStats) {
+        self.leaves_updated += other.leaves_updated;
+        self.internal_hashes += other.internal_hashes;
+    }
+}
+
 /// A persistent digest tree over `capacity` leaves with a fixed branching
 /// factor.
 ///
@@ -168,6 +185,97 @@ impl PartitionTree {
         assert!(index < self.capacity, "leaf index out of range");
         let root = self.root.take();
         self.root = Some(self.set_rec(root, self.depth, index, digest));
+    }
+
+    /// Applies a batch of leaf updates, recomputing each touched internal
+    /// node exactly once.
+    ///
+    /// Semantically equivalent to calling [`PartitionTree::set_leaf`] for
+    /// every pair in order (later duplicates win), but the cost is
+    /// O(distinct touched nodes) internal hashes instead of
+    /// O(updates × depth): updates sharing a subtree are grouped and the
+    /// path above them is rehashed once, bottom-up — the Merkle-tree
+    /// discipline a checkpoint flush with a clustered dirty set wants.
+    ///
+    /// Returns how many leaves were written and how many internal nodes
+    /// were rehashed, so callers can account hash work precisely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= capacity`.
+    pub fn set_leaves(
+        &mut self,
+        updates: impl IntoIterator<Item = (u64, Digest)>,
+    ) -> TreeUpdateStats {
+        let mut ups: Vec<(u64, Digest)> = updates.into_iter().collect();
+        for &(i, _) in &ups {
+            assert!(i < self.capacity, "leaf index out of range");
+        }
+        // Last write per index wins: stable-sort by index (preserving
+        // arrival order within an index), then keep each run's final entry.
+        ups.sort_by_key(|&(i, _)| i);
+        ups.reverse(); // runs now end-first, still grouped by index
+        ups.dedup_by_key(|&mut (i, _)| i); // keeps the first = latest write
+        ups.reverse(); // back to ascending index order
+        if ups.is_empty() {
+            return TreeUpdateStats::default();
+        }
+        let mut stats = TreeUpdateStats { leaves_updated: ups.len() as u64, internal_hashes: 0 };
+        let root = self.root.take();
+        self.root = Some(self.set_many_rec(root, self.depth, 0, &ups, &mut stats));
+        stats
+    }
+
+    /// Recursive worker for [`PartitionTree::set_leaves`]: `ups` is a
+    /// non-empty, ascending, duplicate-free slice of leaf updates that all
+    /// fall inside the subtree rooted at (`level`, base leaf `base`).
+    fn set_many_rec(
+        &self,
+        node: Option<Arc<Node>>,
+        level: u32,
+        base: u64,
+        ups: &[(u64, Digest)],
+        stats: &mut TreeUpdateStats,
+    ) -> Arc<Node> {
+        if level == 0 {
+            debug_assert_eq!(ups.len(), 1);
+            return Arc::new(Node { digest: ups[0].1, children: Vec::new() });
+        }
+        let b = self.branching as usize;
+        let child_span = (self.branching as u64).pow(level - 1);
+        let mut children: Vec<Option<Arc<Node>>> = match node {
+            Some(n) => n.children.clone(),
+            None => vec![None; b],
+        };
+        // The slice is sorted, so updates for one child form a contiguous
+        // run; each run recurses once and the node rehashes once at the end.
+        let mut start = 0;
+        while start < ups.len() {
+            let child_idx = ((ups[start].0 - base) / child_span) as usize;
+            let mut end = start + 1;
+            while end < ups.len() && ((ups[end].0 - base) / child_span) as usize == child_idx {
+                end += 1;
+            }
+            let child_base = base + child_idx as u64 * child_span;
+            children[child_idx] = Some(self.set_many_rec(
+                children[child_idx].take(),
+                level - 1,
+                child_base,
+                &ups[start..end],
+                stats,
+            ));
+            start = end;
+        }
+        let child_digests: Vec<Digest> = children
+            .iter()
+            .map(|c| match c {
+                Some(n) => n.digest,
+                None => self.defaults[(level - 1) as usize],
+            })
+            .collect();
+        stats.internal_hashes += 1;
+        let digest = node_digest(level, &child_digests);
+        Arc::new(Node { digest, children })
     }
 
     fn set_rec(
@@ -380,5 +488,65 @@ mod tests {
     #[test]
     fn leaf_digest_binds_index() {
         assert_ne!(leaf_digest(1, b"v"), leaf_digest(2, b"v"));
+    }
+
+    #[test]
+    fn batch_update_matches_sequential() {
+        let updates: Vec<(u64, Digest)> =
+            [7u64, 250, 3, 64, 65, 66, 999, 0].iter().map(|&i| (i, leaf_digest(i, &[i as u8]))).collect();
+        let mut seq = PartitionTree::new(1000, 8);
+        for &(i, d) in &updates {
+            seq.set_leaf(i, d);
+        }
+        let mut batch = PartitionTree::new(1000, 8);
+        let stats = batch.set_leaves(updates.iter().copied());
+        assert_eq!(batch.root_digest(), seq.root_digest());
+        assert_eq!(stats.leaves_updated, updates.len() as u64);
+        for &(i, d) in &updates {
+            assert_eq!(batch.leaf_digest_at(i), d);
+        }
+    }
+
+    #[test]
+    fn batch_duplicates_last_write_wins() {
+        let mut seq = PartitionTree::new(64, 4);
+        seq.set_leaf(5, leaf_digest(5, b"first"));
+        seq.set_leaf(5, leaf_digest(5, b"second"));
+        let mut batch = PartitionTree::new(64, 4);
+        let stats = batch
+            .set_leaves([(5, leaf_digest(5, b"first")), (5, leaf_digest(5, b"second"))]);
+        assert_eq!(batch.root_digest(), seq.root_digest());
+        assert_eq!(stats.leaves_updated, 1, "duplicates collapse");
+        assert_eq!(batch.leaf_digest_at(5), leaf_digest(5, b"second"));
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut t = PartitionTree::new(64, 4);
+        t.set_leaf(3, leaf_digest(3, b"x"));
+        let before = t.root_digest();
+        let stats = t.set_leaves(std::iter::empty());
+        assert_eq!(stats, TreeUpdateStats::default());
+        assert_eq!(t.root_digest(), before);
+    }
+
+    #[test]
+    fn clustered_batch_hashes_each_touched_node_once() {
+        // 4096 leaves at branching 16: depth 3. 256 contiguous dirty leaves
+        // touch 16 level-1 nodes, 1 level-2 node and the root = 18 internal
+        // hashes, versus 256 x 3 = 768 for per-leaf root-path rehashing.
+        let mut t = PartitionTree::new(4096, 16);
+        let stats = t.set_leaves((0..256u64).map(|i| (i, leaf_digest(i, &[1]))));
+        assert_eq!(t.depth(), 3);
+        assert_eq!(stats.internal_hashes, 16 + 1 + 1);
+        assert!(stats.internal_hashes < 256 * t.depth() as u64);
+    }
+
+    #[test]
+    fn batch_on_single_leaf_tree() {
+        let mut t = PartitionTree::new(1, 2);
+        let stats = t.set_leaves([(0, leaf_digest(0, b"only"))]);
+        assert_eq!(stats.internal_hashes, 0);
+        assert_eq!(t.root_digest(), leaf_digest(0, b"only"));
     }
 }

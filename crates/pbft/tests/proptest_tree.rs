@@ -115,6 +115,74 @@ proptest! {
         }
     }
 
+    /// A `set_leaves` batch is observationally identical to the equivalent
+    /// sequential `set_leaf` loop — same root and same `children_digests`
+    /// at every internal coordinate — for any update order, including
+    /// duplicate indices (last write wins in both).
+    #[test]
+    fn batched_updates_match_sequential(
+        capacity in 1u64..300,
+        branching in 2u32..17,
+        updates in arb_updates(300),
+    ) {
+        let updates: Vec<_> =
+            updates.into_iter().filter(|(i, _)| *i < capacity).collect();
+
+        let mut seq = PartitionTree::new(capacity, branching);
+        for (i, v) in &updates {
+            seq.set_leaf(*i, leaf_digest(*i, v));
+        }
+
+        let mut batched = PartitionTree::new(capacity, branching);
+        let stats = batched.set_leaves(
+            updates.iter().map(|(i, v)| (*i, leaf_digest(*i, v))),
+        );
+        prop_assert_eq!(stats.leaves_updated as usize,
+            updates.iter().map(|(i, _)| *i).collect::<std::collections::BTreeSet<_>>().len());
+
+        prop_assert_eq!(seq.root_digest(), batched.root_digest());
+        for level in 1..=seq.depth() {
+            let mut index = 0u64;
+            loop {
+                let (a, b) = (
+                    seq.children_digests(level, index),
+                    batched.children_digests(level, index),
+                );
+                prop_assert_eq!(&a, &b, "level {} index {}", level, index);
+                if a.is_none() {
+                    break;
+                }
+                index += 1;
+            }
+        }
+        for i in 0..capacity {
+            prop_assert_eq!(seq.leaf_digest_at(i), batched.leaf_digest_at(i));
+        }
+    }
+
+    /// Splitting one batch into several smaller batches (in order) gives
+    /// the same tree, so incremental flushes compose.
+    #[test]
+    fn batch_splits_compose(
+        capacity in 1u64..200,
+        branching in 2u32..9,
+        updates in arb_updates(200),
+        split in 0usize..64,
+    ) {
+        let updates: Vec<_> =
+            updates.into_iter().filter(|(i, _)| *i < capacity).collect();
+        let split = split.min(updates.len());
+
+        let mut whole = PartitionTree::new(capacity, branching);
+        whole.set_leaves(updates.iter().map(|(i, v)| (*i, leaf_digest(*i, v))));
+
+        let mut parts = PartitionTree::new(capacity, branching);
+        parts.set_leaves(updates[..split].iter().map(|(i, v)| (*i, leaf_digest(*i, v))));
+        parts.set_leaves(updates[split..].iter().map(|(i, v)| (*i, leaf_digest(*i, v))));
+
+        prop_assert_eq!(whole.root_digest(), parts.root_digest());
+    }
+
     /// Two trees whose leaves differ anywhere have different roots (no
     /// silent collisions from the index-binding or level-binding scheme).
     #[test]

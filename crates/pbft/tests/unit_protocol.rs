@@ -188,6 +188,68 @@ fn fetcher_ignores_replies_for_other_checkpoints() {
     assert!(done.is_none());
 }
 
+/// Drives like [`drive`] but counts the maximum number of requests ever
+/// simultaneously unanswered, serving strictly FIFO.
+fn drive_counting(
+    fetcher: &mut Fetcher,
+    remote: &RemoteState,
+    local: &PartitionTree,
+) -> (Option<base_pbft::transfer::FetchResult>, usize) {
+    let mut queue: std::collections::VecDeque<(u32, Message)> = fetcher.begin().into();
+    let mut max_inflight = queue.len();
+    let mut guard = 0;
+    while let Some((_, msg)) = queue.pop_front() {
+        guard += 1;
+        assert!(guard < 10_000, "fetch did not converge");
+        let Some(reply) = remote.serve(&msg) else { continue };
+        let (more, done) = match reply {
+            Message::MetaReply(m) => fetcher.on_meta_reply(&m, local),
+            Message::ObjectReply(m) => fetcher.on_object_reply(&m, local),
+            _ => unreachable!(),
+        };
+        queue.extend(more);
+        max_inflight = max_inflight.max(queue.len());
+        if done.is_some() {
+            return (done, max_inflight);
+        }
+    }
+    (None, max_inflight)
+}
+
+#[test]
+fn fetch_window_bounds_outstanding_queries() {
+    let values: Vec<(u64, Vec<u8>)> =
+        (0..48u64).map(|i| (i, format!("value-{i}").into_bytes())).collect();
+    let value_refs: Vec<(u64, &[u8])> =
+        values.iter().map(|(i, v)| (*i, v.as_slice())).collect();
+    let remote = RemoteState::new(64, &value_refs);
+    let local = PartitionTree::new(64, 4);
+
+    // Window 1: strictly serial — never more than one unanswered query.
+    let mut serial = Fetcher::with_window(3, 4, 128, remote.composite(), 1);
+    let (result, max_inflight) = drive_counting(&mut serial, &remote, &local);
+    let serial_result = result.expect("serial fetch completes");
+    assert_eq!(max_inflight, 1, "window 1 keeps exactly one query in flight");
+
+    // Window 4 (default): pipelined, but never beyond the window.
+    let mut windowed = Fetcher::new(3, 4, 128, remote.composite());
+    let (result, max_inflight) = drive_counting(&mut windowed, &remote, &local);
+    let windowed_result = result.expect("windowed fetch completes");
+    assert!(max_inflight > 1, "default window actually pipelines");
+    assert!(max_inflight <= 4, "window caps concurrency, saw {max_inflight}");
+
+    // Pipelining changes scheduling only: both windows fetch the same
+    // objects, bytes and metadata.
+    let sorted = |mut v: Vec<(u64, Option<Vec<u8>>)>| {
+        v.sort_by_key(|(i, _)| *i);
+        v
+    };
+    assert_eq!(sorted(serial_result.objects), sorted(windowed_result.objects));
+    assert_eq!(serial_result.fetched_bytes, windowed_result.fetched_bytes);
+    assert_eq!(serial_result.meta_queries, windowed_result.meta_queries);
+    assert_eq!(serial_result.replies_blob, windowed_result.replies_blob);
+}
+
 #[test]
 fn fetcher_tick_retransmits_outstanding_queries() {
     let remote = RemoteState::new(16, &[(3, b"x")]);

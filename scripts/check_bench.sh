@@ -37,6 +37,16 @@ cargo build --release -q -p base-bench --bin bench
 if ./target/release/bench --check "$BASELINE" --threshold "$THRESHOLD"; then
   echo "bench check: baseline holds"
 else
+  # Write what a re-bless would produce plus its diff against the
+  # checked-in baseline under target/bench/, so CI ships the drift as an
+  # artifact and a reviewer can judge it without rerunning the lab.
+  mkdir -p target/bench
+  ./target/release/bench --json --stamp baseline --out target/bench >/dev/null || true
+  if [ -f target/bench/BENCH_baseline.json ]; then
+    diff <(tr ',' '\n' <"$BASELINE") <(tr ',' '\n' <target/bench/BENCH_baseline.json) \
+      >target/bench/bench_baseline.diff || true
+    echo "re-blessed report + diff written to target/bench/" >&2
+  fi
   echo "bench regression vs $BASELINE (wall threshold ${THRESHOLD}x)" >&2
   echo "intentional change? run: scripts/check_bench.sh --bless" >&2
   exit 1
