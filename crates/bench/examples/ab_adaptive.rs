@@ -1,0 +1,175 @@
+//! A/B comparison: adaptive (RTT-driven) timeouts vs the static
+//! configuration, on the counter chaos testbed.
+//!
+//! Two scenarios, each run over a fixed seed set with both sides of the
+//! `Config::adaptive_timeouts` toggle:
+//!
+//! * `slow_net` — a long-lived `Slow` fault inflates the true round-trip
+//!   past the static client timeout. The static side retransmits almost
+//!   every operation; the adaptive side backs its RTO off (RFC 6298
+//!   persistent doubling + Jacobson/Karels once a clean sample lands) and
+//!   stops paying the spurious-retransmission tax.
+//! * `partition_heal` — a healing partition of the primary strands
+//!   in-flight requests. The adaptive side's floor-clamped RTO retries
+//!   sooner after the heal, completing the stranded work earlier (lower
+//!   heal-to-progress latency).
+//!
+//! Every reported field is deterministic (virtual time, seeded RNG); the
+//! harness runs each side twice and asserts byte-identical JSON before
+//! printing. Output is one JSON object, checked in as
+//! `BENCH_<date>-adaptive.json`.
+//!
+//! Usage: `cargo run --release -q -p base-bench --example ab_adaptive`.
+
+use base_pbft::chaos::CounterChaosHarness;
+use base_simnet::chaos::{run_one, FaultSchedule, NetFault};
+use base_simnet::{NodeId, SimDuration, SimTime};
+
+const SEEDS: std::ops::Range<u64> = 0..8;
+
+/// The `slow_net` schedule: both directions of client 4's link to the
+/// primary slowed well past the static 300 ms client timeout, for most of
+/// the workload's duration.
+fn slow_net_schedule() -> FaultSchedule {
+    let mut s = FaultSchedule::new();
+    let extra = SimDuration::from_millis(350);
+    s.net(
+        SimTime::from_millis(200),
+        NetFault::Slow { from: NodeId(4), to: NodeId(0), extra },
+        SimDuration::from_secs(6),
+    )
+    .net(
+        SimTime::from_millis(200),
+        NetFault::Slow { from: NodeId(0), to: NodeId(4), extra },
+        SimDuration::from_secs(6),
+    );
+    s
+}
+
+/// The `partition_heal` schedule: the primary drops off the network for
+/// two seconds mid-workload, then heals.
+fn partition_schedule() -> FaultSchedule {
+    let mut s = FaultSchedule::new();
+    s.net(
+        SimTime::from_millis(500),
+        NetFault::Partition { nodes: vec![NodeId(0)] },
+        SimDuration::from_secs(2),
+    );
+    s
+}
+
+#[derive(Default)]
+struct Side {
+    retransmissions: u64,
+    ops_completed: u64,
+    ops_submitted: u64,
+    heal_to_progress_ns_max: u64,
+    view_changes_completed: u64,
+    liveness_violations: u64,
+    bytes_sent: u64,
+    failures: u64,
+}
+
+impl Side {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"retransmissions\":{},\"ops_completed\":{},\"ops_submitted\":{},\
+             \"heal_to_progress_ns_max\":{},\"view_changes_completed\":{},\
+             \"liveness_violations\":{},\"bytes_sent\":{},\"failures\":{}}}",
+            self.retransmissions,
+            self.ops_completed,
+            self.ops_submitted,
+            self.heal_to_progress_ns_max,
+            self.view_changes_completed,
+            self.liveness_violations,
+            self.bytes_sent,
+            self.failures,
+        )
+    }
+}
+
+fn run_side(adaptive: bool, schedule: &FaultSchedule) -> Side {
+    let mut side = Side::default();
+    for seed in SEEDS {
+        let mut h = CounterChaosHarness::new(4);
+        h.adaptive = adaptive;
+        let (outcome, verdict) = run_one(&mut h, seed, schedule);
+        let cov = outcome.coverage;
+        side.retransmissions += cov.client_retransmits;
+        side.ops_completed += cov.client_ops_completed;
+        side.ops_submitted += cov.client_ops_submitted;
+        side.heal_to_progress_ns_max = side.heal_to_progress_ns_max.max(cov.heal_to_progress_ns);
+        side.view_changes_completed += cov.view_changes_completed;
+        side.liveness_violations += cov.liveness_violations;
+        side.bytes_sent += outcome.stats.bytes_sent;
+        side.failures += u64::from(verdict.is_err());
+    }
+    side
+}
+
+/// Which side of the tradeoff a scenario exercises — and therefore which
+/// metric adaptive timeouts must improve (or hold) on it.
+enum Claim {
+    /// Spurious-retransmission suppression: fewer retries, fewer bytes.
+    RetransmissionBudget,
+    /// Faster recovery of stranded work after the last fault heals.
+    HealToProgress,
+}
+
+fn scenario(name: &str, schedule: &FaultSchedule, claim: Claim) -> String {
+    let adaptive = run_side(true, schedule);
+    let statict = run_side(false, schedule);
+
+    // Determinism: a second pass over either side must reproduce the
+    // exact same aggregates.
+    assert_eq!(adaptive.to_json(), run_side(true, schedule).to_json(), "{name}: adaptive drifted");
+    assert_eq!(statict.to_json(), run_side(false, schedule).to_json(), "{name}: static drifted");
+
+    // Both sides must stay correct: every submitted op completes, no
+    // liveness bounds tripped, no audit failures.
+    for (label, s) in [("adaptive", &adaptive), ("static", &statict)] {
+        assert_eq!(s.failures, 0, "{name}/{label}: audit failures");
+        assert_eq!(s.liveness_violations, 0, "{name}/{label}: liveness violations");
+        assert_eq!(s.ops_completed, s.ops_submitted, "{name}/{label}: stranded ops");
+    }
+
+    match claim {
+        Claim::RetransmissionBudget => {
+            assert!(
+                adaptive.retransmissions <= statict.retransmissions,
+                "{name}: adaptive retransmitted more ({} > {})",
+                adaptive.retransmissions,
+                statict.retransmissions
+            );
+            assert!(
+                adaptive.bytes_sent <= statict.bytes_sent,
+                "{name}: adaptive sent more bytes ({} > {})",
+                adaptive.bytes_sent,
+                statict.bytes_sent
+            );
+        }
+        Claim::HealToProgress => {
+            assert!(
+                adaptive.heal_to_progress_ns_max <= statict.heal_to_progress_ns_max,
+                "{name}: adaptive healed slower ({} > {})",
+                adaptive.heal_to_progress_ns_max,
+                statict.heal_to_progress_ns_max
+            );
+        }
+    }
+
+    format!(
+        "\"{name}\":{{\"adaptive\":{},\"static\":{}}}",
+        adaptive.to_json(),
+        statict.to_json()
+    )
+}
+
+fn main() {
+    let slow = scenario("slow_net", &slow_net_schedule(), Claim::RetransmissionBudget);
+    let heal = scenario("partition_heal", &partition_schedule(), Claim::HealToProgress);
+    println!(
+        "{{\"bench\":\"ab_adaptive\",\"seeds\":{},{slow},{heal}}}",
+        SEEDS.end - SEEDS.start
+    );
+}

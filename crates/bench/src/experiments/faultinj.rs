@@ -26,7 +26,7 @@ use base_nfs::relay::{RelayActor, ScriptDriver};
 use base_nfs::spec::Oid;
 use base_pbft::chaos::{APP_BYZ, APP_CORRUPT_STATE, APP_RECOVER};
 use base_simnet::chaos::{
-    run_campaign, AppFaultSpec, ChaosHarness, HealSpec, ScheduleGenConfig,
+    run_campaign, AppFaultSpec, ChaosHarness, HealSpec, LivenessBounds, ScheduleGenConfig,
 };
 use base_simnet::{NodeId, SimDuration, Simulation};
 
@@ -166,6 +166,16 @@ impl ChaosHarness for NfsChaosHarness {
 
     fn settle(&self) -> SimDuration {
         SimDuration::from_secs(30)
+    }
+
+    fn liveness_bounds(&self) -> LivenessBounds {
+        // Inside the settle window; roomy enough for a capped view-change
+        // chase plus a hierarchical state transfer of the file store.
+        LivenessBounds {
+            heal_to_progress: Some(SimDuration::from_secs(25)),
+            view_convergence: Some(SimDuration::from_secs(25)),
+            recovery_duration: Some(SimDuration::from_secs(25)),
+        }
     }
 
     fn audit(&mut self, sim: &mut Simulation, trace: &mut Vec<String>) -> Result<(), String> {

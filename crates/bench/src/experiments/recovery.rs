@@ -20,6 +20,11 @@ struct Out {
     mean_recovery_ms: u64,
     max_latency_ms: u64,
     leaked: usize,
+    /// p99 of `client.heal_to_progress_ns`: completion latency of the ops
+    /// that rode out a disruption (reboot window) and needed retries.
+    heal_to_progress_ms: u64,
+    /// `client.retransmissions`: the retry budget the workload consumed.
+    retransmissions: u64,
 }
 
 fn run_once(mode: Option<bool>) -> Out {
@@ -68,6 +73,14 @@ fn run_once(mode: Option<bool>) -> Out {
     let c = sim.actor_as::<BaseClient>(client).unwrap();
     let ops_done = c.completed.len();
     let max_latency_ms = c.core().latencies_ns.iter().copied().max().unwrap_or(0) / 1_000_000;
+    let heal_to_progress_ms = c
+        .core()
+        .metrics
+        .histogram("client.heal_to_progress_ns")
+        .map(|h| h.quantile(0.99))
+        .unwrap_or(0)
+        / 1_000_000;
+    let retransmissions = c.core().metrics.counter("client.retransmissions");
 
     let mut recoveries = 0u64;
     let mut rec_ns = Vec::new();
@@ -85,7 +98,15 @@ fn run_once(mode: Option<bool>) -> Out {
     } else {
         rec_ns.iter().sum::<u64>() / rec_ns.len() as u64 / 1_000_000
     };
-    Out { ops_done, recoveries, mean_recovery_ms, max_latency_ms, leaked }
+    Out {
+        ops_done,
+        recoveries,
+        mean_recovery_ms,
+        max_latency_ms,
+        leaked,
+        heal_to_progress_ms,
+        retransmissions,
+    }
 }
 
 /// Runs E3 and prints the table.
@@ -99,6 +120,8 @@ pub fn run_recovery() {
             "mean recovery (ms)",
             "max op latency (ms)",
             "leaked entries left",
+            "heal-to-progress p99 (ms)",
+            "retransmissions",
         ],
     );
     for (name, mode) in [
@@ -114,6 +137,8 @@ pub fn run_recovery() {
             if o.recoveries > 0 { o.mean_recovery_ms.to_string() } else { "-".into() },
             o.max_latency_ms.to_string(),
             o.leaked.to_string(),
+            if o.retransmissions > 0 { o.heal_to_progress_ms.to_string() } else { "-".into() },
+            o.retransmissions.to_string(),
         ]);
     }
     t.print();

@@ -16,7 +16,8 @@ use base_nfs::spec::Oid;
 use base_simnet::{SimDuration, Simulation};
 
 use crate::setup::{
-    build_replicated_nfs, replica_root, replica_stats, run_relay_to_completion, FsMix,
+    build_replicated_nfs, replica_metrics, replica_root, replica_stats, run_relay_to_completion,
+    FsMix,
 };
 
 const LIVE_FILES: u32 = 256;
@@ -27,6 +28,11 @@ struct Out {
     fetched_bytes: u64,
     meta_queries: u64,
     full_bytes: u64,
+    /// Wall-clock of the catch-up fetch (`transfer.fetch_ns` max), the
+    /// replica-side heal-to-progress latency.
+    fetch_ms: u64,
+    /// Queries the fetcher had to reissue (`transfer.retransmissions`).
+    fetch_retx: u64,
 }
 
 fn run_once(k: u32) -> Out {
@@ -74,6 +80,7 @@ fn run_once(k: u32) -> Out {
 
     // Replica 3 sleeps through phase B.
     let stats_before = replica_stats(&sim, &bed, 3);
+    let metrics_before = replica_metrics(&sim, &bed, 3);
     sim.crash(bed.replicas[3], SimDuration::from_secs(10));
     assert!(
         run_relay_to_completion::<ScriptDriver>(&mut sim, bed.client, SimDuration::from_secs(60)),
@@ -93,11 +100,16 @@ fn run_once(k: u32) -> Out {
     );
     // A flat transfer would move every live object.
     let full_bytes = u64::from(LIVE_FILES) * (FILE_BYTES as u64 + 96) + 2 * 96;
+    let metrics = replica_metrics(&sim, &bed, 3);
     Out {
         fetched_objects: stats.state_transfer_objects - stats_before.state_transfer_objects,
         fetched_bytes: stats.state_transfer_bytes - stats_before.state_transfer_bytes,
         meta_queries: stats.state_transfer_meta_queries - stats_before.state_transfer_meta_queries,
         full_bytes,
+        fetch_ms: metrics.histogram("transfer.fetch_ns").map(|h| h.max()).unwrap_or(0)
+            / 1_000_000,
+        fetch_retx: metrics.counter("transfer.retransmissions")
+            - metrics_before.counter("transfer.retransmissions"),
     }
 }
 
@@ -112,6 +124,8 @@ pub fn run_transfer() {
             "meta queries",
             "flat-transfer bytes (all 256)",
             "saved vs flat",
+            "heal-to-progress (ms)",
+            "fetch retransmissions",
         ],
     );
     for k in [2u32, 8, 32, 128] {
@@ -123,6 +137,8 @@ pub fn run_transfer() {
             o.meta_queries.to_string(),
             o.full_bytes.to_string(),
             pct(1.0 - o.fetched_bytes as f64 / o.full_bytes as f64),
+            o.fetch_ms.to_string(),
+            o.fetch_retx.to_string(),
         ]);
     }
     t.print();

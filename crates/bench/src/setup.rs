@@ -4,7 +4,7 @@ use base::{BaseReplica, BaseService};
 use base_nfs::relay::{DirectActor, DirectServerActor, NfsDriver, RelayActor};
 use base_nfs::{BtreeFs, FlatFs, InodeFs, LogFs, NfsWrapper};
 use base_pbft::{Config, ReplicaStats};
-use base_simnet::{LatencyModel, NodeId, SimDuration, Simulation};
+use base_simnet::{LatencyModel, MetricsRegistry, NodeId, SimDuration, Simulation};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -169,6 +169,19 @@ pub fn replica_stats(sim: &Simulation, bed: &NfsTestbed, i: usize) -> ReplicaSta
         1 => sim.actor_as::<FlatReplica>(node).expect("flat replica").stats.clone(),
         2 => sim.actor_as::<LogReplica>(node).expect("log replica").stats.clone(),
         _ => sim.actor_as::<BtreeReplica>(node).expect("btree replica").stats.clone(),
+    }
+}
+
+/// Snapshot of replica `i`'s metrics registry (`transfer.fetch_ns`,
+/// `transfer.retransmissions`, `replica.agreement_latency_ns`, ...), the
+/// source the benchmark tables draw their liveness columns from.
+pub fn replica_metrics(sim: &Simulation, bed: &NfsTestbed, i: usize) -> MetricsRegistry {
+    let node = bed.replicas[i];
+    match impl_of(bed.mix, i) {
+        0 => sim.actor_as::<InodeReplica>(node).expect("inode replica").metrics().clone(),
+        1 => sim.actor_as::<FlatReplica>(node).expect("flat replica").metrics().clone(),
+        2 => sim.actor_as::<LogReplica>(node).expect("log replica").metrics().clone(),
+        _ => sim.actor_as::<BtreeReplica>(node).expect("btree replica").metrics().clone(),
     }
 }
 

@@ -8,9 +8,9 @@
 use base_bench::experiments::faultinj::NfsChaosHarness;
 use base_bench::repro::write_campaign_artifacts;
 use base_bench::FsMix;
-use base_simnet::chaos::{minimize, run_campaign, run_one, FaultSchedule};
+use base_simnet::chaos::{minimize, run_campaign, run_one, FaultSchedule, NetFault};
 use base_simnet::ddmin::CountingHarness;
-use base_simnet::SimDuration;
+use base_simnet::{NodeId, SimDuration, SimTime};
 
 #[test]
 fn nfs_campaign_passes_auditor() {
@@ -156,4 +156,43 @@ fn heterogeneous_masks_the_deterministic_bug() {
         "one InodeFs replica cannot outvote three clean ones; trace:\n{}",
         outcome.trace.join("\n")
     );
+}
+
+/// A healing partition on the NFS testbed must be followed by bounded
+/// progress: the relay's pending operations complete within the
+/// heal-to-progress bound, and the whole outcome replays byte-identically.
+#[test]
+fn nfs_partition_heal_liveness_is_bounded_and_deterministic() {
+    let mut schedule = FaultSchedule::new();
+    schedule.net(
+        SimTime::from_millis(600),
+        NetFault::Partition { nodes: vec![NodeId(0)] },
+        SimDuration::from_secs(2),
+    );
+
+    let run = |seed: u64| {
+        let mut h = NfsChaosHarness::new(FsMix::Heterogeneous);
+        run_one(&mut h, seed, &schedule)
+    };
+    for seed in [11u64, 12] {
+        let (outcome, verdict) = run(seed);
+        assert!(
+            verdict.is_ok(),
+            "nfs partition heal violated a liveness bound (seed {seed}):\n{}\n{}",
+            verdict.unwrap_err(),
+            outcome.trace.join("\n")
+        );
+        let cov = outcome.coverage;
+        assert!(cov.client_ops_submitted > 0, "no submissions traced:\n{cov}");
+        assert_eq!(
+            cov.client_ops_submitted, cov.client_ops_completed,
+            "every submitted op must complete:\n{cov}"
+        );
+        assert!(cov.heal_to_progress_ns > 0, "no post-heal completion:\n{cov}");
+        assert_eq!(cov.liveness_violations, 0, "{cov}");
+
+        let (again, verdict2) = run(seed);
+        assert_eq!(outcome, again);
+        assert_eq!(verdict.is_ok(), verdict2.is_ok());
+    }
 }

@@ -27,7 +27,7 @@ use crate::config::Config;
 use crate::replica::Replica;
 use crate::testing::{build_counter_group, op_add, op_get, CounterService, TestGroup};
 use crate::ClientActor;
-use base_simnet::chaos::{AppFaultSpec, ChaosHarness, HealSpec, ScheduleGenConfig};
+use base_simnet::chaos::{AppFaultSpec, ChaosHarness, HealSpec, LivenessBounds, ScheduleGenConfig};
 use base_simnet::{NodeId, SimDuration, Simulation};
 use std::collections::{HashMap, HashSet};
 
@@ -64,6 +64,13 @@ pub struct CounterChaosHarness {
     /// without a quorum) on every client, so tests can demonstrate the
     /// auditor catching a reply-certificate violation.
     pub inject_client_bug: bool,
+    /// Enables the deliberate client liveness bug (never retransmit after
+    /// a reply timeout) on every client, so tests can demonstrate the
+    /// heal-to-progress auditor catching a stalled operation.
+    pub inject_stall_bug: bool,
+    /// Whether the group runs with adaptive (RTT-driven) timeouts; turning
+    /// this off pins the static timeout/backoff paths for A/B comparisons.
+    pub adaptive: bool,
     /// Gap between a client's submissions, so the workload stretches
     /// across the fault schedule instead of finishing before the first
     /// event fires.
@@ -86,6 +93,8 @@ impl CounterChaosHarness {
             clients: 3,
             ops_per_client: 13,
             inject_client_bug: false,
+            inject_stall_bug: false,
+            adaptive: true,
             pace: SimDuration::from_millis(250),
             settle: SimDuration::from_secs(30),
             group: None,
@@ -103,6 +112,7 @@ impl CounterChaosHarness {
         cfg.checkpoint_interval = 4;
         cfg.log_window = 32;
         cfg.reboot_time = SimDuration::from_millis(100);
+        cfg.adaptive_timeouts = self.adaptive;
         cfg
     }
 
@@ -379,6 +389,7 @@ impl ChaosHarness for CounterChaosHarness {
             let client_id = (self.n + i) as u32;
             let actor = sim.actor_as_mut::<ClientActor>(c).expect("client actor");
             actor.core_mut().bug_accept_first_reply = self.inject_client_bug;
+            actor.core_mut().bug_never_retransmit = self.inject_stall_bug;
             actor.set_pace(self.pace);
             for j in 0..self.ops_per_client {
                 // Timestamps are assigned in submission order, starting at 1.
@@ -436,6 +447,16 @@ impl ChaosHarness for CounterChaosHarness {
 
     fn settle(&self) -> SimDuration {
         self.settle
+    }
+
+    fn liveness_bounds(&self) -> LivenessBounds {
+        // Well inside the settle window, but generous enough for the
+        // worst capped view-change chase plus a full state transfer.
+        LivenessBounds {
+            heal_to_progress: Some(SimDuration::from_secs(25)),
+            view_convergence: Some(SimDuration::from_secs(25)),
+            recovery_duration: Some(SimDuration::from_secs(25)),
+        }
     }
 
     fn audit(&mut self, sim: &mut Simulation, trace: &mut Vec<String>) -> Result<(), String> {

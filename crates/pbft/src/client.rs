@@ -5,7 +5,10 @@ use crate::config::Config;
 use crate::cost::CostModel;
 use crate::messages::{Message, ReplyMsg, RequestMsg};
 use base_crypto::{Authenticator, NodeKeys};
-use base_simnet::{Actor, Context, MetricsRegistry, NodeId, Payload, ProtocolEvent, SimDuration, TimerId};
+use base_simnet::{
+    Actor, Context, MetricsRegistry, NodeId, Payload, ProtocolEvent, RttEstimator, SimDuration,
+    TimerId,
+};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Timer token used by the embedded client core (high bit set so embedding
@@ -68,6 +71,12 @@ pub struct ClientCore {
     /// result — and exists so chaos-campaign auditors can demonstrate they
     /// catch reply-certificate violations. Never enable outside tests.
     pub bug_accept_first_reply: bool,
+    /// **Fault injection (tests only):** swallow the retransmission timer.
+    /// A request lost to a partition is then never retried — a liveness
+    /// (not safety) bug, seeded so the chaos engine's heal-to-progress
+    /// auditor can demonstrate it catches stalls. Never enable outside
+    /// tests.
+    pub bug_never_retransmit: bool,
     /// When false, a completed operation does not immediately pump the next
     /// queued one; the embedding actor paces submissions itself (see
     /// [`ClientActor::set_pace`]).
@@ -75,6 +84,15 @@ pub struct ClientCore {
     /// Client-side metrics (request latency, retransmissions, quorum
     /// degradations).
     pub metrics: MetricsRegistry,
+    /// Adaptive retransmission timeout, fed by completed-operation
+    /// latencies. Only consulted when `cfg.adaptive_timeouts` is set.
+    rtt: RttEstimator,
+    /// Persistent RTO backoff exponent (RFC 6298 §5.5-5.7): Karn's
+    /// algorithm discards retransmitted samples, so when *every* exchange
+    /// is retransmitted the estimator alone could never adapt upward.
+    /// Each timeout doubles the effective RTO for subsequent sends; the
+    /// next clean (unretransmitted) completion resets it.
+    rto_shift: u32,
 }
 
 impl ClientCore {
@@ -83,6 +101,14 @@ impl ClientCore {
     pub fn new(cfg: Config, keys: NodeKeys) -> Self {
         let id = keys.id() as u32;
         assert!(id as usize >= cfg.n, "client ids start after replica ids");
+        // Seed the jitter stream per client so concurrent retries
+        // de-synchronize without consuming simulator RNG.
+        let rtt = RttEstimator::new(
+            0x9e37_79b9_7f4a_7c15 ^ u64::from(id),
+            cfg.rto_floor.as_nanos(),
+            cfg.rto_ceiling.as_nanos(),
+            cfg.client_timeout.as_nanos(),
+        );
         Self {
             cfg,
             keys,
@@ -96,14 +122,23 @@ impl ClientCore {
             retransmissions: 0,
             ro_degradations: 0,
             bug_accept_first_reply: false,
+            bug_never_retransmit: false,
+            rto_shift: 0,
             auto_pump: true,
             metrics: MetricsRegistry::new(),
+            rtt,
         }
     }
 
     /// Overrides the CPU cost model (ablations).
     pub fn set_cost_model(&mut self, cost: CostModel) {
         self.cost = cost;
+    }
+
+    /// The current adaptive retransmission timeout (the static
+    /// `client_timeout` until the first completion seeds the estimator).
+    pub fn current_rto(&self) -> SimDuration {
+        SimDuration::from_nanos(self.rtt.rto())
     }
 
     /// Queues an operation. Call [`ClientCore::pump`] afterwards (with a
@@ -138,7 +173,17 @@ impl ClientCore {
             let primary = self.cfg.primary_of(self.view_guess);
             ctx.send(NodeId(primary), Message::Request(req).to_wire());
         }
-        let timer = ctx.set_timer(self.cfg.client_timeout, TOKEN_CLIENT_RETRANS);
+        ctx.emit(self.view_guess, ts, ProtocolEvent::ClientOpSubmitted);
+        let timeout = if self.cfg.adaptive_timeouts {
+            // Jacobson/Karels RTO (equal to `client_timeout` until the
+            // first clean completion seeds the estimator), doubled once
+            // per unresolved timeout so a chronically underestimated RTO
+            // still adapts upward despite Karn discarding its samples.
+            SimDuration::from_nanos(self.rtt.backoff(self.rto_shift))
+        } else {
+            self.cfg.client_timeout
+        };
+        let timer = ctx.set_timer(timeout, TOKEN_CLIENT_RETRANS);
         self.pending = Some(Pending {
             ts,
             op,
@@ -247,6 +292,21 @@ impl ClientCore {
         let latency = ctx.now().as_nanos().saturating_sub(done.submitted_at_ns);
         self.latencies_ns.push(latency);
         self.metrics.observe("client.request_latency_ns", latency);
+        if done.attempts == 0 {
+            // Karn's algorithm: an operation that needed retransmission is
+            // an ambiguous sample — its latency includes the backoff waits
+            // and whatever fault it rode out, which would inflate the RTO
+            // and suppress the very retransmissions that drive recovery.
+            self.rtt.observe(latency);
+            self.rto_shift = 0;
+        }
+        if done.attempts > 0 {
+            // An op that needed retransmission was pending across some
+            // disruption; its total latency is the client-visible
+            // heal-to-progress cost.
+            self.metrics.observe("client.heal_to_progress_ns", latency);
+        }
+        ctx.emit(self.view_guess, done.ts, ProtocolEvent::ClientOpCompleted);
         if self.auto_pump {
             self.pump(ctx);
         }
@@ -258,6 +318,14 @@ impl ClientCore {
     pub fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) -> bool {
         if token != TOKEN_CLIENT_RETRANS {
             return false;
+        }
+        if self.bug_never_retransmit {
+            // Seeded liveness bug: drop the timer on the floor. The op
+            // stays pending forever if its request was lost.
+            if let Some(p) = self.pending.as_mut() {
+                p.timer = None;
+            }
+            return true;
         }
         let Some(pending) = self.pending.as_mut() else { return true };
         pending.attempts += 1;
@@ -293,15 +361,21 @@ impl ClientCore {
         // Exponential backoff with jitter: up to a quarter of the base
         // backoff of extra delay, so the retry storms of many clients
         // recovering from one partition do not synchronize.
-        let backoff = self
-            .cfg
-            .client_timeout
-            .saturating_mul(1 << (self.pending.as_ref().map(|p| p.attempts).unwrap_or(1)).min(6));
-        let jitter = SimDuration::from_nanos(rand::Rng::gen_range(
-            ctx.rng(),
-            0..=backoff.as_nanos() / 4,
-        ));
-        let timer = ctx.set_timer(backoff + jitter, TOKEN_CLIENT_RETRANS);
+        let attempts = self.pending.as_ref().map(|p| p.attempts).unwrap_or(1);
+        let delay = if self.cfg.adaptive_timeouts {
+            self.rto_shift = (self.rto_shift + 1).min(6);
+            // RTO-based backoff with seeded jitter: deterministic, and no
+            // simulator RNG is consumed on the retry path.
+            SimDuration::from_nanos(self.rtt.jittered_backoff(attempts, ts))
+        } else {
+            let backoff = self.cfg.client_timeout.saturating_mul(1 << attempts.min(6));
+            let jitter = SimDuration::from_nanos(rand::Rng::gen_range(
+                ctx.rng(),
+                0..=backoff.as_nanos() / 4,
+            ));
+            backoff + jitter
+        };
+        let timer = ctx.set_timer(delay, TOKEN_CLIENT_RETRANS);
         if let Some(p) = self.pending.as_mut() {
             p.timer = Some(timer);
         }

@@ -19,10 +19,29 @@ pub struct Config {
     /// beyond it accumulate and get batched (the BFT library's behaviour:
     /// batch whatever arrives while earlier batches are in the pipeline).
     pub max_inflight: u64,
-    /// Base view-change timeout; doubles for each consecutive failed view.
+    /// Base view-change timeout; doubles for each consecutive failed view
+    /// (clamped to [`view_change_timeout_cap`](Self::view_change_timeout_cap)).
+    /// With [`adaptive_timeouts`](Self::adaptive_timeouts) the base is
+    /// re-seeded from observed agreement latency once samples exist.
     pub view_change_timeout: SimDuration,
-    /// Client retransmission timeout.
+    /// Ceiling for the doubling view-change timeout: however many
+    /// consecutive views fail, the timer never exceeds this.
+    pub view_change_timeout_cap: SimDuration,
+    /// Client retransmission timeout. With adaptive timeouts this is only
+    /// the pre-sample initial RTO; afterwards the Jacobson/Karels estimator
+    /// drives the timer.
     pub client_timeout: SimDuration,
+    /// When true (the default), retry timers derive from observed
+    /// round-trip latency (`base_simnet::RttEstimator`) and the
+    /// state-transfer fetch window adapts to reply latency and
+    /// retransmission rate. When false, every timer is the static
+    /// configured constant — the pre-adaptive behaviour, kept for A/B runs.
+    pub adaptive_timeouts: bool,
+    /// Lower clamp for adaptive retransmission timeouts.
+    pub rto_floor: SimDuration,
+    /// Upper clamp for adaptive retransmission timeouts (and their
+    /// exponential backoff).
+    pub rto_ceiling: SimDuration,
     /// Periodic retransmission/housekeeping tick at replicas.
     pub tick_interval: SimDuration,
     /// Proactive recovery: full rotation period (every replica recovers
@@ -34,8 +53,12 @@ pub struct Config {
     /// non-determinism.
     pub nondet_skew_tolerance: SimDuration,
     /// State-transfer pipelining: maximum concurrently outstanding
-    /// meta/object fetch queries (1 = strictly serial tree walk).
+    /// meta/object fetch queries (1 = strictly serial tree walk). With
+    /// adaptive timeouts this is the *initial* window; it grows on timely
+    /// verified replies and halves on retransmission.
     pub fetch_window: usize,
+    /// Upper bound for the adaptive fetch window.
+    pub fetch_window_max: usize,
 }
 
 impl Config {
@@ -54,12 +77,17 @@ impl Config {
             batch_max: 16,
             max_inflight: 16,
             view_change_timeout: SimDuration::from_millis(500),
+            view_change_timeout_cap: SimDuration::from_secs(8),
             client_timeout: SimDuration::from_millis(300),
+            adaptive_timeouts: true,
+            rto_floor: SimDuration::from_millis(150),
+            rto_ceiling: SimDuration::from_secs(4),
             tick_interval: SimDuration::from_millis(100),
             recovery_period: None,
             reboot_time: SimDuration::from_secs(30),
             nondet_skew_tolerance: SimDuration::from_secs(10),
             fetch_window: crate::transfer::DEFAULT_FETCH_WINDOW,
+            fetch_window_max: 16,
         }
     }
 
@@ -103,6 +131,19 @@ impl Config {
     pub fn high_watermark(&self, h: u64) -> u64 {
         h + self.log_window
     }
+
+    /// Next view-change timeout during an escalating chase: double the
+    /// current value with saturating arithmetic, clamp to
+    /// [`view_change_timeout_cap`](Self::view_change_timeout_cap), and
+    /// never fall below [`view_change_timeout`](Self::view_change_timeout).
+    /// A long primary-chasing storm must neither overflow the timer nor
+    /// push it so far out the group effectively stops trying new views.
+    pub fn escalated_vc_timeout(&self, current: SimDuration) -> SimDuration {
+        current
+            .saturating_mul(2)
+            .min(self.view_change_timeout_cap)
+            .max(self.view_change_timeout)
+    }
 }
 
 #[cfg(test)]
@@ -138,5 +179,34 @@ mod tests {
     #[should_panic(expected = "n >= 3f + 1")]
     fn too_few_replicas_panics() {
         Config::new(3);
+    }
+
+    #[test]
+    fn vc_escalation_doubles_saturates_and_caps() {
+        let mut cfg = Config::new(4);
+        cfg.view_change_timeout = SimDuration::from_millis(500);
+        cfg.view_change_timeout_cap = SimDuration::from_secs(8);
+
+        // Normal doubling from the base.
+        let mut t = cfg.view_change_timeout;
+        for expect_ms in [1000, 2000, 4000, 8000] {
+            t = cfg.escalated_vc_timeout(t);
+            assert_eq!(t, SimDuration::from_millis(expect_ms));
+        }
+        // Pinned at the cap, however long the storm runs.
+        for _ in 0..100 {
+            t = cfg.escalated_vc_timeout(t);
+            assert_eq!(t, cfg.view_change_timeout_cap);
+        }
+
+        // An adaptive base below the configured floor is pulled back up.
+        let fast = cfg.escalated_vc_timeout(SimDuration::from_millis(100));
+        assert_eq!(fast, cfg.view_change_timeout);
+
+        // Saturating arithmetic: near-overflow current values clamp to the
+        // cap instead of wrapping around to a tiny timeout.
+        cfg.view_change_timeout_cap = SimDuration::from_nanos(u64::MAX);
+        let huge = cfg.escalated_vc_timeout(SimDuration::from_nanos(u64::MAX - 1));
+        assert_eq!(huge, SimDuration::from_nanos(u64::MAX));
     }
 }

@@ -18,7 +18,10 @@ use crate::messages::{
 use crate::service::{ExecEnv, Service};
 use crate::transfer::{checkpoint_digest, FetchResult, Fetcher, META_ROOT_LEVEL, REPLIES_INDEX};
 use base_crypto::{Authenticator, Digest, NodeKeys};
-use base_simnet::{Actor, Context, MetricsRegistry, NodeId, Payload, ProtocolEvent, SimDuration, TimerId};
+use base_simnet::{
+    Actor, Context, MetricsRegistry, NodeId, Payload, ProtocolEvent, RttEstimator, SimDuration,
+    TimerId,
+};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// Timer tokens.
@@ -92,10 +95,21 @@ pub struct Replica<S: Service> {
     pending_digests: HashSet<Digest>,
     /// Backup: forwarded requests awaiting execution (liveness timer).
     awaiting: HashSet<(u32, u64)>,
+    /// When each logged sequence number's pre-prepare was first accepted
+    /// (ns): execution removes the entry and feeds the agreement-latency
+    /// estimator with the full three-phase round duration.
+    slot_arrival: HashMap<u64, u64>,
 
     vc_collect: BTreeMap<u64, HashMap<u32, ViewChangeMsg>>,
     vc_timer: Option<TimerId>,
     vc_timeout: SimDuration,
+    /// Observed pre-prepare-to-execution latency (the three-phase
+    /// agreement round); re-seeds the view-change base timeout when
+    /// adaptive timeouts are on, so a fast group chases a silent primary
+    /// sooner and a slow one stops churning views it cannot finish.
+    agree_rtt: RttEstimator,
+    /// When the current state-transfer fetch began (`transfer.fetch_ns`).
+    fetch_started_at_ns: u64,
     last_new_view: u64,
     /// Last own view-change message (retransmitted on ticks).
     own_vc: Option<ViewChangeMsg>,
@@ -134,6 +148,12 @@ impl<S: Service> Replica<S> {
         let id = keys.id() as u32;
         assert!((id as usize) < cfg.n, "replica id must be < n");
         let vc_timeout = cfg.view_change_timeout;
+        let agree_rtt = RttEstimator::new(
+            0x517c_a11e_0000_0000 ^ u64::from(id),
+            cfg.rto_floor.as_nanos(),
+            cfg.rto_ceiling.as_nanos(),
+            cfg.view_change_timeout.as_nanos(),
+        );
         Self {
             cfg,
             cost: CostModel::default(),
@@ -154,9 +174,12 @@ impl<S: Service> Replica<S> {
             pending: VecDeque::new(),
             pending_digests: HashSet::new(),
             awaiting: HashSet::new(),
+            slot_arrival: HashMap::new(),
             vc_collect: BTreeMap::new(),
             vc_timer: None,
             vc_timeout,
+            agree_rtt,
+            fetch_started_at_ns: 0,
             last_new_view: 0,
             own_vc: None,
             last_nv_msg: None,
@@ -176,6 +199,24 @@ impl<S: Service> Replica<S> {
     /// The replica's metrics registry.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The current view-change timeout (exposed so tests can assert the
+    /// doubling is capped).
+    pub fn vc_timeout(&self) -> SimDuration {
+        self.vc_timeout
+    }
+
+    /// Base view-change timeout for a freshly installed view: the static
+    /// configured value, or — once adaptive and seeded — the RTO of the
+    /// observed agreement latency, so a fast group chases a silent primary
+    /// sooner and a slow one stops churning views it cannot finish.
+    fn base_vc_timeout(&self) -> SimDuration {
+        if self.cfg.adaptive_timeouts && self.agree_rtt.samples() > 0 {
+            SimDuration::from_nanos(self.agree_rtt.rto())
+        } else {
+            self.cfg.view_change_timeout
+        }
     }
 
     /// Configures Byzantine behaviour (fault injection).
@@ -358,8 +399,22 @@ impl<S: Service> Replica<S> {
             let primary = self.cfg.primary_of(self.view);
             let key = (req.client(), req.timestamp());
             let is_new = self.awaiting.insert(key);
-            self.send(ctx, NodeId(primary), &Message::Request(req));
+            if primary == self.id as usize {
+                // Primary-elect mid view change: forwarding would loop the
+                // request back to ourselves forever. Hold it instead —
+                // install_new_view runs try_propose, which drains it.
+                let d = req.digest();
+                if self.pending_digests.insert(d) {
+                    self.pending.push_back(req);
+                }
+            } else {
+                self.send(ctx, NodeId(primary), &Message::Request(req));
+            }
             if is_new && self.vc_timer.is_none() && !self.in_view_change {
+                // Fresh arm (no escalation in progress): start from the
+                // adaptive base so the timeout tracks observed agreement
+                // speed rather than the static configured value.
+                self.vc_timeout = self.base_vc_timeout();
                 self.vc_timer = Some(ctx.set_timer(self.vc_timeout, TOKEN_VIEW_CHANGE));
             }
         }
@@ -468,6 +523,7 @@ impl<S: Service> Replica<S> {
                 self.multicast(ctx, &Message::PrePrepare(pp.clone()));
             }
             self.log.entry_mut(seq).pre_prepare = Some(pp);
+            self.slot_arrival.insert(seq, ctx.now().as_nanos());
             self.maybe_prepared(seq, ctx);
         }
     }
@@ -552,6 +608,7 @@ impl<S: Service> Replica<S> {
             }
         }
         entry.pre_prepare = Some(pp.clone());
+        self.slot_arrival.insert(pp.seq, ctx.now().as_nanos());
         if !endorse {
             // Logged but not endorsed: wait for a quorum's commits.
             self.maybe_committed(pp.seq, ctx);
@@ -705,6 +762,9 @@ impl<S: Service> Replica<S> {
             }
             self.awaiting.retain(|(c, ts)| self.reply_cache.is_new(*c, *ts));
             if !self.awaiting.is_empty() {
+                // Progress was made, so the escalation (if any) is over:
+                // restart the timer from the adaptive base.
+                self.vc_timeout = self.base_vc_timeout();
                 self.vc_timer = Some(ctx.set_timer(self.vc_timeout, TOKEN_VIEW_CHANGE));
             }
         }
@@ -712,6 +772,14 @@ impl<S: Service> Replica<S> {
 
     fn execute_batch(&mut self, pp: &PrePrepareMsg, ctx: &mut Context<'_>) {
         ctx.emit(pp.view, pp.seq, ProtocolEvent::RequestExecuted { batch: pp.requests().len() as u64 });
+        if let Some(arrived) = self.slot_arrival.remove(&pp.seq) {
+            // Pre-prepare-to-execution: the three-phase agreement round as
+            // this replica saw it. Slots re-proposed across a view change
+            // were dropped from the map (Karn: ambiguous samples).
+            let lat = ctx.now().as_nanos().saturating_sub(arrived);
+            self.agree_rtt.observe(lat);
+            self.metrics.observe("replica.agreement_latency_ns", lat);
+        }
         self.metrics.observe("replica.batch_occupancy", pp.requests().len() as u64);
         for req in pp.requests() {
             if !self.reply_cache.is_new(req.client(), req.timestamp()) {
@@ -811,6 +879,7 @@ impl<S: Service> Replica<S> {
         self.metrics.inc("replica.stable_checkpoints");
         ctx.emit(self.view, seq, ProtocolEvent::CheckpointStable);
         self.log.gc_up_to(seq);
+        self.slot_arrival.retain(|s, _| *s > seq);
         self.ckpt_collector.gc_up_to(seq);
         // Keep the stable checkpoint itself; discard older ones.
         self.ckpt_meta = self.ckpt_meta.split_off(&seq);
@@ -839,12 +908,23 @@ impl<S: Service> Replica<S> {
             let charged = env.charged();
             ctx.charge(charged);
         }
-        let mut fetcher =
-            Fetcher::with_window(self.id, self.cfg.n, seq, digest, self.cfg.fetch_window);
+        let mut fetcher = if self.cfg.adaptive_timeouts {
+            Fetcher::adaptive(
+                self.id,
+                self.cfg.n,
+                seq,
+                digest,
+                self.cfg.fetch_window,
+                self.cfg.fetch_window_max,
+            )
+        } else {
+            Fetcher::with_window(self.id, self.cfg.n, seq, digest, self.cfg.fetch_window)
+        };
         for (to, msg) in fetcher.begin() {
             self.send(ctx, NodeId(to as usize), &msg);
         }
         self.fetcher = Some(fetcher);
+        self.fetch_started_at_ns = ctx.now().as_nanos();
         ctx.emit(self.view, seq, ProtocolEvent::StateTransferFetchStarted);
         self.metrics.inc("transfer.fetches_started");
     }
@@ -865,6 +945,13 @@ impl<S: Service> Replica<S> {
         self.metrics.add("transfer.meta_queries", result.meta_queries);
         self.metrics.add("transfer.corrupt_replies", result.corrupt_replies);
         self.metrics.add("transfer.retransmissions", result.retransmissions);
+        self.metrics.observe("transfer.peak_window", result.peak_window as u64);
+        // Wall-clock from fetch start to installation: the transfer's
+        // contribution to heal-to-progress latency.
+        self.metrics.observe(
+            "transfer.fetch_ns",
+            ctx.now().as_nanos().saturating_sub(self.fetch_started_at_ns),
+        );
 
         // Install the reply cache and the service objects.
         if let Some(cache) = ReplyCache::from_blob(&result.replies_blob) {
@@ -1040,6 +1127,7 @@ impl<S: Service> Replica<S> {
             self.stable_seq = seq;
             self.stable_cert = m.msgs;
             self.log.gc_up_to(seq);
+            self.slot_arrival.retain(|s, _| *s > seq);
             self.service.discard_checkpoints_below(seq);
         }
         if seq > self.last_exec || (self.recovering && seq > 0) {
@@ -1110,7 +1198,7 @@ impl<S: Service> Replica<S> {
         if let Some(t) = self.vc_timer.take() {
             ctx.cancel_timer(t);
         }
-        self.vc_timeout = self.vc_timeout + self.vc_timeout; // Double.
+        self.vc_timeout = self.cfg.escalated_vc_timeout(self.vc_timeout);
         self.vc_timer = Some(ctx.set_timer(self.vc_timeout, TOKEN_VIEW_CHANGE));
 
         self.maybe_new_view(ctx);
@@ -1293,7 +1381,10 @@ impl<S: Service> Replica<S> {
         ctx.emit(nv.view, self.stable_seq, ProtocolEvent::ViewChangeCompleted);
         self.own_vc = None;
         self.last_nv_msg = Some(nv.clone());
-        self.vc_timeout = self.cfg.view_change_timeout;
+        // Slots carried across the view change would sample the view
+        // change itself, not an agreement round: drop them (Karn).
+        self.slot_arrival.clear();
+        self.vc_timeout = self.base_vc_timeout();
         if let Some(t) = self.vc_timer.take() {
             ctx.cancel_timer(t);
         }

@@ -29,6 +29,7 @@
 use crate::messages::{FetchMetaMsg, FetchObjectMsg, Message, MetaReplyMsg, ObjectReplyMsg};
 use crate::tree::PartitionTree;
 use base_crypto::Digest;
+use base_simnet::RttEstimator;
 use std::collections::{HashMap, VecDeque};
 
 /// Default window of concurrently outstanding fetch queries.
@@ -74,6 +75,9 @@ pub struct FetchResult {
     pub corrupt_replies: u64,
     /// Queries retransmitted (timeouts plus corrupt replies).
     pub retransmissions: u64,
+    /// Largest pipelining window the fetch reached (equals the configured
+    /// window for non-adaptive fetchers).
+    pub peak_window: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,6 +95,9 @@ struct Outstanding {
     /// Tick count at which this query becomes eligible for retransmission
     /// (exponential backoff with deterministic jitter).
     next_retry: u64,
+    /// Tick count at which the query was last put on the wire; verified
+    /// replies feed `ticks - sent_at` to the reply-latency estimator.
+    sent_at: u64,
 }
 
 /// Retransmission backoff cap, in ticks.
@@ -112,6 +119,16 @@ pub struct Fetcher {
     pending: VecDeque<(FetchKey, Digest)>,
     /// Maximum number of concurrently outstanding queries.
     window: usize,
+    /// AIMD adaptation: grow the window on timely verified replies, halve
+    /// it on retransmission. Off for the pinned-window constructors.
+    adaptive: bool,
+    /// Upper bound for adaptive window growth.
+    window_max: usize,
+    /// Largest window reached over the fetch's lifetime.
+    peak_window: usize,
+    /// Reply latency in ticks; its RTO is the adaptive retry backoff base
+    /// and the timeliness threshold for window growth.
+    rtt: RttEstimator,
     /// Objects collected so far.
     objects: Vec<(u64, Option<Vec<u8>>)>,
     /// Round-robin cursor over source replicas.
@@ -138,6 +155,7 @@ impl Fetcher {
     /// Creates a fetcher with an explicit pipelining window (clamped to a
     /// minimum of 1). `window = 1` walks the tree strictly serially.
     pub fn with_window(me: u32, n: usize, seq: u64, target: Digest, window: usize) -> Self {
+        let window = window.max(1);
         Self {
             me,
             n,
@@ -148,7 +166,11 @@ impl Fetcher {
             replies_blob: None,
             outstanding: HashMap::new(),
             pending: VecDeque::new(),
-            window: window.max(1),
+            window,
+            adaptive: false,
+            window_max: window,
+            peak_window: window,
+            rtt: RttEstimator::new(seq ^ u64::from(me), 1, MAX_BACKOFF_TICKS, 1),
             objects: Vec::new(),
             cursor: (me as usize + 1) % n,
             ticks: 0,
@@ -158,6 +180,31 @@ impl Fetcher {
             meta_queries: 0,
             done: false,
         }
+    }
+
+    /// Creates a fetcher whose window adapts between `window` and
+    /// `window_max` — additive increase on timely verified replies,
+    /// halving on retransmission — and whose per-query retry backoff
+    /// derives from the observed reply latency instead of a fixed
+    /// schedule. Scheduling-only: the set of fetched objects and issued
+    /// queries is identical to a pinned-window fetch absent loss.
+    pub fn adaptive(
+        me: u32,
+        n: usize,
+        seq: u64,
+        target: Digest,
+        window: usize,
+        window_max: usize,
+    ) -> Self {
+        let mut f = Self::with_window(me, n, seq, target, window);
+        f.adaptive = true;
+        f.window_max = window_max.max(f.window);
+        f
+    }
+
+    /// The current pipelining window.
+    pub fn window(&self) -> usize {
+        self.window
     }
 
     /// The checkpoint this fetch targets.
@@ -235,10 +282,31 @@ impl Fetcher {
     }
 
     /// Exponential backoff (in ticks) for the next retry of `key`, plus
-    /// jitter of up to half the backoff.
+    /// jitter of up to half the backoff. Adaptive fetchers scale from the
+    /// observed reply-latency RTO instead of a fixed one-tick base.
     fn backoff_ticks(&self, key: FetchKey, attempts: u32) -> u64 {
-        let base = (1u64 << attempts.min(5)).min(MAX_BACKOFF_TICKS);
+        let base = if self.adaptive {
+            self.rtt.backoff(attempts)
+        } else {
+            (1u64 << attempts.min(5)).min(MAX_BACKOFF_TICKS)
+        };
         base + self.jitter(key, attempts, base / 2)
+    }
+
+    /// Removes a verified outstanding query, feeding its reply latency to
+    /// the estimator and growing the window when the reply was timely.
+    /// Returns false when the query was not outstanding (stale reply).
+    fn consume(&mut self, key: FetchKey) -> bool {
+        let Some(o) = self.outstanding.remove(&key) else { return false };
+        if self.adaptive {
+            let lat = self.ticks.saturating_sub(o.sent_at);
+            self.rtt.observe(lat);
+            if lat <= self.rtt.rto() && self.window < self.window_max {
+                self.window += 1;
+                self.peak_window = self.peak_window.max(self.window);
+            }
+        }
+        true
     }
 
     /// Queues a newly discovered query. It is sent immediately if the
@@ -258,7 +326,8 @@ impl Fetcher {
             }
             let msg = self.request_for(key);
             let next_retry = self.ticks + self.backoff_ticks(key, 0);
-            self.outstanding.insert(key, Outstanding { expected, attempts: 0, next_retry });
+            self.outstanding
+                .insert(key, Outstanding { expected, attempts: 0, next_retry, sent_at: self.ticks });
             let src = self.next_source();
             out.push((src, msg));
         }
@@ -275,8 +344,14 @@ impl Fetcher {
         let next_retry = self.ticks + self.backoff_ticks(key, attempts);
         if let Some(o) = self.outstanding.get_mut(&key) {
             o.next_retry = next_retry;
+            o.sent_at = self.ticks;
         }
         self.retransmissions += 1;
+        if self.adaptive {
+            // Multiplicative decrease: a lost or corrupt reply means the
+            // sources (or the path) are struggling — back the window off.
+            self.window = (self.window / 2).max(1);
+        }
         Some((self.next_source(), self.request_for(key)))
     }
 
@@ -334,7 +409,7 @@ impl Fetcher {
                 let out = self.reissue(FetchKey::Root).into_iter().collect();
                 return (out, None);
             }
-            if self.outstanding.remove(&FetchKey::Root).is_none() {
+            if !self.consume(FetchKey::Root) {
                 return (Vec::new(), None);
             }
             let service_root = m.digests[0];
@@ -376,7 +451,7 @@ impl Fetcher {
             let out = self.reissue(key).into_iter().collect();
             return (out, None);
         }
-        self.outstanding.remove(&key);
+        self.consume(key);
 
         let b = local.branching() as u64;
         let local_children = local
@@ -435,7 +510,7 @@ impl Fetcher {
                 let out = self.reissue(FetchKey::Replies).into_iter().collect();
                 return (out, None);
             }
-            if self.outstanding.remove(&FetchKey::Replies).is_some() {
+            if self.consume(FetchKey::Replies) {
                 self.fetched_bytes += m.data.len() as u64;
                 self.replies_blob = Some(m.data.clone());
             }
@@ -454,7 +529,7 @@ impl Fetcher {
             let out = self.reissue(key).into_iter().collect();
             return (out, None);
         }
-        self.outstanding.remove(&key);
+        self.consume(key);
         self.fetched_bytes += m.data.len() as u64;
         self.objects.push((m.index, Some(m.data.clone())));
         let mut out = Vec::new();
@@ -481,6 +556,7 @@ impl Fetcher {
             meta_queries: self.meta_queries,
             corrupt_replies: self.corrupt_replies,
             retransmissions: self.retransmissions,
+            peak_window: self.peak_window,
         })
     }
 }

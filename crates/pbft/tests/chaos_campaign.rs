@@ -253,3 +253,107 @@ fn pbft_chaos_runs_are_deterministic() {
     assert_eq!(a.stats, b.stats, "same seed + schedule must produce identical NetStats");
     assert_eq!(va, vb);
 }
+
+/// A partition that heals must be followed by every client's pending work
+/// completing within the heal-to-progress bound — and the whole run
+/// (coverage counters included) must be byte-identical when replayed.
+#[test]
+fn partition_heal_liveness_is_bounded_and_deterministic() {
+    let mut schedule = FaultSchedule::new();
+    schedule.net(
+        SimTime::from_millis(500),
+        NetFault::Partition { nodes: vec![NodeId(0)] },
+        SimDuration::from_secs(2),
+    );
+
+    let run = |seed: u64| {
+        let mut h = CounterChaosHarness::new(4);
+        run_one(&mut h, seed, &schedule)
+    };
+    for seed in 0..4u64 {
+        let (outcome, verdict) = run(seed);
+        assert!(
+            verdict.is_ok(),
+            "partition heal violated a liveness bound (seed {seed}):\n{}\n{}",
+            verdict.unwrap_err(),
+            outcome.trace.join("\n")
+        );
+        let cov = outcome.coverage;
+        assert!(cov.client_ops_submitted > 0, "no submissions traced:\n{cov}");
+        assert_eq!(
+            cov.client_ops_submitted, cov.client_ops_completed,
+            "every submitted op must complete:\n{cov}"
+        );
+        assert!(
+            cov.heal_to_progress_ns > 0,
+            "some op must have completed after the heal:\n{cov}"
+        );
+        assert_eq!(cov.liveness_violations, 0, "{cov}");
+
+        // Byte-identical replay: trace, stats, coverage.
+        let (again, verdict2) = run(seed);
+        assert_eq!(outcome, again);
+        assert_eq!(verdict.is_ok(), verdict2.is_ok());
+    }
+}
+
+/// The seeded stall bug — a client that never retransmits — is caught by
+/// the heal-to-progress auditor and shrinks to the single partition that
+/// loses the request, with the decoys stripped.
+#[test]
+fn stall_bug_is_caught_by_heal_to_progress_and_minimized() {
+    let mut h = CounterChaosHarness::new(4);
+    h.inject_stall_bug = true;
+
+    // The trigger (a healing partition swallowing an in-flight request) is
+    // buried among harmless decoys.
+    let mut schedule = FaultSchedule::new();
+    schedule
+        .net(
+            SimTime::from_millis(100),
+            NetFault::Duplicate { prob: 0.2 },
+            SimDuration::from_secs(2),
+        )
+        .net(
+            SimTime::from_millis(500),
+            NetFault::Partition { nodes: vec![NodeId(0)] },
+            SimDuration::from_secs(2),
+        )
+        .net(
+            SimTime::from_secs(1),
+            NetFault::Slow {
+                from: NodeId(1),
+                to: NodeId(2),
+                extra: SimDuration::from_millis(20),
+            },
+            SimDuration::from_secs(2),
+        );
+
+    let seed = 3;
+    let (outcome, verdict) = run_one(&mut h, seed, &schedule);
+    let reason = verdict.expect_err("a never-retransmitting client must stall");
+    assert!(
+        reason.contains("heal-to-progress"),
+        "stall must be attributed to the heal-to-progress auditor, got: {reason}\n{}",
+        outcome.trace.join("\n")
+    );
+
+    let minimal = minimize(&mut h, seed, &schedule);
+    assert_eq!(minimal.len(), 1, "expected single-event repro:\n{}", minimal.describe());
+    assert!(
+        matches!(
+            minimal.events[0].event,
+            ChaosEvent::Net { fault: NetFault::Partition { .. }, .. }
+        ),
+        "minimal schedule must retain the request-losing partition:\n{}",
+        minimal.describe()
+    );
+
+    // The minimized repro replays the same liveness failure exactly.
+    let (a, va) = run_one(&mut h, seed, &minimal);
+    let (b, vb) = run_one(&mut h, seed, &minimal);
+    let ra = va.expect_err("minimal repro must still stall");
+    assert!(ra.contains("heal-to-progress"), "{ra}");
+    assert_eq!(a, b);
+    assert_eq!(Err(ra), vb);
+}

@@ -20,6 +20,7 @@ use crate::trace::{ProtocolEvent, RingBufferSink, TraceEvent};
 use crate::{NetStats, NodeId, SimDuration, SimTime, Simulation};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::fmt::Write as _;
 use std::sync::Mutex;
@@ -237,6 +238,142 @@ pub trait ChaosHarness {
 
     /// Audits the finished run; `Err` describes the violated invariant.
     fn audit(&mut self, sim: &mut Simulation, trace: &mut Vec<String>) -> Result<(), String>;
+
+    /// Liveness deadlines the engine enforces on every run, anchored at the
+    /// instant the last scheduled fault heals ([`FaultSchedule::end`]).
+    /// The default (all `None`) disables engine-level liveness auditing;
+    /// harnesses opt in per bound. Bounds must not exceed
+    /// [`settle`](Self::settle) or pending work cannot be distinguished
+    /// from work the run simply did not wait for.
+    fn liveness_bounds(&self) -> LivenessBounds {
+        LivenessBounds::default()
+    }
+}
+
+/// Deadlines for the engine's liveness auditors, all measured from the
+/// instant the last scheduled fault heals. `None` disables a bound.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LivenessBounds {
+    /// Every client operation pending at heal time must complete within
+    /// this bound (and no post-heal completion may take longer).
+    pub heal_to_progress: Option<SimDuration>,
+    /// No replica may start a view change later than this bound after heal:
+    /// the group must converge on a view once the network is quiescent.
+    pub view_convergence: Option<SimDuration>,
+    /// Every recovery must finish within this bound of starting (evaluated
+    /// only once the run has waited at least that long).
+    pub recovery_duration: Option<SimDuration>,
+}
+
+/// Checks the recorded trace against `bounds`, returning one message per
+/// violation in deterministic (event-order) sequence. Empty means live.
+///
+/// `run_end` is how far the run actually simulated; pending-work checks
+/// only fire when the run waited out the relevant deadline, so a short
+/// settle window can never manufacture a violation.
+pub fn audit_liveness_bounds(
+    events: &[TraceEvent],
+    schedule: &FaultSchedule,
+    bounds: &LivenessBounds,
+    run_end: SimTime,
+) -> Vec<String> {
+    let heal_at = schedule.end();
+    let mut violations = Vec::new();
+
+    if let Some(bound) = bounds.heal_to_progress {
+        // Per-node FIFO of unmatched submission times: each client core
+        // runs one operation at a time, so the k-th completion on a node
+        // answers its k-th submission.
+        let mut open: BTreeMap<NodeId, VecDeque<SimTime>> = BTreeMap::new();
+        for ev in events {
+            match ev.event {
+                ProtocolEvent::ClientOpSubmitted => {
+                    open.entry(ev.node).or_default().push_back(ev.at);
+                }
+                ProtocolEvent::ClientOpCompleted => {
+                    let submitted =
+                        open.get_mut(&ev.node).and_then(VecDeque::pop_front).unwrap_or(ev.at);
+                    let deadline = submitted.max(heal_at) + bound;
+                    if ev.at > deadline {
+                        violations.push(format!(
+                            "heal-to-progress: node {} completed an op {}ms after the last \
+                             fault healed (bound {}ms)",
+                            ev.node.0,
+                            (ev.at - heal_at).as_millis(),
+                            bound.as_millis()
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (node, pending) in &open {
+            if !pending.is_empty() && run_end >= heal_at + bound {
+                violations.push(format!(
+                    "heal-to-progress: node {} still has {} pending op(s) {}ms after the \
+                     last fault healed (bound {}ms)",
+                    node.0,
+                    pending.len(),
+                    (run_end - heal_at).as_millis(),
+                    bound.as_millis()
+                ));
+            }
+        }
+    }
+
+    if let Some(bound) = bounds.view_convergence {
+        for ev in events {
+            if ev.event == ProtocolEvent::ViewChangeStarted && ev.at > heal_at + bound {
+                violations.push(format!(
+                    "view-convergence: node {} started a view change (v{}) {}ms after the \
+                     last fault healed (bound {}ms)",
+                    ev.node.0,
+                    ev.view,
+                    (ev.at - heal_at).as_millis(),
+                    bound.as_millis()
+                ));
+            }
+        }
+    }
+
+    if let Some(bound) = bounds.recovery_duration {
+        let mut open: BTreeMap<NodeId, VecDeque<SimTime>> = BTreeMap::new();
+        for ev in events {
+            match ev.event {
+                ProtocolEvent::RecoveryStarted => {
+                    open.entry(ev.node).or_default().push_back(ev.at);
+                }
+                ProtocolEvent::RecoveryCompleted { .. } => {
+                    let started =
+                        open.get_mut(&ev.node).and_then(VecDeque::pop_front).unwrap_or(ev.at);
+                    if ev.at > started + bound {
+                        violations.push(format!(
+                            "recovery-duration: node {}'s recovery took {}ms (bound {}ms)",
+                            ev.node.0,
+                            (ev.at - started).as_millis(),
+                            bound.as_millis()
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (node, pending) in &open {
+            for started in pending {
+                if run_end >= *started + bound {
+                    violations.push(format!(
+                        "recovery-duration: node {}'s recovery still incomplete {}ms after \
+                         it began (bound {}ms)",
+                        node.0,
+                        (run_end - *started).as_millis(),
+                        bound.as_millis()
+                    ));
+                }
+            }
+        }
+    }
+
+    violations
 }
 
 /// What a run actually exercised, derived from the recorded protocol trace
@@ -267,6 +404,17 @@ pub struct Coverage {
     pub client_retransmits: u64,
     /// Read-only requests degraded to the full protocol.
     pub quorum_degradations: u64,
+    /// Client operations submitted (first transmissions).
+    pub client_ops_submitted: u64,
+    /// Client operations that completed with a reply certificate.
+    pub client_ops_completed: u64,
+    /// Worst post-heal completion latency: the latest client completion
+    /// after the last fault healed, measured from the heal instant (zero
+    /// when every op finished before heal). Merged with `max`, not `+`.
+    pub heal_to_progress_ns: u64,
+    /// Liveness-bound violations charged to this run by the engine's
+    /// [`audit_liveness_bounds`] pass (zero when bounds are disabled).
+    pub liveness_violations: u64,
 }
 
 impl Coverage {
@@ -286,6 +434,7 @@ impl Coverage {
             })
             .collect();
 
+        let heal_at = schedule.end();
         let mut cov = Coverage::default();
         // Earliest unmatched RecoveryStarted per node, for overlap spans.
         let mut open_recovery: Vec<(NodeId, SimTime)> = Vec::new();
@@ -320,6 +469,14 @@ impl Coverage {
                 ProtocolEvent::RequestExecuted { .. } => {}
                 ProtocolEvent::ClientRetransmit => cov.client_retransmits += 1,
                 ProtocolEvent::ReplyQuorumDegraded => cov.quorum_degradations += 1,
+                ProtocolEvent::ClientOpSubmitted => cov.client_ops_submitted += 1,
+                ProtocolEvent::ClientOpCompleted => {
+                    cov.client_ops_completed += 1;
+                    if ev.at > heal_at {
+                        cov.heal_to_progress_ns =
+                            cov.heal_to_progress_ns.max((ev.at - heal_at).as_nanos());
+                    }
+                }
             }
         }
         cov
@@ -338,6 +495,12 @@ impl Coverage {
         self.corrupt_state_repairs += other.corrupt_state_repairs;
         self.client_retransmits += other.client_retransmits;
         self.quorum_degradations += other.quorum_degradations;
+        self.client_ops_submitted += other.client_ops_submitted;
+        self.client_ops_completed += other.client_ops_completed;
+        // Worst-case latency, not a sum: campaign-level heal-to-progress is
+        // the slowest post-heal completion seen across runs.
+        self.heal_to_progress_ns = self.heal_to_progress_ns.max(other.heal_to_progress_ns);
+        self.liveness_violations += other.liveness_violations;
     }
 
     /// Deterministic single-line JSON rendering.
@@ -348,7 +511,9 @@ impl Coverage {
              \"state_transfers_completed\":{},\"recoveries_started\":{},\
              \"recoveries_completed\":{},\"recoveries_overlapping_partition\":{},\
              \"corrupt_state_repairs\":{},\"client_retransmits\":{},\
-             \"quorum_degradations\":{}}}",
+             \"quorum_degradations\":{},\"client_ops_submitted\":{},\
+             \"client_ops_completed\":{},\"heal_to_progress_ns\":{},\
+             \"liveness_violations\":{}}}",
             self.view_changes_started,
             self.view_changes_completed,
             self.checkpoints_stable,
@@ -359,7 +524,11 @@ impl Coverage {
             self.recoveries_overlapping_partition,
             self.corrupt_state_repairs,
             self.client_retransmits,
-            self.quorum_degradations
+            self.quorum_degradations,
+            self.client_ops_submitted,
+            self.client_ops_completed,
+            self.heal_to_progress_ns,
+            self.liveness_violations
         )
     }
 }
@@ -368,7 +537,8 @@ impl fmt::Display for Coverage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "vc={}/{} ckpt={} st={}/{} rec={}/{} rec_part={} repairs={} retx={} degr={}",
+            "vc={}/{} ckpt={} st={}/{} rec={}/{} rec_part={} repairs={} retx={} degr={} \
+             ops={}/{} heal_ms={} viol={}",
             self.view_changes_started,
             self.view_changes_completed,
             self.checkpoints_stable,
@@ -379,7 +549,11 @@ impl fmt::Display for Coverage {
             self.recoveries_overlapping_partition,
             self.corrupt_state_repairs,
             self.client_retransmits,
-            self.quorum_degradations
+            self.quorum_degradations,
+            self.client_ops_submitted,
+            self.client_ops_completed,
+            self.heal_to_progress_ns / 1_000_000,
+            self.liveness_violations
         )
     }
 }
@@ -457,10 +631,23 @@ pub fn run_one<H: ChaosHarness>(
         }
     }
 
-    sim.run_until(schedule.end() + harness.settle());
-    let verdict = harness.audit(&mut sim, &mut trace);
+    let run_end = schedule.end() + harness.settle();
+    sim.run_until(run_end);
+    // Engine-level liveness bounds are audited first: a system that stalls
+    // after its faults heal is reported as a liveness failure even when the
+    // harness's own (safety-oriented) audit would also object.
     let events = sim.trace_snapshot();
-    let coverage = Coverage::from_trace(&events, schedule);
+    let violations =
+        audit_liveness_bounds(&events, schedule, &harness.liveness_bounds(), run_end);
+    let verdict = match violations.first() {
+        Some(v) => {
+            trace.push(format!("liveness: {v}"));
+            Err(v.clone())
+        }
+        None => harness.audit(&mut sim, &mut trace),
+    };
+    let mut coverage = Coverage::from_trace(&events, schedule);
+    coverage.liveness_violations = violations.len() as u64;
     trace.push(format!("coverage: {coverage}"));
     (RunOutcome { trace, stats: sim.stats().clone(), events, coverage }, verdict)
 }
@@ -763,6 +950,9 @@ pub struct CampaignReport {
     pub runs_with_state_transfer: usize,
     /// Runs that completed at least one proactive recovery.
     pub runs_with_recovery: usize,
+    /// Runs that completed at least one client op after the last fault
+    /// healed (i.e. runs where the heal-to-progress bound was exercised).
+    pub runs_with_post_heal_progress: usize,
 }
 
 impl CampaignReport {
@@ -785,35 +975,45 @@ impl CampaignReport {
         if coverage.recoveries_completed > 0 {
             self.runs_with_recovery += 1;
         }
+        if coverage.heal_to_progress_ns > 0 {
+            self.runs_with_post_heal_progress += 1;
+        }
     }
 
     /// The seed table plus the campaign-level coverage totals, as printed
     /// by the acceptance campaigns.
     pub fn summary(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "  seed  vc_start vc_done ckpt st_done rec_done rec_part repairs");
+        let _ = writeln!(
+            out,
+            "  seed  vc_start vc_done ckpt st_done rec_done rec_part repairs heal_ms viol"
+        );
         for (seed, c) in &self.seed_coverage {
             let _ = writeln!(
                 out,
-                "  {seed:>4}  {:>8} {:>7} {:>4} {:>7} {:>8} {:>8} {:>7}",
+                "  {seed:>4}  {:>8} {:>7} {:>4} {:>7} {:>8} {:>8} {:>7} {:>7} {:>4}",
                 c.view_changes_started,
                 c.view_changes_completed,
                 c.checkpoints_stable,
                 c.state_transfers_completed,
                 c.recoveries_completed,
                 c.recoveries_overlapping_partition,
-                c.corrupt_state_repairs
+                c.corrupt_state_repairs,
+                c.heal_to_progress_ns / 1_000_000,
+                c.liveness_violations
             );
         }
         let _ = writeln!(
             out,
-            "  campaign: runs={} events={} failures={} with_vc={} with_st={} with_rec={}",
+            "  campaign: runs={} events={} failures={} with_vc={} with_st={} with_rec={} \
+             with_heal={}",
             self.runs,
             self.events_executed,
             self.failures.len(),
             self.runs_with_view_change,
             self.runs_with_state_transfer,
-            self.runs_with_recovery
+            self.runs_with_recovery,
+            self.runs_with_post_heal_progress
         );
         let _ = write!(out, "  coverage: {}", self.coverage);
         out
@@ -825,13 +1025,15 @@ impl CampaignReport {
         let mut out = format!(
             "{{\"runs\":{},\"events_executed\":{},\"failures\":{},\
              \"runs_with_view_change\":{},\"runs_with_state_transfer\":{},\
-             \"runs_with_recovery\":{},\"coverage\":{},\"seeds\":[",
+             \"runs_with_recovery\":{},\"runs_with_post_heal_progress\":{},\
+             \"coverage\":{},\"seeds\":[",
             self.runs,
             self.events_executed,
             self.failures.len(),
             self.runs_with_view_change,
             self.runs_with_state_transfer,
             self.runs_with_recovery,
+            self.runs_with_post_heal_progress,
             self.coverage.to_json()
         );
         for (i, (seed, c)) in self.seed_coverage.iter().enumerate() {

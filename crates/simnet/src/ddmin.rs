@@ -836,6 +836,10 @@ impl<H: ChaosHarness> ChaosHarness for CountingHarness<H> {
     fn audit(&mut self, sim: &mut Simulation, trace: &mut Vec<String>) -> Result<(), String> {
         self.inner.audit(sim, trace)
     }
+
+    fn liveness_bounds(&self) -> crate::chaos::LivenessBounds {
+        self.inner.liveness_bounds()
+    }
 }
 
 #[cfg(test)]

@@ -65,6 +65,7 @@ pub mod chaos;
 pub mod ddmin;
 pub mod faults;
 pub mod metrics;
+pub mod rtt;
 mod sim;
 mod stats;
 mod time;
@@ -75,6 +76,7 @@ pub use actor::{Actor, Context, NodeId, Payload, TimerId};
 pub use config::{LatencyModel, NetConfig};
 pub use faults::{FilterAction, NetFilter};
 pub use metrics::{Histogram, MetricsRegistry};
+pub use rtt::RttEstimator;
 pub use sim::Simulation;
 pub use stats::NetStats;
 pub use time::{SimDuration, SimTime};

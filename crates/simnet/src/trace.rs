@@ -61,6 +61,13 @@ pub enum ProtocolEvent {
     /// A client's read-only optimization failed its 2f+1 quorum and the
     /// request degraded to the full protocol.
     ReplyQuorumDegraded,
+    /// A client sent a fresh request (first transmission, not a retry).
+    /// Paired with [`ClientOpCompleted`](Self::ClientOpCompleted), this lets
+    /// the chaos engine's liveness auditor see which operations were still
+    /// pending when the last fault healed.
+    ClientOpSubmitted,
+    /// A client accepted a reply certificate and completed an operation.
+    ClientOpCompleted,
 }
 
 impl ProtocolEvent {
@@ -78,6 +85,8 @@ impl ProtocolEvent {
             ProtocolEvent::RequestExecuted { .. } => "request_executed",
             ProtocolEvent::ClientRetransmit => "client_retransmit",
             ProtocolEvent::ReplyQuorumDegraded => "reply_quorum_degraded",
+            ProtocolEvent::ClientOpSubmitted => "client_op_submitted",
+            ProtocolEvent::ClientOpCompleted => "client_op_completed",
         }
     }
 }

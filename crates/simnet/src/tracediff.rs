@@ -230,6 +230,8 @@ pub fn parse_jsonl(input: &str) -> Result<Vec<TraceEvent>, String> {
             },
             "client_retransmit" => ProtocolEvent::ClientRetransmit,
             "reply_quorum_degraded" => ProtocolEvent::ReplyQuorumDegraded,
+            "client_op_submitted" => ProtocolEvent::ClientOpSubmitted,
+            "client_op_completed" => ProtocolEvent::ClientOpCompleted,
             other => return Err(format!("line {lineno}: unknown event \"{other}\"")),
         };
         events.push(TraceEvent {

@@ -1,0 +1,99 @@
+//! Property tests for the Jacobson/Karels RTT estimator.
+//!
+//! Three invariants matter for the adaptive liveness engine: the RTO
+//! always stays inside its configured clamp (a runaway estimate can never
+//! disable retransmission outright), the estimator is a pure function of
+//! its inputs (byte-identical state for identical sample sequences, the
+//! determinism contract of the whole simulator), and a latency spike
+//! raises the RTO which then decays monotonically as calm samples return.
+
+use base_simnet::RttEstimator;
+use proptest::prelude::*;
+
+proptest! {
+    /// RTO and every backoff stage stay within `[floor, ceiling]` for any
+    /// sample sequence and any (floor, ceiling) pair.
+    #[test]
+    fn rto_respects_clamp(
+        seed in any::<u64>(),
+        floor in 1u64..1_000_000,
+        span in 0u64..1_000_000_000,
+        initial in 1u64..1_000_000_000,
+        samples in proptest::collection::vec(0u64..5_000_000_000, 0..64),
+    ) {
+        let ceiling = floor + span;
+        let mut est = RttEstimator::new(seed, floor, ceiling, initial);
+        for s in samples {
+            est.observe(s);
+            let rto = est.rto();
+            prop_assert!(rto >= floor, "rto {rto} below floor {floor}");
+            prop_assert!(rto <= ceiling, "rto {rto} above ceiling {ceiling}");
+            for attempts in 0u32..10 {
+                let b = est.backoff(attempts);
+                prop_assert!(b >= floor && b <= ceiling,
+                    "backoff({attempts}) = {b} outside [{floor}, {ceiling}]");
+            }
+        }
+    }
+
+    /// Two estimators fed the identical sample sequence agree exactly:
+    /// same srtt, same RTO, same jittered backoff for every attempt count.
+    #[test]
+    fn identical_inputs_identical_state(
+        seed in any::<u64>(),
+        floor in 1u64..1_000_000,
+        span in 0u64..1_000_000_000,
+        samples in proptest::collection::vec(0u64..5_000_000_000, 0..64),
+        salt in any::<u64>(),
+    ) {
+        let ceiling = floor + span;
+        let mut a = RttEstimator::new(seed, floor, ceiling, floor);
+        let mut b = RttEstimator::new(seed, floor, ceiling, floor);
+        for s in &samples {
+            a.observe(*s);
+            b.observe(*s);
+        }
+        prop_assert_eq!(a.srtt(), b.srtt());
+        prop_assert_eq!(a.samples(), b.samples());
+        prop_assert_eq!(a.rto(), b.rto());
+        for attempts in 0u32..8 {
+            prop_assert_eq!(
+                a.jittered_backoff(attempts, salt),
+                b.jittered_backoff(attempts, salt)
+            );
+        }
+    }
+
+    /// A spike strictly above the current RTO raises it (until the clamp
+    /// binds), and a run of calm samples afterwards decays it
+    /// monotonically (never increasing) back toward the floor.
+    #[test]
+    fn spike_raises_then_decays(
+        seed in any::<u64>(),
+        calm in 1_000u64..100_000,
+        spike_mult in 100u64..1_000,
+    ) {
+        let floor = 1_000u64;
+        let ceiling = u64::MAX / 8;
+        let mut est = RttEstimator::new(seed, floor, ceiling, floor);
+        for _ in 0..16 {
+            est.observe(calm);
+        }
+        let before = est.rto();
+        let spike = calm.saturating_mul(spike_mult);
+        est.observe(spike);
+        let spiked = est.rto();
+        prop_assert!(
+            spiked > before || spiked == ceiling,
+            "spike {spike} did not raise rto ({before} -> {spiked})"
+        );
+        let mut prev = spiked;
+        for _ in 0..64 {
+            est.observe(calm);
+            let now = est.rto();
+            prop_assert!(now <= prev, "decay not monotone: {prev} -> {now}");
+            prev = now;
+        }
+        prop_assert!(prev < spiked, "rto never decayed after the spike");
+    }
+}

@@ -4,7 +4,11 @@
 # This script fails if no artifact exists or if any acceptance campaign
 # reports zero forced view changes — a campaign that never unseats a
 # primary is not exercising the paper's recovery machinery, whatever its
-# pass rate says.
+# pass rate says. It also gates the liveness counters: every campaign
+# must complete client operations, carry the liveness_violations field
+# (and report zero violations — a passing campaign with violations means
+# the auditor verdicts are being dropped somewhere), and complete every
+# operation it submitted.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,15 +22,33 @@ fi
 
 status=0
 for f in "${files[@]}"; do
-  # Campaign-level counter, first match: "view_changes_started":N
+  # Campaign-level counters, first match: "<field>":N
   vc=$(grep -o '"view_changes_started":[0-9]*' "$f" | head -n1 | cut -d: -f2)
   runs=$(grep -o '"runs":[0-9]*' "$f" | head -n1 | cut -d: -f2)
-  echo "$(basename "$f"): runs=${runs:-?} view_changes_started=${vc:-?}"
+  submitted=$(grep -o '"client_ops_submitted":[0-9]*' "$f" | head -n1 | cut -d: -f2)
+  completed=$(grep -o '"client_ops_completed":[0-9]*' "$f" | head -n1 | cut -d: -f2)
+  violations=$(grep -o '"liveness_violations":[0-9]*' "$f" | head -n1 | cut -d: -f2)
+  echo "$(basename "$f"): runs=${runs:-?} view_changes_started=${vc:-?}" \
+    "client_ops=${completed:-?}/${submitted:-?} liveness_violations=${violations:-?}"
   if [ -z "${vc:-}" ]; then
     echo "error: $f has no view_changes_started counter" >&2
     status=1
   elif [ "$vc" -eq 0 ]; then
     echo "error: $f reports zero forced view changes" >&2
+    status=1
+  fi
+  if [ -z "${violations:-}" ]; then
+    echo "error: $f has no liveness_violations counter (liveness auditing not wired?)" >&2
+    status=1
+  elif [ "$violations" -ne 0 ]; then
+    echo "error: $f reports $violations liveness violations in a passing campaign" >&2
+    status=1
+  fi
+  if [ -z "${completed:-}" ] || [ "$completed" -eq 0 ]; then
+    echo "error: $f completed no client operations" >&2
+    status=1
+  elif [ -n "${submitted:-}" ] && [ "$completed" -ne "$submitted" ]; then
+    echo "error: $f stranded client operations ($completed completed of $submitted submitted)" >&2
     status=1
   fi
 done
