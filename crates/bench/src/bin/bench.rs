@@ -70,6 +70,7 @@ const TRANSFER_VALUE_BYTES: usize = 1024;
 
 struct Opts {
     json: bool,
+    perfetto: bool,
     out: PathBuf,
     stamp: Option<String>,
     check: Option<PathBuf>,
@@ -82,7 +83,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: bench [--json] [--out DIR] [--stamp STAMP] [--ddmin-workers N] \
          [--digest-workers N]\n\
-         \x20      bench --check BASELINE.json [--threshold X]"
+         \x20      bench --check BASELINE.json [--threshold X]\n\
+         \x20      bench --perfetto [--out DIR]   # export the E9 cell's span \
+         graph as Chrome trace JSON"
     );
     std::process::exit(2);
 }
@@ -90,6 +93,7 @@ fn usage() -> ! {
 fn parse_args() -> Opts {
     let mut opts = Opts {
         json: false,
+        perfetto: false,
         out: PathBuf::from("."),
         stamp: None,
         check: None,
@@ -113,6 +117,7 @@ fn parse_args() -> Opts {
     while i < args.len() {
         match args[i].as_str() {
             "--json" => opts.json = true,
+            "--perfetto" => opts.perfetto = true,
             "--out" => opts.out = PathBuf::from(need(&mut i)),
             "--stamp" => opts.stamp = Some(need(&mut i)),
             "--check" => opts.check = Some(PathBuf::from(need(&mut i))),
@@ -724,10 +729,46 @@ fn check(
     }
 }
 
+/// Runs the E9 cell once and writes its causal span artifacts into `out`:
+/// `e9.perfetto.json` (Chrome trace format, loadable in Perfetto) and
+/// `e9.spans.txt` (per-op span lines plus the phase breakdown table). Both
+/// are deterministic at the fixed E9 seed.
+fn export_perfetto_artifacts(out: &std::path::Path) -> ExitCode {
+    let e9 = measure_throughput(E9_CLIENTS, E9_OPS_PER_CLIENT, E9_VALUE_BYTES);
+    let spans = base_simnet::build_spans(&e9.trace);
+    if let Err(e) = std::fs::create_dir_all(out) {
+        eprintln!("error creating {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    let perfetto_path = out.join("e9.perfetto.json");
+    let spans_path = out.join("e9.spans.txt");
+    let text = format!(
+        "{}\n{}",
+        e9.phases.table(),
+        base_simnet::render_spans(&spans)
+    );
+    for (path, body) in [
+        (&perfetto_path, base_simnet::export_perfetto(&e9.trace, &spans)),
+        (&spans_path, text),
+    ] {
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("error writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    print!("{}", e9.phases.table());
+    println!("wrote {}", perfetto_path.display());
+    println!("wrote {}", spans_path.display());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     if let Some(baseline) = &opts.check {
         return check(baseline, opts.threshold, opts.ddmin_workers, opts.digest_workers);
+    }
+    if opts.perfetto {
+        return export_perfetto_artifacts(&opts.out);
     }
     let report = measure(opts.ddmin_workers, opts.digest_workers);
     if opts.json {

@@ -40,6 +40,7 @@ struct Opts {
     window: usize,
     diff: Option<(PathBuf, PathBuf)>,
     export: Option<String>,
+    perfetto: bool,
 }
 
 fn usage() -> ! {
@@ -47,7 +48,7 @@ fn usage() -> ! {
         "usage: repro --campaign counter|counter-buggy|nfs|nfs-buggy|oodb \
          [--seed N] [--runs N] [--events N] [--horizon-ms N] [--out DIR]\n\
          \x20      repro --diff LEFT.jsonl RIGHT.jsonl [--window N]\n\
-         \x20      repro --export counter|nfs|oodb [--out DIR]"
+         \x20      repro --export counter|nfs|oodb [--out DIR] [--perfetto]"
     );
     std::process::exit(2);
 }
@@ -63,6 +64,7 @@ fn parse_args() -> Opts {
         window: 3,
         diff: None,
         export: None,
+        perfetto: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -85,6 +87,7 @@ fn parse_args() -> Opts {
                 opts.diff = Some((left, right));
             }
             "--export" => opts.export = Some(need(&mut i)),
+            "--perfetto" => opts.perfetto = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -163,7 +166,7 @@ fn report_and_write(
 /// diffs a fresh export against them (`scripts/check_traces.sh`) so any
 /// cross-version drift in protocol behaviour is localized by `--diff`
 /// instead of discovered downstream.
-fn run_export(scenario: &str, out: &PathBuf) -> ExitCode {
+fn run_export(scenario: &str, out: &PathBuf, perfetto: bool) -> ExitCode {
     let trace = |outcome: base_simnet::chaos::RunOutcome,
                  verdict: Result<(), String>|
      -> Vec<base_simnet::TraceEvent> {
@@ -210,6 +213,27 @@ fn run_export(scenario: &str, out: &PathBuf) -> ExitCode {
         return ExitCode::from(2);
     }
     println!("exported {} events to {}", events.len(), path.display());
+    if perfetto {
+        // Span-graph companions: the same scenario as Chrome trace JSON
+        // plus the per-op span lines and phase table, all deterministic.
+        let spans = base_simnet::build_spans(&events);
+        let breakdown = base_simnet::PhaseBreakdown::from_spans(&spans);
+        let perfetto_path = out.join(format!("{scenario}.perfetto.json"));
+        if let Err(e) =
+            std::fs::write(&perfetto_path, base_simnet::export_perfetto(&events, &spans))
+        {
+            eprintln!("error: cannot write {}: {e}", perfetto_path.display());
+            return ExitCode::from(2);
+        }
+        println!("exported span graph to {}", perfetto_path.display());
+        let spans_path = out.join(format!("{scenario}.spans.txt"));
+        let text = format!("{}\n{}", breakdown.table(), base_simnet::render_spans(&spans));
+        if let Err(e) = std::fs::write(&spans_path, text) {
+            eprintln!("error: cannot write {}: {e}", spans_path.display());
+            return ExitCode::from(2);
+        }
+        println!("exported span lines to {}", spans_path.display());
+    }
     ExitCode::SUCCESS
 }
 
@@ -219,7 +243,7 @@ fn main() -> ExitCode {
         return run_diff(left, right, opts.window);
     }
     if let Some(scenario) = &opts.export {
-        return run_export(scenario, &opts.out);
+        return run_export(scenario, &opts.out, opts.perfetto);
     }
     if opts.campaign.is_empty() {
         usage();

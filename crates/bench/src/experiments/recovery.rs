@@ -10,7 +10,7 @@
 use crate::report::Table;
 use base::demo::{KvWrapper, TinyKv};
 use base::{BaseClient, BaseReplica, BaseService, Config};
-use base_simnet::{NodeId, SimDuration, Simulation};
+use base_simnet::{build_spans, NodeId, PhaseBreakdown, SimDuration, Simulation, VecSink};
 
 type KvReplica = BaseReplica<KvWrapper>;
 
@@ -25,6 +25,8 @@ struct Out {
     heal_to_progress_ms: u64,
     /// `client.retransmissions`: the retry budget the workload consumed.
     retransmissions: u64,
+    /// Critical-path attribution over the workload's completed ops.
+    phases: PhaseBreakdown,
 }
 
 fn run_once(mode: Option<bool>) -> Out {
@@ -37,6 +39,7 @@ fn run_once(mode: Option<bool>) -> Out {
         cfg.reboot_time = SimDuration::from_millis(300);
     }
     let mut sim = Simulation::new(5100);
+    sim.set_trace_sink(Box::new(VecSink::new()));
     let dir = base_crypto::KeyDirectory::generate(5, 5100);
     let mut replicas: Vec<NodeId> = Vec::new();
     for i in 0..4 {
@@ -106,6 +109,7 @@ fn run_once(mode: Option<bool>) -> Out {
         leaked,
         heal_to_progress_ms,
         retransmissions,
+        phases: PhaseBreakdown::from_spans(&build_spans(&sim.trace_snapshot())),
     }
 }
 
@@ -124,6 +128,22 @@ pub fn run_recovery() {
             "retransmissions",
         ],
     );
+    // Where the latency went: reboot windows show up as request/delivery
+    // queueing on the critical path, not as agreement-phase cost.
+    let mut phases = Table::new(
+        "E3 phase breakdown: critical-path per phase (ms), p50 and p99 total",
+        &[
+            "mode",
+            "request p50",
+            "prepare p50",
+            "commit p50",
+            "execute p50",
+            "reply p50",
+            "delivery p50",
+            "total p50",
+            "total p99",
+        ],
+    );
     for (name, mode) in [
         ("no recovery", None),
         ("clean reboot (paper §3.4)", Some(true)),
@@ -140,8 +160,23 @@ pub fn run_recovery() {
             if o.retransmissions > 0 { o.heal_to_progress_ms.to_string() } else { "-".into() },
             o.retransmissions.to_string(),
         ]);
+        let ms = |v: u64| format!("{:.2}", v as f64 / 1e6);
+        let b = &o.phases;
+        phases.row(&[
+            name.into(),
+            ms(b.request.quantile(0.5)),
+            ms(b.prepare.quantile(0.5)),
+            ms(b.commit.quantile(0.5)),
+            ms(b.execute.quantile(0.5)),
+            ms(b.reply.quantile(0.5)),
+            ms(b.delivery.quantile(0.5)),
+            ms(b.total.quantile(0.5)),
+            ms(b.total.quantile(0.99)),
+        ]);
     }
     t.print();
+    println!();
+    phases.print();
     println!(
         "\nshape: the service completes the full workload in every mode (recoveries are \
          staggered, < 1/3 of replicas down at once); clean reboots drive leaked entries to \

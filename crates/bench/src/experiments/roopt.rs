@@ -21,6 +21,7 @@ const READS: usize = 256;
 struct Out {
     mean_read_us: f64,
     p99_read_us: f64,
+    p999_read_us: f64,
     makespan_s: f64,
     messages: u64,
     mib: f64,
@@ -64,6 +65,7 @@ fn run_once(ro_opt: bool) -> Out {
     Out {
         mean_read_us: reads.iter().sum::<u64>() as f64 / reads.len() as f64 / 1e3,
         p99_read_us: hist.quantile(0.99) as f64 / 1e3,
+        p999_read_us: hist.quantile(0.999) as f64 / 1e3,
         makespan_s: lat.iter().sum::<u64>() as f64 / 1e9,
         messages: sim.stats().messages_delivered,
         mib: sim.stats().bytes_delivered as f64 / (1024.0 * 1024.0),
@@ -78,6 +80,7 @@ pub fn run_roopt() {
             "reads via",
             "mean read latency (µs)",
             "p99 read latency (µs)",
+            "p999 read latency (µs)",
             "makespan (s)",
             "messages",
             "MiB on the wire",
@@ -90,6 +93,7 @@ pub fn run_roopt() {
             label.to_string(),
             format!("{:.0}", o.mean_read_us),
             format!("{:.0}", o.p99_read_us),
+            format!("{:.0}", o.p999_read_us),
             format!("{:.3}", o.makespan_s),
             o.messages.to_string(),
             format!("{:.2}", o.mib),

@@ -7,7 +7,7 @@
 use crate::report::Table;
 use base::demo::{KvWrapper, TinyKv};
 use base::{BaseClient, BaseReplica, BaseService, Config};
-use base_simnet::{SimDuration, Simulation};
+use base_simnet::{build_spans, PhaseBreakdown, SimDuration, Simulation, VecSink};
 
 type KvReplica = BaseReplica<KvWrapper>;
 
@@ -24,6 +24,14 @@ pub struct ThroughputSample {
     pub p50_latency_ns: u64,
     /// p99 client latency (log₂-bucket upper bound), nanoseconds.
     pub p99_latency_ns: u64,
+    /// p999 client latency (log₂-bucket upper bound), nanoseconds.
+    pub p999_latency_ns: u64,
+    /// Critical-path phase attribution over all completed ops, built from
+    /// the run's causal trace (see `base_simnet::span`).
+    pub phases: PhaseBreakdown,
+    /// The raw causal trace the phases were derived from, for the span
+    /// snapshot gate and the Perfetto exporter.
+    pub trace: Vec<base_simnet::TraceEvent>,
 }
 
 /// Runs one E9 cell and returns its measurements.
@@ -43,6 +51,7 @@ pub fn measure_throughput(
     // A short pipeline forces concurrent arrivals to share batches.
     cfg.max_inflight = 2;
     let mut sim = Simulation::new(8800 + clients as u64);
+    sim.set_trace_sink(Box::new(VecSink::new()));
     let dir = base_crypto::KeyDirectory::generate(4 + clients, 8800 + clients as u64);
     let mut replicas = Vec::new();
     for i in 0..4 {
@@ -98,12 +107,18 @@ pub fn measure_throughput(
         }
     }
     assert!(occupancy.count() > 0, "replica recorded no executed batches");
+    let trace = sim.trace_snapshot();
+    let phases = PhaseBreakdown::from_spans(&build_spans(&trace));
+    assert_eq!(phases.ops, total_ops, "every completed op must reconstruct a span");
     ThroughputSample {
         ops: total_ops,
         elapsed_ns: wallclock_of(&sim, &client_nodes),
         mean_batch: occupancy.mean(),
         p50_latency_ns: latency.quantile(0.5),
         p99_latency_ns: latency.quantile(0.99),
+        p999_latency_ns: latency.quantile(0.999),
+        phases,
+        trace,
     }
 }
 
@@ -130,7 +145,31 @@ pub fn run_throughput() {
     let ops_per_client = 150;
     let mut t = Table::new(
         "E9 (extension): throughput vs concurrent clients (150 writes each, batching)",
-        &["clients", "total ops", "makespan (s)", "throughput (ops/s)", "ops per batch", "p99 latency (ms)"],
+        &[
+            "clients",
+            "total ops",
+            "makespan (s)",
+            "throughput (ops/s)",
+            "ops per batch",
+            "p99 latency (ms)",
+            "p999 latency (ms)",
+        ],
+    );
+    // Critical-path attribution per cell: where each configuration's median
+    // op actually spends its time (segments sum to the end-to-end latency).
+    let mut phases = Table::new(
+        "E9 phase breakdown: critical-path p50 per phase (ms) and p99 total",
+        &[
+            "clients",
+            "request",
+            "prepare",
+            "commit",
+            "execute",
+            "reply",
+            "delivery",
+            "total p50",
+            "total p99",
+        ],
     );
     for clients in [1usize, 2, 4, 8] {
         let o = measure_throughput(clients, ops_per_client, 0);
@@ -142,9 +181,25 @@ pub fn run_throughput() {
             format!("{:.0}", o.ops as f64 / secs),
             format!("{:.2}", o.mean_batch),
             format!("{:.2}", o.p99_latency_ns as f64 / 1e6),
+            format!("{:.2}", o.p999_latency_ns as f64 / 1e6),
+        ]);
+        let ms = |v: u64| format!("{:.2}", v as f64 / 1e6);
+        let b = &o.phases;
+        phases.row(&[
+            clients.to_string(),
+            ms(b.request.quantile(0.5)),
+            ms(b.prepare.quantile(0.5)),
+            ms(b.commit.quantile(0.5)),
+            ms(b.execute.quantile(0.5)),
+            ms(b.reply.quantile(0.5)),
+            ms(b.delivery.quantile(0.5)),
+            ms(b.total.quantile(0.5)),
+            ms(b.total.quantile(0.99)),
         ]);
     }
     t.print();
+    println!();
+    phases.print();
     println!(
         "\nshape: throughput scales super-linearly at first because the primary batches \
          concurrent requests into shared pre-prepares (ops/batch grows with load), \

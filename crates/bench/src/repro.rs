@@ -8,6 +8,7 @@
 //! uploads `target/repro/` on chaos-campaign failure).
 
 use base_simnet::chaos::{CampaignReport, FailureReport};
+use base_simnet::span::{build_spans, export_perfetto};
 use base_simnet::trace::export_jsonl;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -20,7 +21,7 @@ pub const DEFAULT_ARTIFACT_DIR: &str = "target/repro";
 ///
 /// Files are named by seed, so a campaign's failures never collide:
 /// `seed<seed>.schedule.txt`, `seed<seed>.divergence.txt`,
-/// `seed<seed>.minimal.jsonl`.
+/// `seed<seed>.minimal.jsonl`, `seed<seed>.minimal.perfetto.json`.
 pub fn write_failure_artifacts(dir: &Path, f: &FailureReport) -> io::Result<Vec<PathBuf>> {
     std::fs::create_dir_all(dir)?;
     let mut written = Vec::new();
@@ -49,6 +50,14 @@ pub fn write_failure_artifacts(dir: &Path, f: &FailureReport) -> io::Result<Vec<
     let jsonl_path = dir.join(format!("seed{}.minimal.jsonl", f.seed));
     std::fs::write(&jsonl_path, export_jsonl(&f.minimal_events))?;
     written.push(jsonl_path);
+
+    // The same minimal run as a span graph, ready for Perfetto: open the
+    // file in ui.perfetto.dev and the failing op's critical path is laid
+    // out per node, no replaying required.
+    let perfetto_path = dir.join(format!("seed{}.minimal.perfetto.json", f.seed));
+    let spans = build_spans(&f.minimal_events);
+    std::fs::write(&perfetto_path, export_perfetto(&f.minimal_events, &spans))?;
+    written.push(perfetto_path);
 
     Ok(written)
 }

@@ -77,6 +77,10 @@ pub struct CounterChaosHarness {
     pub pace: SimDuration,
     /// Extra settle time after the last event.
     pub settle: SimDuration,
+    /// Optional per-op critical-path budget for post-heal operations (see
+    /// [`base_simnet::chaos::audit_latency_budget`]); `None` disables the
+    /// auditor.
+    pub latency_budget: Option<SimDuration>,
     // Per-run state, reset by `build`.
     group: Option<TestGroup>,
     expected: HashMap<(u32, u64), OpKind>,
@@ -97,6 +101,7 @@ impl CounterChaosHarness {
             adaptive: true,
             pace: SimDuration::from_millis(250),
             settle: SimDuration::from_secs(30),
+            latency_budget: None,
             group: None,
             expected: HashMap::new(),
             all_deltas: 0,
@@ -459,6 +464,10 @@ impl ChaosHarness for CounterChaosHarness {
         }
     }
 
+    fn latency_budget(&self) -> Option<SimDuration> {
+        self.latency_budget
+    }
+
     fn audit(&mut self, sim: &mut Simulation, trace: &mut Vec<String>) -> Result<(), String> {
         self.audit_liveness(sim)?;
         self.audit_linearizability(sim)?;
@@ -497,6 +506,28 @@ mod tests {
         let (outcome, verdict) = run_one(&mut h, 11, &schedule);
         assert_eq!(verdict, Ok(()), "trace:\n{}", outcome.trace.join("\n"));
         assert!(outcome.trace.iter().any(|l| l.contains("state corrupted")));
+    }
+
+    #[test]
+    fn latency_budget_violations_become_failures() {
+        // A budget far below any real three-phase latency: every post-heal
+        // op violates, and the failure message attributes the dominant
+        // critical-path phase.
+        let mut h = CounterChaosHarness::new(4);
+        h.latency_budget = Some(SimDuration::from_micros(10));
+        let (outcome, verdict) = run_one(&mut h, 7, &FaultSchedule::new());
+        let err = verdict.expect_err("every op must blow a 10us budget");
+        assert!(err.contains("latency-budget"), "{err}");
+        assert!(err.contains("dominated by"), "{err}");
+        assert!(outcome.coverage.latency_budget_violations > 0);
+        assert_eq!(outcome.coverage.trace_events_dropped, 0);
+
+        // Same seed without a budget: clean — the violations above are
+        // purely the auditor's doing, not a protocol fault.
+        let mut h = CounterChaosHarness::new(4);
+        let (outcome, verdict) = run_one(&mut h, 7, &FaultSchedule::new());
+        assert_eq!(verdict, Ok(()), "trace:\n{}", outcome.trace.join("\n"));
+        assert_eq!(outcome.coverage.latency_budget_violations, 0);
     }
 
     #[test]

@@ -99,6 +99,10 @@ pub struct Replica<S: Service> {
     /// (ns): execution removes the entry and feeds the agreement-latency
     /// estimator with the full three-phase round duration.
     slot_arrival: HashMap<u64, u64>,
+    /// Slots whose commit certificate was already traced, so the span
+    /// layer sees exactly one `CommitQuorum` per (view, seq). Only
+    /// populated while tracing is enabled; empty (and free) otherwise.
+    commit_quorum_seen: HashSet<u64>,
 
     vc_collect: BTreeMap<u64, HashMap<u32, ViewChangeMsg>>,
     vc_timer: Option<TimerId>,
@@ -175,6 +179,7 @@ impl<S: Service> Replica<S> {
             pending_digests: HashSet::new(),
             awaiting: HashSet::new(),
             slot_arrival: HashMap::new(),
+            commit_quorum_seen: HashSet::new(),
             vc_collect: BTreeMap::new(),
             vc_timer: None,
             vc_timeout,
@@ -471,6 +476,13 @@ impl<S: Service> Replica<S> {
         };
         ctx.charge(self.cost.mac + self.cost.digest(reply.result.len()));
         reply.mac = Authenticator::point(&self.keys, client as usize, &reply.digest());
+        // One site covers every reply path (execution, cached resend,
+        // read-only), so the span layer's last replica-side hop is total.
+        ctx.emit(
+            self.view,
+            0,
+            ProtocolEvent::ReplySent { client: u64::from(client), ts: timestamp },
+        );
         reply
     }
 
@@ -517,6 +529,23 @@ impl<S: Service> Replica<S> {
             pp.sig = self.keys.sign(&pp.signed_bytes());
             pp.auth = Authenticator::generate(&self.keys, self.cfg.n, &pp.batch_digest());
 
+            if ctx.trace_enabled() {
+                // Causal edge for the span layer: which client ops landed in
+                // this agreement slot, and how long the triggering event sat
+                // queued behind this (busy) primary.
+                let queue_ns = ctx.sched_lag().as_nanos();
+                for r in pp.requests() {
+                    ctx.emit(
+                        self.view,
+                        seq,
+                        ProtocolEvent::RequestProposed {
+                            client: u64::from(r.client()),
+                            ts: r.timestamp(),
+                            queue_ns,
+                        },
+                    );
+                }
+            }
             if matches!(self.byz, ByzMode::EquivocatePrimary) {
                 self.equivocate(&pp, ctx);
             } else {
@@ -609,6 +638,11 @@ impl<S: Service> Replica<S> {
         }
         entry.pre_prepare = Some(pp.clone());
         self.slot_arrival.insert(pp.seq, ctx.now().as_nanos());
+        ctx.emit(
+            pp.view,
+            pp.seq,
+            ProtocolEvent::PrePrepareLogged { queue_ns: ctx.sched_lag().as_nanos() },
+        );
         if !endorse {
             // Logged but not endorsed: wait for a quorum's commits.
             self.maybe_committed(pp.seq, ctx);
@@ -670,6 +704,8 @@ impl<S: Service> Replica<S> {
         }
         entry.commit_sent = true;
         let digest = entry.accepted_digest().expect("prepared implies pre-prepare");
+        // `commit_sent` is one-shot per slot, so this traces exactly once.
+        ctx.emit(view, seq, ProtocolEvent::PrepareQuorum);
         if matches!(self.byz, ByzMode::WithholdCommits) {
             return;
         }
@@ -712,6 +748,9 @@ impl<S: Service> Replica<S> {
         let f = self.f();
         if !self.log.entry_mut(seq).committed(view, f) {
             return;
+        }
+        if ctx.trace_enabled() && self.commit_quorum_seen.insert(seq) {
+            ctx.emit(view, seq, ProtocolEvent::CommitQuorum);
         }
         self.execute_ready(ctx);
     }
@@ -880,6 +919,7 @@ impl<S: Service> Replica<S> {
         ctx.emit(self.view, seq, ProtocolEvent::CheckpointStable);
         self.log.gc_up_to(seq);
         self.slot_arrival.retain(|s, _| *s > seq);
+        self.commit_quorum_seen.retain(|s| *s > seq);
         self.ckpt_collector.gc_up_to(seq);
         // Keep the stable checkpoint itself; discard older ones.
         self.ckpt_meta = self.ckpt_meta.split_off(&seq);
@@ -1128,6 +1168,7 @@ impl<S: Service> Replica<S> {
             self.stable_cert = m.msgs;
             self.log.gc_up_to(seq);
             self.slot_arrival.retain(|s, _| *s > seq);
+            self.commit_quorum_seen.retain(|s| *s > seq);
             self.service.discard_checkpoints_below(seq);
         }
         if seq > self.last_exec || (self.recovering && seq > 0) {
@@ -1382,8 +1423,11 @@ impl<S: Service> Replica<S> {
         self.own_vc = None;
         self.last_nv_msg = Some(nv.clone());
         // Slots carried across the view change would sample the view
-        // change itself, not an agreement round: drop them (Karn).
+        // change itself, not an agreement round: drop them (Karn). The
+        // commit-quorum dedup set resets too: a slot re-agreed in the new
+        // view is a fresh agreement instance and traces its own quorum.
         self.slot_arrival.clear();
+        self.commit_quorum_seen.clear();
         self.vc_timeout = self.base_vc_timeout();
         if let Some(t) = self.vc_timer.take() {
             ctx.cancel_timer(t);

@@ -126,6 +126,8 @@ pub struct Context<'a> {
     pub(crate) rng: &'a mut StdRng,
     pub(crate) trace: &'a mut dyn TraceSink,
     pub(crate) trace_enabled: bool,
+    pub(crate) sched_lag: SimDuration,
+    pub(crate) inbox_depth: u32,
 }
 
 impl<'a> Context<'a> {
@@ -213,6 +215,21 @@ impl<'a> Context<'a> {
     /// building expensive event payloads when tracing is off.
     pub fn trace_enabled(&self) -> bool {
         self.trace_enabled
+    }
+
+    /// Event-loop lag of the event that triggered this handler: how long
+    /// the message or timer sat deferred behind a busy (or rebooting) node
+    /// after its wire arrival / scheduled fire instant. Zero when the node
+    /// was idle. Protocol code folds this into causal trace events so the
+    /// span layer can attribute queueing delay exactly.
+    pub fn sched_lag(&self) -> SimDuration {
+        self.sched_lag
+    }
+
+    /// Message deliveries still queued for this node at the moment this
+    /// handler was dispatched (the inbox depth at dequeue).
+    pub fn inbox_depth(&self) -> u32 {
+        self.inbox_depth
     }
 
     /// Emits a protocol event, stamped with the current virtual time and

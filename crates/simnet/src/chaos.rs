@@ -248,6 +248,16 @@ pub trait ChaosHarness {
     fn liveness_bounds(&self) -> LivenessBounds {
         LivenessBounds::default()
     }
+
+    /// Per-operation critical-path budget enforced on post-heal operations
+    /// by [`audit_latency_budget`]. A completed op submitted after the last
+    /// fault heals whose end-to-end latency exceeds the budget becomes an
+    /// ordinary failure report — and therefore minimizes through ddmin like
+    /// any safety or liveness violation. `None` (the default) disables the
+    /// auditor.
+    fn latency_budget(&self) -> Option<SimDuration> {
+        None
+    }
 }
 
 /// Deadlines for the engine's liveness auditors, all measured from the
@@ -376,6 +386,55 @@ pub fn audit_liveness_bounds(
     violations
 }
 
+/// Checks every post-heal operation's critical path against a per-op
+/// latency budget, returning one message per violation in submission order.
+///
+/// Spans are rebuilt from the trace with [`crate::span::build_spans`]; only
+/// operations submitted at or after the heal instant are held to the budget
+/// (ops straddling a fault window are expected to be slow — that is the
+/// liveness auditors' turf). Each violation names the dominant critical-path
+/// phase, so a minimized repro immediately says *where* the time went.
+pub fn audit_latency_budget(
+    events: &[TraceEvent],
+    schedule: &FaultSchedule,
+    budget: SimDuration,
+) -> Vec<String> {
+    let heal_at = schedule.end();
+    let mut violations = Vec::new();
+    for span in crate::span::build_spans(events) {
+        if span.submitted < heal_at {
+            continue;
+        }
+        let Some(latency_ns) = span.latency_ns() else { continue };
+        if latency_ns <= budget.as_nanos() {
+            continue;
+        }
+        let (phase, phase_ns) = [
+            ("request", span.segments.request_ns),
+            ("prepare", span.segments.prepare_ns),
+            ("commit", span.segments.commit_ns),
+            ("execute", span.segments.execute_ns),
+            ("reply", span.segments.reply_ns),
+            ("delivery", span.segments.delivery_ns),
+        ]
+        .into_iter()
+        .max_by_key(|(_, ns)| *ns)
+        .unwrap();
+        violations.push(format!(
+            "latency-budget: node {} op ts={} took {}ms (budget {}ms), dominated by \
+             {phase} ({}ms, retx={}, vc={})",
+            span.client.0,
+            span.ts,
+            latency_ns / 1_000_000,
+            budget.as_millis(),
+            phase_ns / 1_000_000,
+            span.retransmits,
+            span.view_changes
+        ));
+    }
+    violations
+}
+
 /// What a run actually exercised, derived from the recorded protocol trace
 /// (see [`crate::trace`]). Thin schedules — ones that never force a view
 /// change or a state transfer — show up as zero rows in the campaign
@@ -415,6 +474,13 @@ pub struct Coverage {
     /// Liveness-bound violations charged to this run by the engine's
     /// [`audit_liveness_bounds`] pass (zero when bounds are disabled).
     pub liveness_violations: u64,
+    /// Latency-budget violations charged by [`audit_latency_budget`]
+    /// (zero when the harness sets no budget).
+    pub latency_budget_violations: u64,
+    /// Events evicted from the run's trace ring buffer. Non-zero means
+    /// coverage counters (and span reconstruction) undercount — campaigns
+    /// gate on this staying zero.
+    pub trace_events_dropped: u64,
 }
 
 impl Coverage {
@@ -477,6 +543,13 @@ impl Coverage {
                             cov.heal_to_progress_ns.max((ev.at - heal_at).as_nanos());
                     }
                 }
+                // Causal span events carry per-op identity, not coverage;
+                // the span layer consumes them.
+                ProtocolEvent::RequestProposed { .. }
+                | ProtocolEvent::PrePrepareLogged { .. }
+                | ProtocolEvent::PrepareQuorum
+                | ProtocolEvent::CommitQuorum
+                | ProtocolEvent::ReplySent { .. } => {}
             }
         }
         cov
@@ -501,6 +574,8 @@ impl Coverage {
         // the slowest post-heal completion seen across runs.
         self.heal_to_progress_ns = self.heal_to_progress_ns.max(other.heal_to_progress_ns);
         self.liveness_violations += other.liveness_violations;
+        self.latency_budget_violations += other.latency_budget_violations;
+        self.trace_events_dropped += other.trace_events_dropped;
     }
 
     /// Deterministic single-line JSON rendering.
@@ -513,7 +588,8 @@ impl Coverage {
              \"corrupt_state_repairs\":{},\"client_retransmits\":{},\
              \"quorum_degradations\":{},\"client_ops_submitted\":{},\
              \"client_ops_completed\":{},\"heal_to_progress_ns\":{},\
-             \"liveness_violations\":{}}}",
+             \"liveness_violations\":{},\"latency_budget_violations\":{},\
+             \"trace_events_dropped\":{}}}",
             self.view_changes_started,
             self.view_changes_completed,
             self.checkpoints_stable,
@@ -528,7 +604,9 @@ impl Coverage {
             self.client_ops_submitted,
             self.client_ops_completed,
             self.heal_to_progress_ns,
-            self.liveness_violations
+            self.liveness_violations,
+            self.latency_budget_violations,
+            self.trace_events_dropped
         )
     }
 }
@@ -538,7 +616,7 @@ impl fmt::Display for Coverage {
         write!(
             f,
             "vc={}/{} ckpt={} st={}/{} rec={}/{} rec_part={} repairs={} retx={} degr={} \
-             ops={}/{} heal_ms={} viol={}",
+             ops={}/{} heal_ms={} viol={} budget_viol={} dropped={}",
             self.view_changes_started,
             self.view_changes_completed,
             self.checkpoints_stable,
@@ -553,7 +631,9 @@ impl fmt::Display for Coverage {
             self.client_ops_submitted,
             self.client_ops_completed,
             self.heal_to_progress_ns / 1_000_000,
-            self.liveness_violations
+            self.liveness_violations,
+            self.latency_budget_violations,
+            self.trace_events_dropped
         )
     }
 }
@@ -637,9 +717,14 @@ pub fn run_one<H: ChaosHarness>(
     // after its faults heal is reported as a liveness failure even when the
     // harness's own (safety-oriented) audit would also object.
     let events = sim.trace_snapshot();
+    let trace_events_dropped = sim.trace_sink().dropped();
     let violations =
         audit_liveness_bounds(&events, schedule, &harness.liveness_bounds(), run_end);
-    let verdict = match violations.first() {
+    let budget_violations = match harness.latency_budget() {
+        Some(budget) => audit_latency_budget(&events, schedule, budget),
+        None => Vec::new(),
+    };
+    let verdict = match violations.first().or_else(|| budget_violations.first()) {
         Some(v) => {
             trace.push(format!("liveness: {v}"));
             Err(v.clone())
@@ -648,6 +733,8 @@ pub fn run_one<H: ChaosHarness>(
     };
     let mut coverage = Coverage::from_trace(&events, schedule);
     coverage.liveness_violations = violations.len() as u64;
+    coverage.latency_budget_violations = budget_violations.len() as u64;
+    coverage.trace_events_dropped = trace_events_dropped;
     trace.push(format!("coverage: {coverage}"));
     (RunOutcome { trace, stats: sim.stats().clone(), events, coverage }, verdict)
 }

@@ -7,8 +7,14 @@ use std::collections::BinaryHeap;
 
 #[derive(Debug)]
 pub(crate) enum EventKind {
-    Deliver { from: NodeId, to: NodeId, payload: Payload },
-    Timer { node: NodeId, token: u64, id: TimerId },
+    /// `arrived` is the wire arrival instant; it is preserved when a
+    /// delivery is re-queued because the destination was busy, so the gap
+    /// between `arrived` and the handling time is the event-loop lag the
+    /// message experienced at the destination.
+    Deliver { from: NodeId, to: NodeId, payload: Payload, arrived: SimTime },
+    /// `due` is the originally scheduled fire instant, preserved across
+    /// busy/crash deferrals for the same reason.
+    Timer { node: NodeId, token: u64, id: TimerId, due: SimTime },
 }
 
 #[derive(Debug)]
@@ -86,9 +92,9 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::default();
-        q.push(SimTime(30), EventKind::Timer { node: NodeId(0), token: 3, id: TimerId(0) });
-        q.push(SimTime(10), EventKind::Timer { node: NodeId(0), token: 1, id: TimerId(1) });
-        q.push(SimTime(20), EventKind::Timer { node: NodeId(0), token: 2, id: TimerId(2) });
+        q.push(SimTime(30), EventKind::Timer { node: NodeId(0), token: 3, id: TimerId(0), due: SimTime(30) });
+        q.push(SimTime(10), EventKind::Timer { node: NodeId(0), token: 1, id: TimerId(1), due: SimTime(10) });
+        q.push(SimTime(20), EventKind::Timer { node: NodeId(0), token: 2, id: TimerId(2), due: SimTime(20) });
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
                 EventKind::Timer { token, .. } => token,
@@ -102,7 +108,7 @@ mod tests {
     fn equal_times_pop_in_insertion_order() {
         let mut q = EventQueue::default();
         for token in 0..10 {
-            q.push(SimTime(5), EventKind::Timer { node: NodeId(0), token, id: TimerId(token) });
+            q.push(SimTime(5), EventKind::Timer { node: NodeId(0), token, id: TimerId(token), due: SimTime(5) });
         }
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {

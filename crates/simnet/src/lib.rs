@@ -67,6 +67,7 @@ pub mod faults;
 pub mod metrics;
 pub mod rtt;
 mod sim;
+pub mod span;
 mod stats;
 mod time;
 pub mod trace;
@@ -78,6 +79,7 @@ pub use faults::{FilterAction, NetFilter};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use rtt::RttEstimator;
 pub use sim::Simulation;
+pub use span::{build_spans, export_perfetto, render_spans, OpSpan, PhaseBreakdown, Segments};
 pub use stats::NetStats;
 pub use time::{SimDuration, SimTime};
 pub use trace::{NullSink, ProtocolEvent, RingBufferSink, TraceEvent, TraceSink, VecSink};

@@ -200,12 +200,14 @@ impl MetricsRegistry {
             }
             let _ = write!(
                 out,
-                "\"{name}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.1}}}",
+                "\"{name}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.1},\
+                 \"p999\":{}}}",
                 h.count(),
                 h.sum(),
                 h.min(),
                 h.max(),
-                h.mean()
+                h.mean(),
+                h.quantile(0.999)
             );
         }
         out.push_str("}}");
@@ -271,6 +273,32 @@ mod tests {
         // Out-of-range q clamps rather than panicking.
         assert_eq!(h.quantile(-1.0), 7);
         assert_eq!(h.quantile(2.0), 1023);
+    }
+
+    #[test]
+    fn p999_from_buckets_is_exact_at_the_rank_boundary() {
+        // 999 samples in the [4,7] bucket plus one tail sample: rank
+        // ceil(0.999 * 1000) = 999 is the last sample still inside the
+        // first bucket, so p999 reports that bucket's upper bound.
+        let mut h = Histogram::default();
+        for _ in 0..999 {
+            h.observe(4);
+        }
+        h.observe(1000);
+        assert_eq!(h.quantile(0.999), 7);
+        // One more tail sample shifts rank 1000 across the boundary: with
+        // 998 + 2 the 0.999 rank lands in the [512,1023] bucket.
+        let mut h = Histogram::default();
+        for _ in 0..998 {
+            h.observe(4);
+        }
+        h.observe(1000);
+        h.observe(1000);
+        assert_eq!(h.quantile(0.999), 1023);
+        // p999 shows up in the JSON rendering.
+        let mut m = MetricsRegistry::new();
+        m.observe("lat", 4);
+        assert!(m.to_json().contains("\"p999\":7"), "{}", m.to_json());
     }
 
     #[test]

@@ -24,6 +24,10 @@ struct NodeSlot {
     cancelled_timers: HashSet<u64>,
     /// Per-node deterministic RNG handed to the actor.
     rng: StdRng,
+    /// Message deliveries currently queued for this node (incremented when
+    /// a delivery is scheduled, decremented when it is handled or lost to a
+    /// crash). Surfaced to handlers as the inbox depth at dequeue.
+    inbox_depth: u32,
 }
 
 /// A deterministic discrete-event simulation of a message-passing system.
@@ -77,6 +81,7 @@ impl Simulation {
             crashed_until: None,
             cancelled_timers: HashSet::new(),
             rng,
+            inbox_depth: 0,
         });
         id
     }
@@ -272,25 +277,30 @@ impl Simulation {
         self.now = event.time;
 
         match event.kind {
-            EventKind::Deliver { from, to, payload } => {
+            EventKind::Deliver { from, to, payload, arrived } => {
                 let slot = &mut self.nodes[to.0];
                 if let Some(t) = slot.crashed_until {
                     if self.now < t {
+                        slot.inbox_depth = slot.inbox_depth.saturating_sub(1);
                         self.stats.record_drop();
                         return;
                     }
                     slot.crashed_until = None;
                 }
                 if slot.busy_until > self.now {
-                    // Node is mid-computation; defer the delivery.
+                    // Node is mid-computation; defer the delivery. The
+                    // original arrival instant rides along so the lag the
+                    // deferral causes stays observable.
                     let t = slot.busy_until;
-                    self.queue.push(t, EventKind::Deliver { from, to, payload });
+                    self.queue.push(t, EventKind::Deliver { from, to, payload, arrived });
                     return;
                 }
+                slot.inbox_depth = slot.inbox_depth.saturating_sub(1);
+                let lag = self.now.since(arrived);
                 self.stats.record_delivery(to, payload.len());
-                self.invoke(to, |actor, ctx| actor.on_message(from, &payload, ctx));
+                self.invoke_with_lag(to, lag, |actor, ctx| actor.on_message(from, &payload, ctx));
             }
-            EventKind::Timer { node, token, id } => {
+            EventKind::Timer { node, token, id, due } => {
                 let slot = &mut self.nodes[node.0];
                 if slot.cancelled_timers.remove(&id.0) {
                     return;
@@ -302,7 +312,7 @@ impl Simulation {
                         // are lost). This keeps periodic timer chains
                         // alive across crash windows.
                         if t != SimTime(u64::MAX) {
-                            self.queue.push(t, EventKind::Timer { node, token, id });
+                            self.queue.push(t, EventKind::Timer { node, token, id, due });
                         }
                         return;
                     }
@@ -310,16 +320,27 @@ impl Simulation {
                 }
                 if slot.busy_until > self.now {
                     let t = slot.busy_until;
-                    self.queue.push(t, EventKind::Timer { node, token, id });
+                    self.queue.push(t, EventKind::Timer { node, token, id, due });
                     return;
                 }
-                self.invoke(node, |actor, ctx| actor.on_timer(token, ctx));
+                let lag = self.now.since(due);
+                self.invoke_with_lag(node, lag, |actor, ctx| actor.on_timer(token, ctx));
             }
         }
     }
 
     /// Runs one handler on `node` and applies its effects.
     fn invoke<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn Actor, &mut Context<'_>),
+    {
+        self.invoke_with_lag(node, SimDuration::ZERO, f)
+    }
+
+    /// [`Simulation::invoke`] with the event-loop lag the triggering event
+    /// experienced (time it spent deferred behind a busy or rebooting
+    /// node), surfaced to the handler via [`Context::sched_lag`].
+    fn invoke_with_lag<F>(&mut self, node: NodeId, sched_lag: SimDuration, f: F)
     where
         F: FnOnce(&mut dyn Actor, &mut Context<'_>),
     {
@@ -336,6 +357,8 @@ impl Simulation {
             rng: &mut slot.rng,
             trace: self.trace.as_mut(),
             trace_enabled,
+            sched_lag,
+            inbox_depth: slot.inbox_depth,
         };
         f(slot.actor.as_mut(), &mut ctx);
 
@@ -353,7 +376,8 @@ impl Simulation {
                     self.route_message(node, to, payload, done_at);
                 }
                 Effect::SetTimer { delay, token, id } => {
-                    self.queue.push(done_at + delay, EventKind::Timer { node, token, id });
+                    let due = done_at + delay;
+                    self.queue.push(due, EventKind::Timer { node, token, id, due });
                 }
                 Effect::CancelTimer(TimerId(id)) => {
                     self.nodes[node.0].cancelled_timers.insert(id);
@@ -416,16 +440,24 @@ impl Simulation {
                     FilterAction::Delay(d) => arrival += d,
                     FilterAction::Rewrite(p) => deliver_payload = p.into(),
                     FilterAction::Duplicate(d) => {
+                        self.nodes[to.0].inbox_depth += 1;
                         self.queue.push(
                             arrival + d,
-                            EventKind::Deliver { from, to, payload: deliver_payload.clone() },
+                            EventKind::Deliver {
+                                from,
+                                to,
+                                payload: deliver_payload.clone(),
+                                arrived: arrival + d,
+                            },
                         );
                     }
                 }
             }
         }
 
-        self.queue.push(arrival, EventKind::Deliver { from, to, payload: deliver_payload });
+        self.nodes[to.0].inbox_depth += 1;
+        self.queue
+            .push(arrival, EventKind::Deliver { from, to, payload: deliver_payload, arrived: arrival });
     }
 }
 

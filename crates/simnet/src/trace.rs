@@ -68,6 +68,42 @@ pub enum ProtocolEvent {
     ClientOpSubmitted,
     /// A client accepted a reply certificate and completed an operation.
     ClientOpCompleted,
+    /// The primary assigned a client request to an agreement slot and
+    /// multicast the pre-prepare. Emitted once per request in the batch at
+    /// the slot's (view, seq); `client`/`ts` name the operation, which is
+    /// the causal edge the span layer uses to connect
+    /// [`ClientOpSubmitted`](Self::ClientOpSubmitted) to the agreement
+    /// instance. `queue_ns` is the event-loop lag the triggering message
+    /// experienced at the primary (time spent queued behind a busy actor).
+    RequestProposed {
+        /// Client node id of the proposed request.
+        client: u64,
+        /// Client-assigned request timestamp (the op key).
+        ts: u64,
+        /// Scheduling delay at the primary before the proposal ran, ns.
+        queue_ns: u64,
+    },
+    /// A backup accepted and logged a pre-prepare for this (view, seq) and
+    /// sent its prepare. `queue_ns` is the backup's event-loop lag when the
+    /// pre-prepare was handled.
+    PrePrepareLogged {
+        /// Scheduling delay at the backup before the pre-prepare ran, ns.
+        queue_ns: u64,
+    },
+    /// A replica collected a prepare certificate (pre-prepare + 2f matching
+    /// prepares) for this (view, seq) and sent its commit.
+    PrepareQuorum,
+    /// A replica collected a commit certificate (2f+1 matching commits) for
+    /// this (view, seq); the batch is now committed locally.
+    CommitQuorum,
+    /// A replica sent (or re-sent) a reply to `client` for the operation
+    /// stamped `ts` — the last replica-side hop of the span graph.
+    ReplySent {
+        /// Destination client node id.
+        client: u64,
+        /// Client-assigned request timestamp (the op key).
+        ts: u64,
+    },
 }
 
 impl ProtocolEvent {
@@ -87,6 +123,11 @@ impl ProtocolEvent {
             ProtocolEvent::ReplyQuorumDegraded => "reply_quorum_degraded",
             ProtocolEvent::ClientOpSubmitted => "client_op_submitted",
             ProtocolEvent::ClientOpCompleted => "client_op_completed",
+            ProtocolEvent::RequestProposed { .. } => "request_proposed",
+            ProtocolEvent::PrePrepareLogged { .. } => "pre_prepare_logged",
+            ProtocolEvent::PrepareQuorum => "prepare_quorum",
+            ProtocolEvent::CommitQuorum => "commit_quorum",
+            ProtocolEvent::ReplySent { .. } => "reply_sent",
         }
     }
 }
@@ -125,6 +166,15 @@ impl TraceEvent {
             ProtocolEvent::RequestExecuted { batch } => {
                 extra = format!(",\"batch\":{batch}");
             }
+            ProtocolEvent::RequestProposed { client, ts, queue_ns } => {
+                extra = format!(",\"client\":{client},\"ts\":{ts},\"queue_ns\":{queue_ns}");
+            }
+            ProtocolEvent::PrePrepareLogged { queue_ns } => {
+                extra = format!(",\"queue_ns\":{queue_ns}");
+            }
+            ProtocolEvent::ReplySent { client, ts } => {
+                extra = format!(",\"client\":{client},\"ts\":{ts}");
+            }
             _ => {}
         }
         format!(
@@ -154,6 +204,13 @@ pub trait TraceSink {
 
     /// The recorded events, oldest first (empty for non-recording sinks).
     fn snapshot(&self) -> Vec<TraceEvent>;
+
+    /// Events the sink discarded (capacity eviction). Non-zero means
+    /// `snapshot()` is a suffix of the real stream and span reconstruction
+    /// over it may be incomplete; campaigns surface this in coverage.
+    fn dropped(&self) -> u64 {
+        0
+    }
 }
 
 /// The default sink: disabled, records nothing.
@@ -208,6 +265,10 @@ impl TraceSink for RingBufferSink {
 
     fn snapshot(&self) -> Vec<TraceEvent> {
         self.buf.iter().copied().collect()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
     }
 }
 

@@ -72,6 +72,15 @@ pub fn format_event(ev: &TraceEvent) -> String {
         ProtocolEvent::RequestExecuted { batch } => {
             let _ = write!(s, " batch={batch}");
         }
+        ProtocolEvent::RequestProposed { client, ts, queue_ns } => {
+            let _ = write!(s, " client={client} ts={ts} queue_ns={queue_ns}");
+        }
+        ProtocolEvent::PrePrepareLogged { queue_ns } => {
+            let _ = write!(s, " queue_ns={queue_ns}");
+        }
+        ProtocolEvent::ReplySent { client, ts } => {
+            let _ = write!(s, " client={client} ts={ts}");
+        }
         _ => {}
     }
     s
@@ -232,6 +241,20 @@ pub fn parse_jsonl(input: &str) -> Result<Vec<TraceEvent>, String> {
             "reply_quorum_degraded" => ProtocolEvent::ReplyQuorumDegraded,
             "client_op_submitted" => ProtocolEvent::ClientOpSubmitted,
             "client_op_completed" => ProtocolEvent::ClientOpCompleted,
+            "request_proposed" => ProtocolEvent::RequestProposed {
+                client: field_u64(line, "client", lineno)?,
+                ts: field_u64(line, "ts", lineno)?,
+                queue_ns: field_u64(line, "queue_ns", lineno)?,
+            },
+            "pre_prepare_logged" => ProtocolEvent::PrePrepareLogged {
+                queue_ns: field_u64(line, "queue_ns", lineno)?,
+            },
+            "prepare_quorum" => ProtocolEvent::PrepareQuorum,
+            "commit_quorum" => ProtocolEvent::CommitQuorum,
+            "reply_sent" => ProtocolEvent::ReplySent {
+                client: field_u64(line, "client", lineno)?,
+                ts: field_u64(line, "ts", lineno)?,
+            },
             other => return Err(format!("line {lineno}: unknown event \"{other}\"")),
         };
         events.push(TraceEvent {
@@ -322,6 +345,79 @@ mod tests {
         ];
         let parsed = parse_jsonl(&export_jsonl(&t)).expect("parse");
         assert_eq!(parsed, t);
+    }
+
+    /// Maps each variant to a dense index. The wildcard-free match makes
+    /// adding a `ProtocolEvent` variant a compile error here until this
+    /// function (and `VARIANT_COUNT`) grow with it, and the exhaustive
+    /// round-trip test below then fails until the new variant is added to
+    /// its exemplar list — so no variant can silently fall out of tracediff.
+    fn variant_index(e: &ProtocolEvent) -> usize {
+        match e {
+            ProtocolEvent::ViewChangeStarted => 0,
+            ProtocolEvent::ViewChangeCompleted => 1,
+            ProtocolEvent::CheckpointStable => 2,
+            ProtocolEvent::StateTransferFetchStarted => 3,
+            ProtocolEvent::StateTransferFetchChunk { .. } => 4,
+            ProtocolEvent::StateTransferFetchCompleted { .. } => 5,
+            ProtocolEvent::RecoveryStarted => 6,
+            ProtocolEvent::RecoveryCompleted { .. } => 7,
+            ProtocolEvent::RequestExecuted { .. } => 8,
+            ProtocolEvent::ClientRetransmit => 9,
+            ProtocolEvent::ReplyQuorumDegraded => 10,
+            ProtocolEvent::ClientOpSubmitted => 11,
+            ProtocolEvent::ClientOpCompleted => 12,
+            ProtocolEvent::RequestProposed { .. } => 13,
+            ProtocolEvent::PrePrepareLogged { .. } => 14,
+            ProtocolEvent::PrepareQuorum => 15,
+            ProtocolEvent::CommitQuorum => 16,
+            ProtocolEvent::ReplySent { .. } => 17,
+        }
+    }
+
+    const VARIANT_COUNT: usize = 18;
+
+    #[test]
+    fn every_variant_round_trips_with_name_intact() {
+        let exemplars = vec![
+            ProtocolEvent::ViewChangeStarted,
+            ProtocolEvent::ViewChangeCompleted,
+            ProtocolEvent::CheckpointStable,
+            ProtocolEvent::StateTransferFetchStarted,
+            ProtocolEvent::StateTransferFetchChunk { bytes: 640 },
+            ProtocolEvent::StateTransferFetchCompleted { objects: 12 },
+            ProtocolEvent::RecoveryStarted,
+            ProtocolEvent::RecoveryCompleted { repaired_corruption: true },
+            ProtocolEvent::RequestExecuted { batch: 3 },
+            ProtocolEvent::ClientRetransmit,
+            ProtocolEvent::ReplyQuorumDegraded,
+            ProtocolEvent::ClientOpSubmitted,
+            ProtocolEvent::ClientOpCompleted,
+            ProtocolEvent::RequestProposed { client: 4, ts: 7, queue_ns: 1500 },
+            ProtocolEvent::PrePrepareLogged { queue_ns: 2500 },
+            ProtocolEvent::PrepareQuorum,
+            ProtocolEvent::CommitQuorum,
+            ProtocolEvent::ReplySent { client: 4, ts: 7 },
+        ];
+        let mut seen = vec![false; VARIANT_COUNT];
+        for e in &exemplars {
+            seen[variant_index(e)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "exemplar list misses a ProtocolEvent variant: {seen:?}"
+        );
+
+        let trace: Vec<TraceEvent> = exemplars
+            .iter()
+            .enumerate()
+            .map(|(i, &event)| ev(100 + i as u64, i % 5, i as u64, 2 * i as u64, event))
+            .collect();
+        let parsed = parse_jsonl(&export_jsonl(&trace)).expect("parse");
+        assert_eq!(parsed, trace);
+        for (orig, round) in trace.iter().zip(&parsed) {
+            assert_eq!(orig.event.name(), round.event.name());
+        }
     }
 
     #[test]

@@ -8,7 +8,10 @@
 # must complete client operations, carry the liveness_violations field
 # (and report zero violations — a passing campaign with violations means
 # the auditor verdicts are being dropped somewhere), and complete every
-# operation it submitted.
+# operation it submitted. Finally it gates trace_events_dropped == 0: a
+# campaign whose trace ring buffer evicted events has undercounted
+# coverage and rebuilt incomplete span graphs, so its numbers cannot be
+# trusted.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,8 +31,10 @@ for f in "${files[@]}"; do
   submitted=$(grep -o '"client_ops_submitted":[0-9]*' "$f" | head -n1 | cut -d: -f2)
   completed=$(grep -o '"client_ops_completed":[0-9]*' "$f" | head -n1 | cut -d: -f2)
   violations=$(grep -o '"liveness_violations":[0-9]*' "$f" | head -n1 | cut -d: -f2)
+  dropped=$(grep -o '"trace_events_dropped":[0-9]*' "$f" | head -n1 | cut -d: -f2)
   echo "$(basename "$f"): runs=${runs:-?} view_changes_started=${vc:-?}" \
-    "client_ops=${completed:-?}/${submitted:-?} liveness_violations=${violations:-?}"
+    "client_ops=${completed:-?}/${submitted:-?} liveness_violations=${violations:-?}" \
+    "trace_events_dropped=${dropped:-?}"
   if [ -z "${vc:-}" ]; then
     echo "error: $f has no view_changes_started counter" >&2
     status=1
@@ -42,6 +47,13 @@ for f in "${files[@]}"; do
     status=1
   elif [ "$violations" -ne 0 ]; then
     echo "error: $f reports $violations liveness violations in a passing campaign" >&2
+    status=1
+  fi
+  if [ -z "${dropped:-}" ]; then
+    echo "error: $f has no trace_events_dropped counter (sink accounting not wired?)" >&2
+    status=1
+  elif [ "$dropped" -ne 0 ]; then
+    echo "error: $f dropped $dropped trace events (ring buffer too small for this campaign)" >&2
     status=1
   fi
   if [ -z "${completed:-}" ] || [ "$completed" -eq 0 ]; then

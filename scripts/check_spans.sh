@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Span/Perfetto determinism gate: re-runs the canonical counter acceptance
+# scenario, rebuilds its causal span graph, and byte-compares both span
+# renderings — the per-op span lines + phase breakdown (counter.spans.txt)
+# and the Chrome-trace-format export (counter.perfetto.json) — against the
+# blessed copies under crates/bench/tests/snapshots/spans/.
+#
+# Span reconstruction is a pure function of the (deterministic) trace, so
+# any diff here means either the protocol's causal structure changed (view
+# the companion trace gate) or the span layer's attribution changed. Both
+# are intentional-change-or-bug situations a reviewer should see.
+#
+# Usage:
+#   scripts/check_spans.sh           # verify against the blessed artifacts
+#   scripts/check_spans.sh --bless   # regenerate the blessed artifacts
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SNAPDIR=crates/bench/tests/snapshots/spans
+OUTDIR=target/spans
+FILES="counter.spans.txt counter.perfetto.json"
+
+cargo build --release -q -p base-bench --bin repro
+
+mkdir -p "$OUTDIR"
+./target/release/repro --export counter --perfetto --out "$OUTDIR" >/dev/null
+
+if [ "${1:-}" = "--bless" ]; then
+  mkdir -p "$SNAPDIR"
+  for f in $FILES; do
+    cp "$OUTDIR/$f" "$SNAPDIR/$f"
+  done
+  echo "blessed: $SNAPDIR/{counter.spans.txt,counter.perfetto.json}"
+  exit 0
+fi
+
+status=0
+for f in $FILES; do
+  if diff -u "$SNAPDIR/$f" "$OUTDIR/$f" >"$OUTDIR/$f.diff" 2>&1; then
+    echo "span gate: $f OK"
+  else
+    echo "span gate: $f DIVERGED" >&2
+    head -n 40 "$OUTDIR/$f.diff" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "intentional span-layer change? run: scripts/check_spans.sh --bless" >&2
+fi
+exit "$status"
