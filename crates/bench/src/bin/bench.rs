@@ -23,7 +23,7 @@
 //! multiple (default 3x).
 
 use base::{BaseService, ModifyLog, Wrapper};
-use base_bench::experiments::throughput::measure_throughput;
+use base_bench::experiments::throughput::{measure_throughput, measure_throughput_with};
 use base_crypto::Digest;
 use base_pbft::chaos::{CounterChaosHarness, APP_BYZ};
 use base_pbft::messages::{Message, MetaReplyMsg, ObjectReplyMsg};
@@ -50,6 +50,12 @@ const E9_OPS_PER_CLIENT: usize = 150;
 /// blocks; KiB-sized values are what exercise the wire-copy and digest
 /// paths the fabric optimizes.
 const E9_VALUE_BYTES: usize = 1024;
+/// Pipeline A/B cell: the E9 workload with agreement/execution decoupled.
+/// The serial side pins `pipeline_depth = 1`; both sides share the raised
+/// inflight window so the gate under test is the pipeline depth alone.
+const PIPE_MAX_INFLIGHT: u64 = 4;
+const DEFAULT_PIPELINE_DEPTH: u64 = 4;
+const DEFAULT_EXEC_WORKERS: usize = 2;
 /// Campaign shape: seeds and worker count.
 const CAMPAIGN_SEEDS: std::ops::Range<u64> = 6200..6212;
 const CAMPAIGN_WORKERS: usize = 4;
@@ -77,12 +83,14 @@ struct Opts {
     threshold: f64,
     ddmin_workers: usize,
     digest_workers: usize,
+    pipeline_depth: u64,
+    exec_workers: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench [--json] [--out DIR] [--stamp STAMP] [--ddmin-workers N] \
-         [--digest-workers N]\n\
+         [--digest-workers N] [--pipeline-depth N] [--exec-workers N]\n\
          \x20      bench --check BASELINE.json [--threshold X]\n\
          \x20      bench --perfetto [--out DIR]   # export the E9 cell's span \
          graph as Chrome trace JSON"
@@ -107,6 +115,11 @@ fn parse_args() -> Opts {
         // worker-count-invariant, but the default stays sequential so the
         // recorded wall-clock is comparable across runs of one machine.
         digest_workers: 1,
+        // The pipelined side of the A/B cell. Depth changes the agreed
+        // schedule (deterministically, per seed), so the default is part
+        // of the recorded baseline; exec workers are charge-neutral.
+        pipeline_depth: DEFAULT_PIPELINE_DEPTH,
+        exec_workers: DEFAULT_EXEC_WORKERS,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -129,6 +142,12 @@ fn parse_args() -> Opts {
             }
             "--digest-workers" => {
                 opts.digest_workers = need(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--pipeline-depth" => {
+                opts.pipeline_depth = need(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--exec-workers" => {
+                opts.exec_workers = need(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--help" | "-h" => usage(),
             other => {
@@ -450,6 +469,48 @@ fn measure_transfer() -> TransferOut {
     }
 }
 
+struct PipelineOut {
+    depth: u64,
+    workers: usize,
+    serial_sim_ops_per_sec: u64,
+    piped_sim_ops_per_sec: u64,
+    piped_exec_groups_milli: u64,
+    piped_exec_serial_ns: u64,
+    piped_exec_makespan_ns: u64,
+    wall_ms: u64,
+}
+
+/// Pipeline A/B: the E9 cell with `pipeline_depth = 1` versus the
+/// configured depth/worker pair, both at the same raised inflight window.
+/// All sim quantities are deterministic; the mean group occupancy is
+/// recorded in milligroups to keep the JSON schema integral.
+fn measure_pipeline(depth: u64, workers: usize) -> PipelineOut {
+    let t0 = Instant::now();
+    let serial = measure_throughput_with(E9_CLIENTS, E9_OPS_PER_CLIENT, E9_VALUE_BYTES, |cfg| {
+        cfg.max_inflight = PIPE_MAX_INFLIGHT;
+        cfg.pipeline_depth = 1;
+    });
+    let piped = measure_throughput_with(E9_CLIENTS, E9_OPS_PER_CLIENT, E9_VALUE_BYTES, |cfg| {
+        cfg.max_inflight = PIPE_MAX_INFLIGHT;
+        cfg.pipeline_depth = depth;
+        cfg.exec_workers = workers;
+    });
+    let wall_ms = t0.elapsed().as_millis() as u64;
+    let rate = |s: &base_bench::experiments::throughput::ThroughputSample| {
+        (s.ops as f64 / (s.elapsed_ns as f64 / 1e9)).round() as u64
+    };
+    PipelineOut {
+        depth,
+        workers,
+        serial_sim_ops_per_sec: rate(&serial),
+        piped_sim_ops_per_sec: rate(&piped),
+        piped_exec_groups_milli: (piped.exec_groups_mean * 1000.0).round() as u64,
+        piped_exec_serial_ns: piped.exec_serial_ns,
+        piped_exec_makespan_ns: piped.exec_makespan_ns,
+        wall_ms,
+    }
+}
+
 struct BenchReport {
     e9_ops: u64,
     e9_sim_ops_per_sec: u64,
@@ -468,9 +529,15 @@ struct BenchReport {
     ckpt_digest_workers: usize,
     ckpt: CheckpointOut,
     transfer: TransferOut,
+    pipeline: PipelineOut,
 }
 
-fn measure(ddmin_workers: usize, digest_workers: usize) -> BenchReport {
+fn measure(
+    ddmin_workers: usize,
+    digest_workers: usize,
+    pipeline_depth: u64,
+    exec_workers: usize,
+) -> BenchReport {
     // E9 batching throughput: sim ops/s is deterministic; wall-clock is
     // what the zero-copy/memoization work moves.
     let t0 = Instant::now();
@@ -515,6 +582,7 @@ fn measure(ddmin_workers: usize, digest_workers: usize) -> BenchReport {
 
     let ckpt = measure_checkpoint(digest_workers);
     let transfer = measure_transfer();
+    let pipeline = measure_pipeline(pipeline_depth, exec_workers);
 
     BenchReport {
         e9_ops: e9.ops,
@@ -534,6 +602,7 @@ fn measure(ddmin_workers: usize, digest_workers: usize) -> BenchReport {
         ckpt_digest_workers: digest_workers,
         ckpt,
         transfer,
+        pipeline,
     }
 }
 
@@ -554,7 +623,10 @@ impl BenchReport {
              \"wall_ms\":{}}},\
              \"transfer\":{{\"window\":{},\"rounds_serial\":{},\"rounds_windowed\":{},\
              \"meta_queries\":{},\"objects_fetched\":{},\"fetched_bytes\":{},\
-             \"wall_ms\":{}}}}}",
+             \"wall_ms\":{}}},\
+             \"pipeline\":{{\"depth\":{},\"workers\":{},\"serial_sim_ops_per_sec\":{},\
+             \"piped_sim_ops_per_sec\":{},\"exec_groups_milli\":{},\
+             \"exec_serial_ns\":{},\"exec_makespan_ns\":{},\"wall_ms\":{}}}}}",
             E9_CLIENTS,
             self.e9_ops,
             self.e9_sim_ops_per_sec,
@@ -584,6 +656,14 @@ impl BenchReport {
             self.transfer.objects_fetched,
             self.transfer.fetched_bytes,
             self.transfer.wall_ms,
+            self.pipeline.depth,
+            self.pipeline.workers,
+            self.pipeline.serial_sim_ops_per_sec,
+            self.pipeline.piped_sim_ops_per_sec,
+            self.pipeline.piped_exec_groups_milli,
+            self.pipeline.piped_exec_serial_ns,
+            self.pipeline.piped_exec_makespan_ns,
+            self.pipeline.wall_ms,
         );
         out
     }
@@ -633,6 +713,18 @@ impl BenchReport {
             self.transfer.fetched_bytes,
             self.transfer.wall_ms
         );
+        println!(
+            "pipeline: depth={} workers={} serial_ops/s={} piped_ops/s={} \
+             groups/batch={:.2} exec_serial={}ms exec_makespan={}ms wall={}ms",
+            self.pipeline.depth,
+            self.pipeline.workers,
+            self.pipeline.serial_sim_ops_per_sec,
+            self.pipeline.piped_sim_ops_per_sec,
+            self.pipeline.piped_exec_groups_milli as f64 / 1000.0,
+            self.pipeline.piped_exec_serial_ns / 1_000_000,
+            self.pipeline.piped_exec_makespan_ns / 1_000_000,
+            self.pipeline.wall_ms
+        );
     }
 }
 
@@ -658,6 +750,8 @@ fn check(
     threshold: f64,
     ddmin_workers: usize,
     digest_workers: usize,
+    pipeline_depth: u64,
+    exec_workers: usize,
 ) -> ExitCode {
     let baseline = match std::fs::read_to_string(baseline_path) {
         Ok(s) => s,
@@ -666,7 +760,7 @@ fn check(
             return ExitCode::from(2);
         }
     };
-    let fresh = measure(ddmin_workers, digest_workers);
+    let fresh = measure(ddmin_workers, digest_workers, pipeline_depth, exec_workers);
     let fresh_json = fresh.to_json("check");
     let mut failures = Vec::new();
 
@@ -688,6 +782,11 @@ fn check(
         ("transfer", "meta_queries", fresh.transfer.meta_queries as f64),
         ("transfer", "objects_fetched", fresh.transfer.objects_fetched as f64),
         ("transfer", "fetched_bytes", fresh.transfer.fetched_bytes as f64),
+        ("pipeline", "serial_sim_ops_per_sec", fresh.pipeline.serial_sim_ops_per_sec as f64),
+        ("pipeline", "piped_sim_ops_per_sec", fresh.pipeline.piped_sim_ops_per_sec as f64),
+        ("pipeline", "exec_groups_milli", fresh.pipeline.piped_exec_groups_milli as f64),
+        ("pipeline", "exec_serial_ns", fresh.pipeline.piped_exec_serial_ns as f64),
+        ("pipeline", "exec_makespan_ns", fresh.pipeline.piped_exec_makespan_ns as f64),
     ] {
         match field(&baseline, section, key) {
             Some(expected) if (expected - actual).abs() < 0.5 => {}
@@ -705,6 +804,7 @@ fn check(
         ("ddmin", fresh.ddmin_wall_ms as f64),
         ("checkpoint", fresh.ckpt.wall_ms as f64),
         ("transfer", fresh.transfer.wall_ms as f64),
+        ("pipeline", fresh.pipeline.wall_ms as f64),
     ] {
         if let Some(expected) = field(&baseline, section, "wall_ms") {
             if actual > (expected * threshold).max(50.0) {
@@ -765,12 +865,20 @@ fn export_perfetto_artifacts(out: &std::path::Path) -> ExitCode {
 fn main() -> ExitCode {
     let opts = parse_args();
     if let Some(baseline) = &opts.check {
-        return check(baseline, opts.threshold, opts.ddmin_workers, opts.digest_workers);
+        return check(
+            baseline,
+            opts.threshold,
+            opts.ddmin_workers,
+            opts.digest_workers,
+            opts.pipeline_depth,
+            opts.exec_workers,
+        );
     }
     if opts.perfetto {
         return export_perfetto_artifacts(&opts.out);
     }
-    let report = measure(opts.ddmin_workers, opts.digest_workers);
+    let report =
+        measure(opts.ddmin_workers, opts.digest_workers, opts.pipeline_depth, opts.exec_workers);
     if opts.json {
         let stamp = opts.stamp.clone().unwrap_or_else(|| {
             let secs = std::time::SystemTime::now()

@@ -69,13 +69,25 @@ pub struct NfsChaosHarness {
     pub with_latent_bug: bool,
     /// Gap between relay submissions.
     pub pace: SimDuration,
+    /// Consensus pipeline depth the group runs with
+    /// ([`Config::pipeline_depth`]).
+    pub pipeline_depth: u64,
+    /// Execution worker count ([`Config::exec_workers`]).
+    pub exec_workers: usize,
     bed: Option<NfsTestbed>,
 }
 
 impl NfsChaosHarness {
     /// Creates a harness for `mix`.
     pub fn new(mix: FsMix) -> Self {
-        Self { mix, with_latent_bug: false, pace: SimDuration::from_millis(300), bed: None }
+        Self {
+            mix,
+            with_latent_bug: false,
+            pace: SimDuration::from_millis(300),
+            pipeline_depth: 16,
+            exec_workers: 1,
+            bed: None,
+        }
     }
 
     /// The schedule-generation config matching this harness.
@@ -119,6 +131,8 @@ impl ChaosHarness for NfsChaosHarness {
                 cfg.checkpoint_interval = 4;
                 cfg.log_window = 32;
                 cfg.reboot_time = SimDuration::from_millis(100);
+                cfg.pipeline_depth = self.pipeline_depth;
+                cfg.exec_workers = self.exec_workers;
             },
         );
         set_recovery_clean_all(&mut sim, &bed, false);

@@ -32,6 +32,15 @@ pub struct ThroughputSample {
     /// The raw causal trace the phases were derived from, for the span
     /// snapshot gate and the Perfetto exporter.
     pub trace: Vec<base_simnet::TraceEvent>,
+    /// Mean conflict groups per executed batch at the primary
+    /// (`base.exec_groups`).
+    pub exec_groups_mean: f64,
+    /// Summed serialized execution cost across the primary's batches
+    /// (`base.exec_serial_ns`).
+    pub exec_serial_ns: u64,
+    /// Summed grouped-makespan cost at the configured worker count
+    /// (`base.exec_makespan_ns`); equals `exec_serial_ns` at one worker.
+    pub exec_makespan_ns: u64,
 }
 
 /// Runs one E9 cell and returns its measurements.
@@ -45,11 +54,24 @@ pub fn measure_throughput(
     ops_per_client: usize,
     value_bytes: usize,
 ) -> ThroughputSample {
+    measure_throughput_with(clients, ops_per_client, value_bytes, |_| {})
+}
+
+/// [`measure_throughput`] with a config hook, so the perf lab and the E9
+/// pipeline rows can vary `pipeline_depth` / `exec_workers` /
+/// `max_inflight` while measuring the identical workload.
+pub fn measure_throughput_with(
+    clients: usize,
+    ops_per_client: usize,
+    value_bytes: usize,
+    tweak: impl FnOnce(&mut Config),
+) -> ThroughputSample {
     let mut cfg = Config::new(4);
     cfg.checkpoint_interval = 64;
     cfg.log_window = 256;
     // A short pipeline forces concurrent arrivals to share batches.
     cfg.max_inflight = 2;
+    tweak(&mut cfg);
     let mut sim = Simulation::new(8800 + clients as u64);
     sim.set_trace_sink(Box::new(VecSink::new()));
     let dir = base_crypto::KeyDirectory::generate(4 + clients, 8800 + clients as u64);
@@ -107,6 +129,12 @@ pub fn measure_throughput(
         }
     }
     assert!(occupancy.count() > 0, "replica recorded no executed batches");
+    let svc_metrics = &sim.actor_as::<KvReplica>(replicas[0]).unwrap().service().metrics;
+    let exec_groups_mean =
+        svc_metrics.histogram("base.exec_groups").map_or(0.0, |h| h.mean());
+    let exec_serial_ns = svc_metrics.histogram("base.exec_serial_ns").map_or(0, |h| h.sum());
+    let exec_makespan_ns =
+        svc_metrics.histogram("base.exec_makespan_ns").map_or(0, |h| h.sum());
     let trace = sim.trace_snapshot();
     let phases = PhaseBreakdown::from_spans(&build_spans(&trace));
     assert_eq!(phases.ops, total_ops, "every completed op must reconstruct a span");
@@ -119,6 +147,9 @@ pub fn measure_throughput(
         p999_latency_ns: latency.quantile(0.999),
         phases,
         trace,
+        exec_groups_mean,
+        exec_serial_ns,
+        exec_makespan_ns,
     }
 }
 
@@ -200,10 +231,48 @@ pub fn run_throughput() {
     t.print();
     println!();
     phases.print();
+    println!();
+
+    // Pipeline rows: the same 8-client cell with agreement decoupled from
+    // execution. Depth is what moves agreed throughput; workers only split
+    // the grouped-execution makespan lanes (charge-neutral by design).
+    let mut p = Table::new(
+        "E9 pipeline: agreement/execution decoupling at 8 clients",
+        &[
+            "depth",
+            "workers",
+            "makespan (s)",
+            "throughput (ops/s)",
+            "groups per batch",
+            "exec serial (ms)",
+            "exec makespan (ms)",
+        ],
+    );
+    for (depth, workers) in [(1u64, 1usize), (4, 1), (4, 2), (4, 8)] {
+        let o = measure_throughput_with(8, ops_per_client, 0, |cfg| {
+            cfg.max_inflight = 4;
+            cfg.pipeline_depth = depth;
+            cfg.exec_workers = workers;
+        });
+        let secs = o.elapsed_ns as f64 / 1e9;
+        p.row(&[
+            depth.to_string(),
+            workers.to_string(),
+            format!("{secs:.3}"),
+            format!("{:.0}", o.ops as f64 / secs),
+            format!("{:.2}", o.exec_groups_mean),
+            format!("{:.2}", o.exec_serial_ns as f64 / 1e6),
+            format!("{:.2}", o.exec_makespan_ns as f64 / 1e6),
+        ]);
+    }
+    p.print();
     println!(
         "\nshape: throughput scales super-linearly at first because the primary batches \
          concurrent requests into shared pre-prepares (ops/batch grows with load), \
          amortizing the protocol's per-batch cost — the BFT library behaviour the paper \
-         inherits."
+         inherits. The pipeline rows decouple agreement from execution: depth > 1 lets \
+         consecutive consensus instances overlap (higher agreed throughput), while \
+         workers > 1 only shrinks the grouped-execution makespan lane — replies, state \
+         and timing stay byte-identical at any worker count."
     );
 }

@@ -19,7 +19,7 @@
 //! local clock. Replicas running differently-seeded `TinyKv` instances
 //! therefore produce identical abstract states.
 
-use crate::wrapper::{ModifyLog, Wrapper};
+use crate::wrapper::{Footprint, ModifyLog, Wrapper};
 use base_pbft::ExecEnv;
 use base_xdr::{XdrDecoder, XdrEncoder};
 use rand::Rng;
@@ -276,6 +276,25 @@ impl Wrapper for KvWrapper {
                 }
             }
             _ => b"err".to_vec(),
+        }
+    }
+
+    fn footprint(&self, op: &[u8]) -> Option<Footprint> {
+        // Mirrors `execute`'s parse exactly: a `put`/`del` touches only the
+        // key's slot, `get`/`mtime` only read it. Anything `execute` would
+        // answer with `err` (unknown verb, missing key) gets a conservative
+        // `None` — whole-state conflict — rather than a guess.
+        let text = String::from_utf8_lossy(op).into_owned();
+        let mut parts = text.splitn(3, ' ');
+        let verb = parts.next().unwrap_or("");
+        let key = parts.next().unwrap_or("");
+        if key.is_empty() {
+            return None;
+        }
+        match verb {
+            "put" | "del" => Some(Footprint::writes(vec![slot_of(key)])),
+            "get" | "mtime" => Some(Footprint::reads(vec![slot_of(key)])),
+            _ => None,
         }
     }
 

@@ -81,7 +81,7 @@ pub mod wrapper;
 pub use base_pbft::{ByzMode, Config, CostModel, PartitionTree};
 pub use client::BaseClient;
 pub use service::BaseService;
-pub use wrapper::{ModifyLog, Wrapper};
+pub use wrapper::{Footprint, ModifyLog, Wrapper};
 
 /// A BASE replica: the PBFT replica driving a [`BaseService`].
 pub type BaseReplica<W> = base_pbft::Replica<BaseService<W>>;

@@ -72,6 +72,43 @@ impl ModifyLog {
     }
 }
 
+/// The abstract-object read/write footprint of one operation, used by the
+/// execution stage to partition a committed batch into conflict groups.
+///
+/// Two operations *conflict* when either writes an object the other reads
+/// or writes. Non-conflicting operations commute on the abstract state and
+/// produce order-independent replies, so the executor may group them
+/// freely; conflicting operations always stay in batch order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Abstract object indices the operation may read.
+    pub reads: Vec<u64>,
+    /// Abstract object indices the operation may create, modify or delete.
+    pub writes: Vec<u64>,
+}
+
+impl Footprint {
+    /// A read-only footprint over `indices`.
+    pub fn reads(indices: impl Into<Vec<u64>>) -> Self {
+        Self { reads: indices.into(), writes: Vec::new() }
+    }
+
+    /// A write footprint over `indices` (writes imply reads for conflict
+    /// purposes, so no separate read set is needed).
+    pub fn writes(indices: impl Into<Vec<u64>>) -> Self {
+        Self { reads: Vec::new(), writes: indices.into() }
+    }
+
+    /// True if the two footprints conflict (either's writes intersect the
+    /// other's reads or writes).
+    pub fn conflicts_with(&self, other: &Footprint) -> bool {
+        let hits = |xs: &[u64], ys: &[u64]| xs.iter().any(|x| ys.contains(x));
+        hits(&self.writes, &other.writes)
+            || hits(&self.writes, &other.reads)
+            || hits(&other.writes, &self.reads)
+    }
+}
+
 /// A conformance wrapper: makes one concrete service implementation behave
 /// according to the common abstract specification.
 ///
@@ -82,7 +119,11 @@ impl ModifyLog {
 /// Implementations may be non-deterministic internally (clocks, RNGs,
 /// allocation order): determinism is only required of the *abstract*
 /// behaviour given the same operations and `nondet` values.
-pub trait Wrapper: 'static {
+///
+/// Wrappers are `Sync` so the execution stage's worker pool can share a
+/// reference across threads for pure passes (footprint analysis); all
+/// mutation still happens behind `&mut self` on one thread.
+pub trait Wrapper: Sync + 'static {
     /// Executes one operation against the wrapped implementation,
     /// translating between abstract identifiers in the request/reply and
     /// whatever the implementation uses internally.
@@ -134,6 +175,22 @@ pub trait Wrapper: 'static {
         }
         let clock = env.local_clock_ns;
         ts.abs_diff(clock) <= NONDET_SKEW_TOLERANCE_NS
+    }
+
+    /// The abstract-object footprint of `op`, or `None` when it cannot be
+    /// determined without executing (the conservative default): a `None`
+    /// footprint conflicts with everything, so the batch degenerates to
+    /// sequential batch-order execution and existing wrappers stay correct
+    /// unchanged.
+    ///
+    /// Must be a pure function of `op` and the wrapper's current state
+    /// (`&self`), and must *over*-approximate: every object `execute` might
+    /// read must appear in `reads` or `writes`, every object it might
+    /// change in `writes`. Under-approximation breaks the equivalence to
+    /// sequential execution that the differential suite checks.
+    fn footprint(&self, op: &[u8]) -> Option<Footprint> {
+        let _ = op;
+        None
     }
 
     /// The newest agreed timestamp this wrapper has executed (0 if none).

@@ -67,6 +67,10 @@ pub struct OodbChaosHarness {
     pub pace: SimDuration,
     /// Extra settle time after the last scheduled event.
     pub settle: SimDuration,
+    /// Consensus pipeline depth ([`Config::pipeline_depth`]).
+    pub pipeline_depth: u64,
+    /// Execution worker count ([`Config::exec_workers`]).
+    pub exec_workers: usize,
     // Per-run state, reset by `build`.
     client_nodes: Vec<NodeId>,
     replica_nodes: Vec<NodeId>,
@@ -82,6 +86,8 @@ impl OodbChaosHarness {
             n,
             pace: SimDuration::from_millis(250),
             settle: SimDuration::from_secs(30),
+            pipeline_depth: 16,
+            exec_workers: 1,
             client_nodes: Vec::new(),
             replica_nodes: Vec::new(),
             expected: Vec::new(),
@@ -97,6 +103,8 @@ impl OodbChaosHarness {
         cfg.checkpoint_interval = 4;
         cfg.log_window = 32;
         cfg.reboot_time = SimDuration::from_millis(100);
+        cfg.pipeline_depth = self.pipeline_depth;
+        cfg.exec_workers = self.exec_workers;
         cfg
     }
 

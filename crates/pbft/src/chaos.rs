@@ -81,6 +81,12 @@ pub struct CounterChaosHarness {
     /// [`base_simnet::chaos::audit_latency_budget`]); `None` disables the
     /// auditor.
     pub latency_budget: Option<SimDuration>,
+    /// Consensus pipeline depth the group runs with
+    /// ([`Config::pipeline_depth`]); campaigns set a small value so
+    /// view-change storms catch slots `n..n+depth` in flight.
+    pub pipeline_depth: u64,
+    /// Execution worker count ([`Config::exec_workers`]).
+    pub exec_workers: usize,
     // Per-run state, reset by `build`.
     group: Option<TestGroup>,
     expected: HashMap<(u32, u64), OpKind>,
@@ -102,6 +108,8 @@ impl CounterChaosHarness {
             pace: SimDuration::from_millis(250),
             settle: SimDuration::from_secs(30),
             latency_budget: None,
+            pipeline_depth: 16,
+            exec_workers: 1,
             group: None,
             expected: HashMap::new(),
             all_deltas: 0,
@@ -118,6 +126,8 @@ impl CounterChaosHarness {
         cfg.log_window = 32;
         cfg.reboot_time = SimDuration::from_millis(100);
         cfg.adaptive_timeouts = self.adaptive;
+        cfg.pipeline_depth = self.pipeline_depth;
+        cfg.exec_workers = self.exec_workers;
         cfg
     }
 

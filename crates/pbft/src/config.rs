@@ -59,6 +59,22 @@ pub struct Config {
     pub fetch_window: usize,
     /// Upper bound for the adaptive fetch window.
     pub fetch_window_max: usize,
+    /// Agreement pipelining: maximum consensus instances past the highest
+    /// contiguously *committed* sequence number the primary keeps open
+    /// (proposing seq `n+1` while `n` is still gathering prepares).
+    /// `1` is strict lockstep — the serial oracle the differential
+    /// equivalence suite compares every other configuration against.
+    /// Distinct from [`max_inflight`](Self::max_inflight), which bounds
+    /// unexecuted proposals: a slot can be committed but not yet executed
+    /// while the execution stage drains its backlog.
+    pub pipeline_depth: u64,
+    /// Worker threads for the conflict-partitioned execution stage
+    /// ([`Service::set_exec_workers`](crate::Service::set_exec_workers)).
+    /// Charge-neutral by construction: the executor reports the modelled
+    /// parallel makespan through metrics but never rebooks simulated CPU
+    /// charges, so results and timing are byte-identical at any worker
+    /// count.
+    pub exec_workers: usize,
 }
 
 impl Config {
@@ -88,6 +104,8 @@ impl Config {
             nondet_skew_tolerance: SimDuration::from_secs(10),
             fetch_window: crate::transfer::DEFAULT_FETCH_WINDOW,
             fetch_window_max: 16,
+            pipeline_depth: 16,
+            exec_workers: 1,
         }
     }
 

@@ -131,6 +131,149 @@ impl Log {
     }
 }
 
+/// Agreement stage of one in-flight slot, as tracked by the [`SlotTable`].
+///
+/// Ordered: a slot only ever moves forward within one agreement instance
+/// (a view change rebuilds the table, since re-proposed slots restart
+/// agreement in the new view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SlotStage {
+    /// A pre-prepare is logged; prepares are being gathered.
+    Proposed,
+    /// The *prepared* predicate holds; commits are being gathered.
+    Prepared,
+    /// Committed-local: ready for the execution stage.
+    Committed,
+    /// Executed (and therefore no longer backlog).
+    Executed,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SlotState {
+    stage: SlotStage,
+    /// A `CommitQuorum` trace event has been emitted for this slot in the
+    /// current agreement instance (dedup across redundant commits).
+    traced: bool,
+}
+
+/// Indexed table of in-flight consensus slots.
+///
+/// With agreement pipelined ahead of execution, the replica needs fast
+/// answers to two questions the message log itself answers only by
+/// re-evaluating quorum predicates: *how far has contiguous commitment
+/// progressed* (gates how many instances the primary may keep open, see
+/// [`Config::pipeline_depth`](crate::Config::pipeline_depth)) and *is there
+/// committed-but-unexecuted backlog* (read-only replies must not claim
+/// freshness past state the execution stage has not applied yet). The
+/// table is a stage index over the log — it holds no messages, and is
+/// rebuilt from the log's predicates after view changes, state transfer
+/// and reboots.
+#[derive(Debug, Default)]
+pub struct SlotTable {
+    slots: BTreeMap<u64, SlotState>,
+}
+
+impl SlotTable {
+    /// Records that a pre-prepare was logged for `seq` (never downgrades).
+    pub fn observe_proposed(&mut self, seq: u64) {
+        self.slots.entry(seq).or_insert(SlotState { stage: SlotStage::Proposed, traced: false });
+    }
+
+    /// Records that `seq` reached the *prepared* predicate.
+    pub fn observe_prepared(&mut self, seq: u64) {
+        let s = self
+            .slots
+            .entry(seq)
+            .or_insert(SlotState { stage: SlotStage::Prepared, traced: false });
+        s.stage = s.stage.max(SlotStage::Prepared);
+    }
+
+    /// Records that `seq` committed locally.
+    pub fn mark_committed(&mut self, seq: u64) {
+        let s = self
+            .slots
+            .entry(seq)
+            .or_insert(SlotState { stage: SlotStage::Committed, traced: false });
+        s.stage = s.stage.max(SlotStage::Committed);
+    }
+
+    /// Records that `seq` was executed.
+    pub fn mark_executed(&mut self, seq: u64) {
+        let s = self
+            .slots
+            .entry(seq)
+            .or_insert(SlotState { stage: SlotStage::Executed, traced: false });
+        s.stage = SlotStage::Executed;
+    }
+
+    /// True exactly once per agreement instance: marks the slot's commit
+    /// quorum as traced and reports whether it was untraced before (the
+    /// `CommitQuorum` trace event dedup; [`SlotTable::reset_traced`] re-arms
+    /// it when a view change restarts agreement).
+    pub fn first_quorum_trace(&mut self, seq: u64) -> bool {
+        match self.slots.get_mut(&seq) {
+            Some(s) if !s.traced => {
+                s.traced = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Re-arms `CommitQuorum` tracing for every slot: a slot re-agreed in a
+    /// new view is a fresh agreement instance and traces its own quorum.
+    pub fn reset_traced(&mut self) {
+        for s in self.slots.values_mut() {
+            s.traced = false;
+        }
+    }
+
+    /// Stage of `seq`, if the table has seen it.
+    pub fn stage(&self, seq: u64) -> Option<SlotStage> {
+        self.slots.get(&seq).map(|s| s.stage)
+    }
+
+    /// Highest sequence number `c >= base` such that every slot in
+    /// `base+1..=c` is committed (or executed): the pipeline gate measures
+    /// open consensus instances from here, so an execution backlog does not
+    /// stall proposals the way the unexecuted-based `max_inflight` bound
+    /// does.
+    pub fn committed_floor(&self, base: u64) -> u64 {
+        let mut c = base;
+        while matches!(self.stage(c + 1), Some(s) if s >= SlotStage::Committed) {
+            c += 1;
+        }
+        c
+    }
+
+    /// True if any slot past `last_exec` is committed but not yet executed
+    /// — the execution stage has backlog and the current service state is
+    /// older than the committed prefix.
+    pub fn has_backlog(&self, last_exec: u64) -> bool {
+        self.slots
+            .range(last_exec + 1..)
+            .any(|(_, s)| s.stage == SlotStage::Committed)
+    }
+
+    /// Discards slots at or below the new stable checkpoint `h`.
+    pub fn gc_up_to(&mut self, h: u64) {
+        self.slots = self.slots.split_off(&(h + 1));
+    }
+
+    /// Replaces the table's stages with `stages` (derived by the replica
+    /// from the log's quorum predicates after a view change, state install
+    /// or reboot). Trace-dedup flags of surviving slots are preserved so a
+    /// rebuild alone never re-emits a `CommitQuorum` for the same agreement
+    /// instance.
+    pub fn rebuild(&mut self, stages: impl IntoIterator<Item = (u64, SlotStage)>) {
+        let old = std::mem::take(&mut self.slots);
+        for (seq, stage) in stages {
+            let traced = old.get(&seq).map(|s| s.traced).unwrap_or(false);
+            self.slots.insert(seq, SlotState { stage, traced });
+        }
+    }
+}
+
 /// Collects checkpoint messages into certificates.
 #[derive(Debug, Default)]
 pub struct CheckpointCollector {
@@ -375,6 +518,68 @@ mod tests {
         let blob = cache.to_blob();
         assert_eq!(ReplyCache::from_blob(&blob).unwrap(), cache);
         assert!(ReplyCache::from_blob(&[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn slot_table_tracks_stages_and_floor() {
+        let mut t = SlotTable::default();
+        assert_eq!(t.committed_floor(0), 0);
+        assert!(!t.has_backlog(0));
+
+        t.observe_proposed(1);
+        t.observe_proposed(2);
+        t.observe_proposed(3);
+        t.observe_prepared(1);
+        assert_eq!(t.committed_floor(0), 0, "prepared is not committed");
+
+        t.mark_committed(2);
+        assert_eq!(t.committed_floor(0), 0, "slot 1 gaps the committed prefix");
+        assert!(t.has_backlog(0), "slot 2 is committed but unexecuted");
+
+        t.mark_committed(1);
+        assert_eq!(t.committed_floor(0), 2, "prefix closes through the gap fill");
+
+        t.mark_executed(1);
+        t.mark_executed(2);
+        assert!(!t.has_backlog(2));
+        assert_eq!(t.committed_floor(2), 2);
+        assert_eq!(t.stage(3), Some(SlotStage::Proposed));
+    }
+
+    #[test]
+    fn slot_table_stage_never_downgrades() {
+        let mut t = SlotTable::default();
+        t.mark_committed(5);
+        t.observe_proposed(5);
+        t.observe_prepared(5);
+        assert_eq!(t.stage(5), Some(SlotStage::Committed));
+    }
+
+    #[test]
+    fn slot_table_quorum_trace_dedup_and_rearm() {
+        let mut t = SlotTable::default();
+        t.mark_committed(4);
+        assert!(t.first_quorum_trace(4));
+        assert!(!t.first_quorum_trace(4), "second quorum completion is deduped");
+        // A rebuild (state install, reboot) preserves the dedup flag.
+        t.rebuild([(4, SlotStage::Committed)]);
+        assert!(!t.first_quorum_trace(4));
+        // A view change re-arms it: re-agreement traces a fresh quorum.
+        t.reset_traced();
+        assert!(t.first_quorum_trace(4));
+        assert!(!t.first_quorum_trace(9), "unknown slots never trace");
+    }
+
+    #[test]
+    fn slot_table_gc_drops_stable_prefix() {
+        let mut t = SlotTable::default();
+        for seq in 1..=8 {
+            t.mark_committed(seq);
+        }
+        t.gc_up_to(4);
+        assert_eq!(t.stage(4), None);
+        assert_eq!(t.stage(5), Some(SlotStage::Committed));
+        assert_eq!(t.committed_floor(4), 8);
     }
 
     #[test]

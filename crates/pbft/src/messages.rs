@@ -179,6 +179,13 @@ pub struct ReplyMsg {
     /// True if `result` holds only the 32-byte digest of the result (the
     /// reply optimization: one designated replica sends the full result).
     pub digest_only: bool,
+    /// True for a read-only reply executed against the last *executed*
+    /// state outside agreement; false for a reply to an operation ordered
+    /// and committed by the protocol. With the execution stage decoupled
+    /// from agreement, committed-but-unexecuted slots may be queued — a
+    /// tentative reply tells the client (and the auditors) exactly which
+    /// state it reflects.
+    pub tentative: bool,
     /// Execution result, or its digest when `digest_only`.
     pub result: Vec<u8>,
     /// Point MAC to the client.
@@ -195,6 +202,7 @@ impl ReplyMsg {
         enc.put_u32(self.client);
         enc.put_u32(self.replica);
         enc.put_bool(self.digest_only);
+        enc.put_bool(self.tentative);
         enc.put_opaque(&self.result);
         enc.finish()
     }
@@ -212,6 +220,7 @@ impl XdrEncode for ReplyMsg {
         enc.put_u32(self.client);
         enc.put_u32(self.replica);
         enc.put_bool(self.digest_only);
+        enc.put_bool(self.tentative);
         enc.put_opaque(&self.result);
         self.mac.encode(enc);
     }
@@ -225,6 +234,7 @@ impl XdrDecode for ReplyMsg {
             client: dec.get_u32()?,
             replica: dec.get_u32()?,
             digest_only: dec.get_bool()?,
+            tentative: dec.get_bool()?,
             result: dec.get_opaque()?,
             mac: Mac::decode(dec)?,
         })
@@ -1118,6 +1128,7 @@ mod tests {
                 client: 4,
                 replica: 0,
                 digest_only: false,
+                tentative: true,
                 result: b"res".to_vec(),
                 mac: Authenticator::point(&k, 4, &Digest::of(b"r")),
             }),

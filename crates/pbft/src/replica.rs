@@ -9,7 +9,7 @@
 use crate::byzantine::ByzMode;
 use crate::config::Config;
 use crate::cost::CostModel;
-use crate::log::{CheckpointCollector, Log, ReplyCache};
+use crate::log::{CheckpointCollector, Log, ReplyCache, SlotStage, SlotTable};
 use crate::messages::{
     CertReplyMsg, CheckpointMsg, CommitMsg, FetchCertMsg, FetchMetaMsg, FetchObjectMsg, Message,
     MetaReplyMsg, NewViewMsg, ObjectReplyMsg, PrePrepareMsg, PreparedProof, PrepareMsg, ReplyMsg,
@@ -99,10 +99,17 @@ pub struct Replica<S: Service> {
     /// (ns): execution removes the entry and feeds the agreement-latency
     /// estimator with the full three-phase round duration.
     slot_arrival: HashMap<u64, u64>,
-    /// Slots whose commit certificate was already traced, so the span
-    /// layer sees exactly one `CommitQuorum` per (view, seq). Only
-    /// populated while tracing is enabled; empty (and free) otherwise.
-    commit_quorum_seen: HashSet<u64>,
+    /// Per-slot agreement stage index. This is what lets agreement run
+    /// ahead of execution: the pipeline gate in [`Replica::try_propose`]
+    /// reads the contiguously committed floor from here, and the
+    /// read-only staleness guard ([`Replica::exec_backlog`]) asks it
+    /// whether committed-but-unexecuted slots exist. Also owns the
+    /// `CommitQuorum` trace dedup.
+    slots: SlotTable,
+    /// Read-only requests deferred while committed-but-unexecuted slots
+    /// (or an active state transfer) would make a reply stale; drained
+    /// after execution catches up.
+    ro_deferred: VecDeque<RequestMsg>,
 
     vc_collect: BTreeMap<u64, HashMap<u32, ViewChangeMsg>>,
     vc_timer: Option<TimerId>,
@@ -149,6 +156,8 @@ impl<S: Service> Replica<S> {
     /// Creates a replica. Its id is taken from `keys` and must match the
     /// simulator node it is installed on.
     pub fn new(cfg: Config, keys: NodeKeys, service: S) -> Self {
+        let mut service = service;
+        service.set_exec_workers(cfg.exec_workers);
         let id = keys.id() as u32;
         assert!((id as usize) < cfg.n, "replica id must be < n");
         let vc_timeout = cfg.view_change_timeout;
@@ -179,7 +188,8 @@ impl<S: Service> Replica<S> {
             pending_digests: HashSet::new(),
             awaiting: HashSet::new(),
             slot_arrival: HashMap::new(),
-            commit_quorum_seen: HashSet::new(),
+            slots: SlotTable::default(),
+            ro_deferred: VecDeque::new(),
             vc_collect: BTreeMap::new(),
             vc_timer: None,
             vc_timeout,
@@ -385,7 +395,8 @@ impl<S: Service> Replica<S> {
         // Retransmission of the last executed request: resend the reply.
         if let Some(result) = self.reply_cache.cached_result(req.client(), req.timestamp()) {
             let full = self.is_full_replier(&req);
-            let reply = self.make_reply(req.client(), req.timestamp(), result.to_vec(), full, ctx);
+            let reply =
+                self.make_reply(req.client(), req.timestamp(), result.to_vec(), full, false, ctx);
             self.send(ctx, NodeId(req.client() as usize), &Message::Reply(reply));
             return;
         }
@@ -426,6 +437,22 @@ impl<S: Service> Replica<S> {
     }
 
     fn execute_read_only(&mut self, req: &RequestMsg, ctx: &mut Context<'_>) {
+        // Staleness guard: with agreement pipelined ahead of execution, a
+        // slot can be committed but not yet applied. Answering a read now
+        // would reflect the last *executed* state while peers that already
+        // applied the backlog answer from a newer one — the client's 2f+1
+        // matching-reply quorum would mix states. Defer until execution
+        // catches up (or state transfer finishes rebuilding the state).
+        if self.exec_backlog() {
+            let dup = self
+                .ro_deferred
+                .iter()
+                .any(|r| r.client() == req.client() && r.timestamp() == req.timestamp());
+            if !dup {
+                self.ro_deferred.push_back(req.clone());
+            }
+            return;
+        }
         let clock = ctx.local_clock().as_nanos();
         let (result, charged) = {
             let mut env = ExecEnv::new(clock, ctx.rng());
@@ -435,8 +462,43 @@ impl<S: Service> Replica<S> {
         };
         ctx.charge(charged);
         let full = self.is_full_replier(req);
-        let reply = self.make_reply(req.client(), req.timestamp(), result, full, ctx);
+        // Read-only replies bypass agreement: mark them tentative so the
+        // client knows this result reflects executed state only.
+        let reply = self.make_reply(req.client(), req.timestamp(), result, full, true, ctx);
         self.send(ctx, NodeId(req.client() as usize), &Message::Reply(reply));
+    }
+
+    /// Whether committed-but-unexecuted work (or an active state transfer)
+    /// makes the last executed state stale relative to what the group has
+    /// already agreed on.
+    fn exec_backlog(&self) -> bool {
+        self.fetcher.is_some() || self.slots.has_backlog(self.last_exec)
+    }
+
+    /// Recomputes the slot table from the log after an event that changed
+    /// its shape wholesale (new-view installation, state transfer, clean
+    /// recovery). Trace-dedup flags of surviving slots are preserved.
+    fn rebuild_slots(&mut self) {
+        let view = self.view;
+        let f = self.f();
+        let stages: Vec<(u64, SlotStage)> = self
+            .log
+            .iter()
+            .filter(|(_, e)| e.pre_prepare.is_some())
+            .map(|(s, e)| {
+                let stage = if e.executed {
+                    SlotStage::Executed
+                } else if e.committed(view, f) {
+                    SlotStage::Committed
+                } else if e.prepared(view, f) {
+                    SlotStage::Prepared
+                } else {
+                    SlotStage::Proposed
+                };
+                (*s, stage)
+            })
+            .collect();
+        self.slots.rebuild(stages);
     }
 
     fn make_reply(
@@ -445,6 +507,7 @@ impl<S: Service> Replica<S> {
         timestamp: u64,
         mut result: Vec<u8>,
         full: bool,
+        tentative: bool,
         ctx: &mut Context<'_>,
     ) -> ReplyMsg {
         if matches!(self.byz, ByzMode::CorruptReplies) {
@@ -471,6 +534,7 @@ impl<S: Service> Replica<S> {
             client,
             replica: self.id,
             digest_only,
+            tentative,
             result: payload,
             mac: base_crypto::Mac([0; 8]),
         };
@@ -496,6 +560,10 @@ impl<S: Service> Replica<S> {
         while !self.pending.is_empty()
             && self.seq_next <= self.high_watermark()
             && self.seq_next.saturating_sub(self.last_exec + 1) < self.cfg.max_inflight
+            && self
+                .seq_next
+                .saturating_sub(self.slots.committed_floor(self.last_exec) + 1)
+                < self.cfg.pipeline_depth
             && !self.in_view_change
         {
             let mut batch = Vec::new();
@@ -552,6 +620,7 @@ impl<S: Service> Replica<S> {
                 self.multicast(ctx, &Message::PrePrepare(pp.clone()));
             }
             self.log.entry_mut(seq).pre_prepare = Some(pp);
+            self.slots.observe_proposed(seq);
             self.slot_arrival.insert(seq, ctx.now().as_nanos());
             self.maybe_prepared(seq, ctx);
         }
@@ -637,6 +706,7 @@ impl<S: Service> Replica<S> {
             }
         }
         entry.pre_prepare = Some(pp.clone());
+        self.slots.observe_proposed(pp.seq);
         self.slot_arrival.insert(pp.seq, ctx.now().as_nanos());
         ctx.emit(
             pp.view,
@@ -703,6 +773,7 @@ impl<S: Service> Replica<S> {
             return;
         }
         entry.commit_sent = true;
+        self.slots.observe_prepared(seq);
         let digest = entry.accepted_digest().expect("prepared implies pre-prepare");
         // `commit_sent` is one-shot per slot, so this traces exactly once.
         ctx.emit(view, seq, ProtocolEvent::PrepareQuorum);
@@ -749,7 +820,8 @@ impl<S: Service> Replica<S> {
         if !self.log.entry_mut(seq).committed(view, f) {
             return;
         }
-        if ctx.trace_enabled() && self.commit_quorum_seen.insert(seq) {
+        self.slots.mark_committed(seq);
+        if ctx.trace_enabled() && self.slots.first_quorum_trace(seq) {
             ctx.emit(view, seq, ProtocolEvent::CommitQuorum);
         }
         self.execute_ready(ctx);
@@ -783,11 +855,20 @@ impl<S: Service> Replica<S> {
             self.execute_batch(&pp, ctx);
             let entry = self.log.entry_mut(next);
             entry.executed = true;
+            self.slots.mark_executed(next);
             self.last_exec = next;
             self.stats.executed_batches += 1;
 
             if next.is_multiple_of(self.cfg.checkpoint_interval) {
                 self.take_checkpoint(next, ctx);
+            }
+        }
+        // Execution caught up with agreement: deferred read-only requests
+        // can now be answered from fresh state.
+        if !self.exec_backlog() && !self.ro_deferred.is_empty() {
+            let drained: Vec<RequestMsg> = self.ro_deferred.drain(..).collect();
+            for req in drained {
+                self.execute_read_only(&req, ctx);
             }
         }
         // Window space may have opened: the primary drains its queue.
@@ -820,30 +901,48 @@ impl<S: Service> Replica<S> {
             self.metrics.observe("replica.agreement_latency_ns", lat);
         }
         self.metrics.observe("replica.batch_occupancy", pp.requests().len() as u64);
+        // Split cached resends from fresh work so the fresh operations go
+        // through the service as one batch: the service partitions them by
+        // conflict footprint and executes non-conflicting groups in
+        // parallel, merging results back in batch order.
+        let mut fresh: Vec<&RequestMsg> = Vec::new();
         for req in pp.requests() {
             if !self.reply_cache.is_new(req.client(), req.timestamp()) {
                 // Already executed (e.g. re-proposed across a view change);
                 // resend the cached reply if this was the last request.
                 if let Some(result) = self.reply_cache.cached_result(req.client(), req.timestamp()) {
                     let full = self.is_full_replier(req);
-                    let reply =
-                        self.make_reply(req.client(), req.timestamp(), result.to_vec(), full, ctx);
+                    let reply = self.make_reply(
+                        req.client(),
+                        req.timestamp(),
+                        result.to_vec(),
+                        full,
+                        false,
+                        ctx,
+                    );
                     self.send(ctx, NodeId(req.client() as usize), &Message::Reply(reply));
                 }
                 continue;
             }
-            let clock = ctx.local_clock().as_nanos();
-            let (result, charged) = {
-                let mut env = ExecEnv::new(clock, ctx.rng());
-                let result =
-                    self.service.execute(req.op(), req.client(), pp.nondet(), false, &mut env);
-                (result, env.charged())
-            };
-            ctx.charge(charged);
+            fresh.push(req);
+        }
+        if fresh.is_empty() {
+            return;
+        }
+        let ops: Vec<(&[u8], u32)> = fresh.iter().map(|r| (r.op(), r.client())).collect();
+        let clock = ctx.local_clock().as_nanos();
+        let (results, charged) = {
+            let mut env = ExecEnv::new(clock, ctx.rng());
+            let results = self.service.execute_batch(&ops, pp.nondet(), &mut env);
+            (results, env.charged())
+        };
+        ctx.charge(charged);
+        debug_assert_eq!(results.len(), fresh.len());
+        for (req, result) in fresh.into_iter().zip(results) {
             self.reply_cache.record(req.client(), req.timestamp(), result.clone());
             self.stats.executed_requests += 1;
             let full = self.is_full_replier(req);
-            let reply = self.make_reply(req.client(), req.timestamp(), result, full, ctx);
+            let reply = self.make_reply(req.client(), req.timestamp(), result, full, false, ctx);
             self.send(ctx, NodeId(req.client() as usize), &Message::Reply(reply));
             self.awaiting.remove(&(req.client(), req.timestamp()));
         }
@@ -919,7 +1018,7 @@ impl<S: Service> Replica<S> {
         ctx.emit(self.view, seq, ProtocolEvent::CheckpointStable);
         self.log.gc_up_to(seq);
         self.slot_arrival.retain(|s, _| *s > seq);
-        self.commit_quorum_seen.retain(|s| *s > seq);
+        self.slots.gc_up_to(seq);
         self.ckpt_collector.gc_up_to(seq);
         // Keep the stable checkpoint itself; discard older ones.
         self.ckpt_meta = self.ckpt_meta.split_off(&seq);
@@ -1034,6 +1133,7 @@ impl<S: Service> Replica<S> {
             self.log.entry_mut(seq).executed = false;
         }
         self.fetcher = None;
+        self.rebuild_slots();
 
         if self.recovering {
             self.recovering = false;
@@ -1168,7 +1268,7 @@ impl<S: Service> Replica<S> {
             self.stable_cert = m.msgs;
             self.log.gc_up_to(seq);
             self.slot_arrival.retain(|s, _| *s > seq);
-            self.commit_quorum_seen.retain(|s| *s > seq);
+            self.slots.gc_up_to(seq);
             self.service.discard_checkpoints_below(seq);
         }
         if seq > self.last_exec || (self.recovering && seq > 0) {
@@ -1423,11 +1523,8 @@ impl<S: Service> Replica<S> {
         self.own_vc = None;
         self.last_nv_msg = Some(nv.clone());
         // Slots carried across the view change would sample the view
-        // change itself, not an agreement round: drop them (Karn). The
-        // commit-quorum dedup set resets too: a slot re-agreed in the new
-        // view is a fresh agreement instance and traces its own quorum.
+        // change itself, not an agreement round: drop them (Karn).
         self.slot_arrival.clear();
-        self.commit_quorum_seen.clear();
         self.vc_timeout = self.base_vc_timeout();
         if let Some(t) = self.vc_timer.take() {
             ctx.cancel_timer(t);
@@ -1464,6 +1561,12 @@ impl<S: Service> Replica<S> {
             entry.commit_sent = false;
             entry.prepare_sent = false;
         }
+        // The log just changed shape under the slot table: recompute every
+        // slot's stage from the log itself. A slot re-agreed in the new
+        // view is a fresh agreement instance and traces its own commit
+        // quorum, so the trace dedup is re-armed too.
+        self.rebuild_slots();
+        self.slots.reset_traced();
         if self.cfg.primary_of(nv.view) == self.id as usize {
             self.seq_next = max_seq + 1;
             self.try_propose(ctx);
@@ -1680,6 +1783,8 @@ impl<S: Service> Replica<S> {
             for seq in seqs {
                 self.log.entry_mut(seq).executed = false;
             }
+            self.rebuild_slots();
+            self.ro_deferred.clear();
         }
         // Learn the group's latest stable checkpoint and repair against it
         // (even if nominally up to date — see handle_cert_reply).

@@ -60,6 +60,34 @@ pub trait Service: 'static {
         env: &mut ExecEnv<'_>,
     ) -> Vec<u8>;
 
+    /// Executes a committed batch and returns one reply per operation, in
+    /// batch order. `ops` pairs each operation's bytes with its client id.
+    ///
+    /// The default runs the batch sequentially through
+    /// [`Service::execute`]. Services that can prove operations
+    /// independent (the BASE layer partitions a batch by abstract-object
+    /// read/write footprints) may reorder *non-conflicting* operations
+    /// internally, as long as replies and the resulting abstract state are
+    /// identical to sequential batch-order execution and the schedule is a
+    /// deterministic function of the batch alone — every replica must take
+    /// the same path.
+    fn execute_batch(
+        &mut self,
+        ops: &[(&[u8], u32)],
+        nondet: &[u8],
+        env: &mut ExecEnv<'_>,
+    ) -> Vec<Vec<u8>> {
+        ops.iter().map(|(op, client)| self.execute(op, *client, nondet, false, env)).collect()
+    }
+
+    /// Sets the worker-pool width for the execution stage. Worker count
+    /// must never change results or simulated timing — parallelism is
+    /// reported through metrics (modelled makespan), not rebooked into
+    /// charges. The default ignores the hint (sequential services).
+    fn set_exec_workers(&mut self, workers: usize) {
+        let _ = workers;
+    }
+
     /// Called at the primary to choose non-deterministic values for a
     /// batch (e.g. the operation timestamp).
     fn propose_nondet(&mut self, env: &mut ExecEnv<'_>) -> Vec<u8> {

@@ -57,18 +57,22 @@ fn arb_reply() -> impl Strategy<Value = ReplyMsg> {
         4u32..64,
         0u32..N as u32,
         any::<bool>(),
+        any::<bool>(),
         proptest::collection::vec(any::<u8>(), 0..96),
         arb_mac(),
     )
-        .prop_map(|(view, timestamp, client, replica, digest_only, result, mac)| ReplyMsg {
-            view,
-            timestamp,
-            client,
-            replica,
-            digest_only,
-            result,
-            mac,
-        })
+        .prop_map(
+            |(view, timestamp, client, replica, digest_only, tentative, result, mac)| ReplyMsg {
+                view,
+                timestamp,
+                client,
+                replica,
+                digest_only,
+                tentative,
+                result,
+                mac,
+            },
+        )
 }
 
 fn arb_pre_prepare() -> impl Strategy<Value = PrePrepareMsg> {

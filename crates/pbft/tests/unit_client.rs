@@ -59,6 +59,7 @@ impl MockReplica {
             client: req.client(),
             replica: self.id,
             digest_only,
+            tentative: req.read_only(),
             result,
             mac: base_crypto::Mac([0; 8]),
         };
@@ -288,6 +289,7 @@ fn stale_timestamp_replies_are_ignored() {
             client: 4,
             replica: i,
             digest_only: false,
+            tentative: false,
             result: b"ok:first".to_vec(),
             mac: base_crypto::Mac([0; 8]),
         };

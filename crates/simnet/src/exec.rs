@@ -1,0 +1,99 @@
+//! Charge model for a parallel execution stage.
+//!
+//! A replica's execution stage may process independent groups of work on a
+//! pool of worker lanes. The simulator charges a node's handler a single
+//! total ([`Context::charge`](crate::Context::charge)), so a *modelled*
+//! parallel schedule must be reduced to one number. [`lane_makespan`]
+//! performs that reduction deterministically: greedy list scheduling of the
+//! group costs, in index order, onto the least-loaded lane.
+//!
+//! Determinism discipline: assignment order is the input order (never a
+//! sorted-by-cost heuristic, which would tie-break on floats), and lane
+//! ties resolve to the lowest lane index. Every replica computing the
+//! makespan of the same cost vector with the same lane count gets the same
+//! answer, so the model can feed metrics — or, in a future charge-rebooking
+//! mode, actual charges — without breaking replica agreement.
+
+/// The makespan (maximum lane load) of greedy index-order list scheduling
+/// of `costs` onto `lanes` identical lanes. Each cost is assigned, in input
+/// order, to the currently least-loaded lane; ties pick the lowest lane
+/// index. `lanes == 0` is treated as 1. With one lane this is exactly
+/// `costs.iter().sum()` (saturating), the serial schedule.
+pub fn lane_makespan(costs: &[u64], lanes: usize) -> u64 {
+    let lanes = lanes.max(1).min(costs.len().max(1));
+    if lanes == 1 {
+        return costs.iter().fold(0u64, |a, c| a.saturating_add(*c));
+    }
+    let mut loads = vec![0u64; lanes];
+    for &c in costs {
+        // min_by_key on the iterator returns the first minimum, i.e. the
+        // lowest lane index on ties — the deterministic choice.
+        let lane = (0..lanes).min_by_key(|&l| loads[l]).expect("lanes >= 1");
+        loads[lane] = loads[lane].saturating_add(c);
+    }
+    loads.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_lane_is_serial_sum() {
+        assert_eq!(lane_makespan(&[3, 5, 7], 1), 15);
+        assert_eq!(lane_makespan(&[], 1), 0);
+        assert_eq!(lane_makespan(&[9], 4), 9);
+    }
+
+    #[test]
+    fn zero_lanes_treated_as_one() {
+        assert_eq!(lane_makespan(&[2, 2], 0), 4);
+    }
+
+    #[test]
+    fn greedy_assignment_balances() {
+        // Index order: 4 -> lane0, 3 -> lane1, 2 -> lane1 (load 3 < 4? no:
+        // lane1 has 3, lane0 has 4, least is lane1) -> lane1 = 5, then
+        // 1 -> lane0 = 5. Makespan 5.
+        assert_eq!(lane_makespan(&[4, 3, 2, 1], 2), 5);
+        // Enough lanes: makespan is the max element.
+        assert_eq!(lane_makespan(&[4, 3, 2, 1], 8), 4);
+    }
+
+    #[test]
+    fn ties_pick_lowest_lane() {
+        // Equal costs on 2 lanes alternate 0,1,0,1 — makespan is exactly
+        // half the serial sum.
+        assert_eq!(lane_makespan(&[5, 5, 5, 5], 2), 10);
+    }
+
+    #[test]
+    fn makespan_bounds() {
+        // Classic list-scheduling bounds: max(single, serial/lanes) <=
+        // makespan <= serial.
+        let costs = [7u64, 1, 3, 9, 2, 2, 5];
+        let serial: u64 = costs.iter().sum();
+        for lanes in 1..=8 {
+            let m = lane_makespan(&costs, lanes);
+            assert!(m <= serial);
+            assert!(m >= *costs.iter().max().unwrap());
+            assert!(m >= serial.div_ceil(lanes as u64));
+        }
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        assert_eq!(lane_makespan(&[u64::MAX, u64::MAX], 1), u64::MAX);
+        assert_eq!(lane_makespan(&[u64::MAX, 1, u64::MAX], 2), u64::MAX);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let costs: Vec<u64> = (0..64).map(|i| (i * 37 + 11) % 100).collect();
+        for lanes in [1, 2, 3, 8] {
+            let a = lane_makespan(&costs, lanes);
+            let b = lane_makespan(&costs, lanes);
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -10,3 +10,9 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+
+# Pipeline equivalence gate: pipelined agreement + conflict-grouped
+# execution must be observationally equivalent to the serial schedule
+# (see crates/bench/tests/pipeline_equivalence.rs). On divergence the
+# suite writes both fingerprints under target/tmp/equivalence/.
+cargo test -q -p base-bench --test pipeline_equivalence
