@@ -255,7 +255,7 @@ impl Wrapper for ArrayWrapper {
         Vec::new()
     }
 
-    fn get_obj(&mut self, index: u64) -> Option<Vec<u8>> {
+    fn get_obj(&self, index: u64) -> Option<Vec<u8>> {
         self.vals[index as usize].clone()
     }
 

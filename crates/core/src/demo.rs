@@ -298,7 +298,7 @@ impl Wrapper for KvWrapper {
         }
     }
 
-    fn get_obj(&mut self, index: u64) -> Option<Vec<u8>> {
+    fn get_obj(&self, index: u64) -> Option<Vec<u8>> {
         self.encode_slot(index)
     }
 

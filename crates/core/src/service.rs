@@ -3,7 +3,7 @@
 
 use crate::wrapper::{Footprint, ModifyLog, Wrapper};
 use base_crypto::Digest;
-use base_pbft::tree::leaf_digest;
+use base_pbft::tree::{chunk_digest, chunked_leaf_from_digests, leaf_digest};
 use base_pbft::{CostModel, ExecEnv, PartitionTree, Service};
 use base_simnet::{lane_makespan, MetricsRegistry};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -27,27 +27,129 @@ pub struct BaseStats {
     pub objects_installed: u64,
     /// Full abstraction-function scans (warm reboots).
     pub rebuild_scans: u64,
+    /// Chunk digests recomputed by chunked digest passes (chunked mode
+    /// only; the chunk's bytes changed since the previous pass).
+    pub chunks_rehashed: u64,
+    /// Chunk digests reused from the snapshot cache (chunked mode only;
+    /// the chunk's bytes were unchanged, so only a memcmp was paid).
+    pub chunks_reused: u64,
+}
+
+/// Per-object snapshot kept by chunked digesting: the value bytes and
+/// per-chunk digests as of the last digest pass over that object. A chunk
+/// whose bytes are unchanged (a memcmp) reuses its cached digest instead of
+/// re-hashing — the "re-hash only what changed" half of the chunked-Merkle
+/// optimization. Bounded to multi-chunk objects, so the cache holds at most
+/// one extra copy of each *large* object.
+#[derive(Debug, Clone)]
+struct ChunkSnapshot {
+    value: Vec<u8>,
+    digests: Vec<Digest>,
+}
+
+/// Result of digesting one `(index, value)` pair in a digest pass.
+struct DigestOutcome {
+    digest: Digest,
+    /// Replacement snapshot for the chunk cache: `Some(Some(_))` = store,
+    /// `Some(None)` = evict (value gone or no longer multi-chunk), `None` =
+    /// leave the cache untouched (legacy mode).
+    snapshot: Option<Option<ChunkSnapshot>>,
+    /// Bytes actually pushed through SHA-256 (chunk data plus the leaf
+    /// fold input), for CPU charges in chunked mode.
+    hashed_bytes: u64,
+    chunks_reused: u64,
+    chunks_rehashed: u64,
+}
+
+/// Digests one value, reusing cached chunk digests where the bytes match.
+fn digest_one_chunked(
+    idx: u64,
+    value: &Option<Vec<u8>>,
+    chunk_size: usize,
+    cache: &HashMap<u64, ChunkSnapshot>,
+) -> DigestOutcome {
+    if chunk_size == 0 {
+        // Legacy whole-object digests: byte-identical to the pre-chunking
+        // behaviour, cache untouched.
+        let (digest, hashed) = match value {
+            Some(v) => (leaf_digest(idx, v), v.len() as u64),
+            None => (Digest::ZERO, 0),
+        };
+        return DigestOutcome {
+            digest,
+            snapshot: None,
+            hashed_bytes: hashed,
+            chunks_reused: 0,
+            chunks_rehashed: 0,
+        };
+    }
+    let Some(v) = value else {
+        return DigestOutcome {
+            digest: Digest::ZERO,
+            snapshot: Some(None),
+            hashed_bytes: 0,
+            chunks_reused: 0,
+            chunks_rehashed: 0,
+        };
+    };
+    let prev = cache.get(&idx);
+    let mut reused = 0u64;
+    let mut rehashed = 0u64;
+    let mut hashed_bytes = 0u64;
+    let digests: Vec<Digest> = v
+        .chunks(chunk_size)
+        .enumerate()
+        .map(|(c, data)| {
+            if let Some(p) = prev {
+                if let (Some(d), Some(old)) = (p.digests.get(c), p.value.chunks(chunk_size).nth(c))
+                {
+                    if old == data {
+                        reused += 1;
+                        return *d;
+                    }
+                }
+            }
+            rehashed += 1;
+            hashed_bytes += data.len() as u64;
+            chunk_digest(idx, c as u32, data)
+        })
+        .collect();
+    let digest = chunked_leaf_from_digests(idx, v.len() as u64, &digests);
+    hashed_bytes += digests.len() as u64 * 32 + 28; // the leaf fold input
+    let snapshot = if digests.len() >= 2 {
+        Some(Some(ChunkSnapshot { value: v.clone(), digests }))
+    } else {
+        Some(None)
+    };
+    DigestOutcome { digest, snapshot, hashed_bytes, chunks_reused: reused, chunks_rehashed: rehashed }
 }
 
 /// Computes the leaf digest of every `(index, value)` pair, fanning the
 /// hashing over `workers` scoped threads when it pays.
 ///
-/// Output slot `i` always holds the digest of `values[i]` — workers claim
+/// Output slot `i` always holds the outcome for `values[i]` — workers claim
 /// items through an atomic cursor but write results by index, so the fold
 /// the caller performs over the returned vector is identical at any worker
 /// count (the same discipline as `run_campaign_parallel` / parallel ddmin).
-fn digest_values(values: &[(u64, Option<Vec<u8>>)], workers: usize) -> Vec<Digest> {
-    let digest_one = |&(idx, ref value): &(u64, Option<Vec<u8>>)| match value {
-        Some(v) => leaf_digest(idx, v),
-        None => Digest::ZERO,
+/// The chunk cache is only *read* here; the caller applies the returned
+/// snapshots in index order.
+fn digest_values(
+    values: &[(u64, Option<Vec<u8>>)],
+    chunk_size: usize,
+    cache: &HashMap<u64, ChunkSnapshot>,
+    workers: usize,
+) -> Vec<DigestOutcome> {
+    let digest_one = |&(idx, ref value): &(u64, Option<Vec<u8>>)| {
+        digest_one_chunked(idx, value, chunk_size, cache)
     };
     if workers <= 1 || values.len() < 2 {
         return values.iter().map(digest_one).collect();
     }
     let workers = workers.min(values.len());
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: std::sync::Mutex<Vec<Option<Digest>>> =
-        std::sync::Mutex::new(vec![None; values.len()]);
+    let slots: std::sync::Mutex<Vec<Option<DigestOutcome>>> = std::sync::Mutex::new(
+        std::iter::repeat_with(|| None).take(values.len()).collect(),
+    );
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -65,6 +167,46 @@ fn digest_values(values: &[(u64, Option<Vec<u8>>)], workers: usize) -> Vec<Diges
         .expect("digest worker panicked")
         .into_iter()
         .map(|d| d.expect("every value digested"))
+        .collect()
+}
+
+/// Collects the abstract value of every index in `indices`, fanning the
+/// (pure, `&self`) abstraction function over `workers` scoped threads.
+///
+/// Same atomic-cursor / index-slot discipline as [`digest_values`]: output
+/// slot `i` always holds `(indices[i], get_obj(indices[i]))`, so the result
+/// is byte-identical at any worker count.
+fn collect_values<W: Wrapper>(
+    wrapper: &W,
+    indices: &[u64],
+    workers: usize,
+) -> Vec<(u64, Option<Vec<u8>>)> {
+    if workers <= 1 || indices.len() < 2 {
+        return indices.iter().map(|&idx| (idx, wrapper.get_obj(idx))).collect();
+    }
+    let workers = workers.min(indices.len());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: std::sync::Mutex<Vec<Option<(u64, Option<Vec<u8>>)>>> = std::sync::Mutex::new(
+        std::iter::repeat_with(|| None).take(indices.len()).collect(),
+    );
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= indices.len() {
+                    break;
+                }
+                let idx = indices[i];
+                let v = (idx, wrapper.get_obj(idx));
+                slots.lock().expect("collect worker panicked")[i] = Some(v);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("collect worker panicked")
+        .into_iter()
+        .map(|v| v.expect("every index collected"))
         .collect()
 }
 
@@ -179,6 +321,14 @@ pub struct BaseService<W: Wrapper> {
     /// Digest-tree snapshots per retained checkpoint (O(1) clones).
     ckpt_trees: BTreeMap<u64, PartitionTree>,
     last_ckpt: Option<u64>,
+    /// Chunked-digest granularity: 0 = legacy whole-object leaf digests;
+    /// otherwise leaves fold fixed-size chunk digests
+    /// ([`base_pbft::tree::chunked_leaf_digest`]), so a small write to a
+    /// big object re-hashes only the touched chunks.
+    chunk_size: usize,
+    /// Previous value + chunk digests per multi-chunk object, as of the
+    /// last digest pass (the reuse cache chunked digesting diffs against).
+    chunk_cache: HashMap<u64, ChunkSnapshot>,
     /// Worker threads used to digest abstract objects at checkpoint flushes
     /// and warm-reboot rescans (1 = sequential; results are byte-identical
     /// at any count).
@@ -198,8 +348,14 @@ pub struct BaseService<W: Wrapper> {
 
 impl<W: Wrapper> BaseService<W> {
     /// Wraps `wrapper` into a replicable service.
+    ///
+    /// The digest worker pool defaults to the host's available parallelism
+    /// (results are byte-identical at any count, so this is purely a
+    /// wall-clock choice); [`BaseService::set_digest_workers`] overrides.
     pub fn new(wrapper: W) -> Self {
         let n = wrapper.n_objects();
+        let digest_workers =
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
         Self {
             wrapper,
             tree: PartitionTree::new(n, BRANCHING),
@@ -208,7 +364,9 @@ impl<W: Wrapper> BaseService<W> {
             record_seqs: HashMap::new(),
             ckpt_trees: BTreeMap::new(),
             last_ckpt: None,
-            digest_workers: 1,
+            chunk_size: 0,
+            chunk_cache: HashMap::new(),
+            digest_workers,
             exec_workers: 1,
             cost: CostModel::default(),
             stats: BaseStats::default(),
@@ -238,6 +396,35 @@ impl<W: Wrapper> BaseService<W> {
         self.digest_workers = workers.max(1);
     }
 
+    /// Runs one digest pass over `values` (in parallel across
+    /// `digest_workers`), applying the chunk-cache updates and chunk-reuse
+    /// stats in ascending slot order — a deterministic function of the
+    /// values alone, independent of the worker count.
+    fn digest_pass(&mut self, values: &[(u64, Option<Vec<u8>>)]) -> Vec<DigestOutcome> {
+        let outcomes = digest_values(values, self.chunk_size, &self.chunk_cache, self.digest_workers);
+        if self.chunk_size > 0 {
+            let (mut reused, mut rehashed) = (0u64, 0u64);
+            for ((idx, _), outcome) in values.iter().zip(&outcomes) {
+                reused += outcome.chunks_reused;
+                rehashed += outcome.chunks_rehashed;
+                match &outcome.snapshot {
+                    Some(Some(snap)) => {
+                        self.chunk_cache.insert(*idx, snap.clone());
+                    }
+                    Some(None) => {
+                        self.chunk_cache.remove(idx);
+                    }
+                    None => {}
+                }
+            }
+            self.stats.chunks_reused += reused;
+            self.stats.chunks_rehashed += rehashed;
+            self.metrics.add("base.chunks_reused", reused);
+            self.metrics.add("base.chunks_rehashed", rehashed);
+        }
+        outcomes
+    }
+
     /// Digests `values` (in parallel across `digest_workers`) and applies
     /// them to the tree as one batch. Charges and stats fold in ascending
     /// index order, independent of the worker count. `count_digested`
@@ -249,16 +436,25 @@ impl<W: Wrapper> BaseService<W> {
         count_digested: bool,
         env: &mut ExecEnv<'_>,
     ) {
-        let digests = digest_values(&values, self.digest_workers);
+        let outcomes = self.digest_pass(&values);
         let mut updates = Vec::with_capacity(values.len());
-        for ((idx, value), digest) in values.iter().zip(&digests) {
+        for ((idx, value), outcome) in values.iter().zip(&outcomes) {
             if count_digested {
                 self.stats.objects_digested += 1;
             }
-            if let Some(v) = value {
-                env.charge(self.cost.digest(v.len()));
+            if self.chunk_size == 0 {
+                // Legacy charge: the whole object's bytes (byte-identical
+                // to the pre-chunking behaviour).
+                if let Some(v) = value {
+                    env.charge(self.cost.digest(v.len()));
+                }
+            } else if value.is_some() {
+                // Chunked charge: only the bytes actually hashed — reused
+                // chunks cost a memcmp, which the digest cost model treats
+                // as free next to SHA-256.
+                env.charge(self.cost.digest(outcome.hashed_bytes as usize));
             }
-            updates.push((*idx, *digest));
+            updates.push((*idx, outcome.digest));
         }
         let batch = self.tree.set_leaves(updates);
         self.stats.node_hashes += batch.internal_hashes;
@@ -268,11 +464,12 @@ impl<W: Wrapper> BaseService<W> {
     /// Refreshes the digest-tree leaves of all dirty objects so `tree`
     /// reflects the true current abstract state. One batched tree update:
     /// each internal node above the dirty set is rehashed exactly once.
+    /// Value collection fans the (pure, `&self`) abstraction function over
+    /// the digest worker pool.
     fn flush_tree(&mut self, env: &mut ExecEnv<'_>) {
         let mut dirty: Vec<u64> = self.mods.dirty_indices().collect();
         dirty.sort_unstable();
-        let values: Vec<(u64, Option<Vec<u8>>)> =
-            dirty.into_iter().map(|idx| (idx, self.wrapper.get_obj(idx))).collect();
+        let values = collect_values(&self.wrapper, &dirty, self.digest_workers);
         self.digest_into_tree(values, true, env);
     }
 }
@@ -332,6 +529,17 @@ impl<W: Wrapper> Service for BaseService<W> {
 
     fn set_exec_workers(&mut self, workers: usize) {
         self.exec_workers = workers.max(1);
+    }
+
+    fn set_chunk_size(&mut self, chunk_size: usize) {
+        if self.chunk_size != chunk_size {
+            self.chunk_size = chunk_size;
+            self.chunk_cache.clear();
+        }
+    }
+
+    fn transfer_object(&mut self, index: u64) -> Option<Vec<u8>> {
+        self.wrapper.get_obj(index)
     }
 
     fn propose_nondet(&mut self, env: &mut ExecEnv<'_>) -> Vec<u8> {
@@ -432,10 +640,10 @@ impl<W: Wrapper> Service for BaseService<W> {
         self.stats.objects_installed += objs.len() as u64;
         self.metrics.add("base.objects_installed", objs.len() as u64);
         self.wrapper.put_objs(&objs, env);
-        let digests = digest_values(&objs, self.digest_workers);
+        let outcomes = self.digest_pass(&objs);
         let batch = self
             .tree
-            .set_leaves(objs.iter().map(|(idx, _)| *idx).zip(digests));
+            .set_leaves(objs.iter().map(|(idx, _)| *idx).zip(outcomes.iter().map(|o| o.digest)));
         self.stats.node_hashes += batch.internal_hashes;
         self.metrics.add("base.tree_node_hashes", batch.internal_hashes);
         debug_assert_eq!(
@@ -463,6 +671,9 @@ impl<W: Wrapper> Service for BaseService<W> {
             self.record_seqs.clear();
             self.ckpt_trees.clear();
             self.last_ckpt = None;
+            // The concrete state is gone, so cached chunk snapshots no
+            // longer describe anything.
+            self.chunk_cache.clear();
         } else {
             // Warm reboot (§3.4): the concrete state survived; rebuild the
             // conformance rep and recompute the abstraction function over
@@ -473,9 +684,8 @@ impl<W: Wrapper> Service for BaseService<W> {
             self.wrapper.rebuild_rep(env);
             self.stats.rebuild_scans += 1;
             self.metrics.inc("base.rebuild_scans");
-            let values: Vec<(u64, Option<Vec<u8>>)> = (0..self.wrapper.n_objects())
-                .map(|idx| (idx, self.wrapper.get_obj(idx)))
-                .collect();
+            let indices: Vec<u64> = (0..self.wrapper.n_objects()).collect();
+            let values = collect_values(&self.wrapper, &indices, self.digest_workers);
             self.digest_into_tree(values, false, env);
         }
     }

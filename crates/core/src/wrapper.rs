@@ -143,7 +143,13 @@ pub trait Wrapper: Sync + 'static {
 
     /// The abstraction function, restricted to object `index`: computes the
     /// object's abstract value from the concrete state. `None` = absent.
-    fn get_obj(&mut self, index: u64) -> Option<Vec<u8>>;
+    ///
+    /// Takes `&self`: the abstraction function is a pure *reading* of the
+    /// concrete state (it must not perturb what it abstracts), which lets
+    /// the checkpoint machinery fan value collection over the digest worker
+    /// pool. Implementations needing bookkeeping (statistics) must use
+    /// interior mutability with thread-safe primitives.
+    fn get_obj(&self, index: u64) -> Option<Vec<u8>>;
 
     /// One inverse of the abstraction function: updates the concrete state
     /// so that the listed abstract objects take the given values

@@ -58,7 +58,7 @@ impl Wrapper for VecWrapper {
         }
     }
 
-    fn get_obj(&mut self, index: u64) -> Option<Vec<u8>> {
+    fn get_obj(&self, index: u64) -> Option<Vec<u8>> {
         self.vals[index as usize].clone()
     }
 
@@ -283,6 +283,114 @@ fn parallel_digesting_is_worker_count_invariant() {
     let base = run(1);
     assert_eq!(run(2), base, "2 workers must match sequential");
     assert_eq!(run(8), base, "8 workers must match sequential");
+}
+
+#[test]
+fn chunked_incremental_digests_match_from_scratch() {
+    // A small edit to the tail of a big object must re-hash only the
+    // touched chunk, and the cache-reusing incremental pass must produce
+    // exactly the digests a from-scratch pass over the same content does.
+    let big = "x".repeat(64); // 9 chunks at chunk_size 8 (64 + suffix)
+    let mut a = Rig::new();
+    a.svc.set_chunk_size(8);
+    for i in 0..N {
+        a.set(i, &format!("{big}{i}"));
+    }
+    let _c8 = a.ckpt(8);
+    let (reused_before, rehashed_before) = (a.svc.stats.chunks_reused, a.svc.stats.chunks_rehashed);
+    a.set(3, &format!("{big}X")); // same length, only the tail chunk changes
+    let c16 = a.ckpt(16);
+    let reused = a.svc.stats.chunks_reused - reused_before;
+    let rehashed = a.svc.stats.chunks_rehashed - rehashed_before;
+    assert!(reused >= 8, "untouched chunks must be reused, got {reused}");
+    assert!(rehashed < reused, "a tail edit must re-hash fewer chunks ({rehashed}) than it reuses");
+
+    let mut b = Rig::new();
+    b.svc.set_chunk_size(8);
+    for i in 0..N {
+        if i == 3 {
+            b.set(i, &format!("{big}X"));
+        } else {
+            b.set(i, &format!("{big}{i}"));
+        }
+    }
+    assert_eq!(c16, b.ckpt(16), "incremental pass must equal from-scratch");
+}
+
+#[test]
+fn chunked_digesting_is_worker_count_invariant() {
+    // The chunk cache and per-chunk hashing must stay byte-identical at
+    // any worker count, exactly like the legacy scheme.
+    let run = |workers: usize| {
+        let mut r = Rig::new();
+        r.svc.set_chunk_size(4);
+        r.svc.set_digest_workers(workers);
+        for i in 0..N {
+            r.set(i, &format!("obj-{i}-{}", "y".repeat(20)));
+        }
+        let c8 = r.ckpt(8);
+        for i in (0..N).step_by(3) {
+            r.set(i, &format!("obj-{i}-{}", "z".repeat(20)));
+        }
+        let c16 = r.ckpt(16);
+        let mut env = ExecEnv::new(1, &mut r.rng);
+        r.svc.reboot(false, &mut env);
+        let charged = env.charged();
+        (
+            c8,
+            c16,
+            r.svc.current_tree().root_digest(),
+            r.svc.stats.chunks_reused,
+            r.svc.stats.chunks_rehashed,
+            charged,
+            r.svc.metrics.to_json(),
+        )
+    };
+    let base = run(1);
+    assert_eq!(run(2), base, "2 workers must match sequential");
+    assert_eq!(run(8), base, "8 workers must match sequential");
+}
+
+#[test]
+fn chunk_scheme_is_consensus_visible() {
+    // Changing the chunk size changes every present leaf digest: replicas
+    // disagreeing on chunk_size would never certify a common root, which
+    // is exactly why it lives in the shared Config.
+    let mut legacy = Rig::new();
+    legacy.set(0, "hello-world-0123");
+    let mut chunked = Rig::new();
+    chunked.svc.set_chunk_size(4);
+    chunked.set(0, "hello-world-0123");
+    assert_ne!(legacy.ckpt(8), chunked.ckpt(8));
+
+    // chunk_size = 0 is exactly the legacy scheme.
+    let mut zero = Rig::new();
+    zero.svc.set_chunk_size(0);
+    zero.set(0, "hello-world-0123");
+    assert_eq!(legacy.ckpt(16), zero.ckpt(16));
+}
+
+#[test]
+fn chunked_install_checkpoint_matches_donor_root() {
+    let mut donor = Rig::new();
+    donor.svc.set_chunk_size(4);
+    donor.set(0, "agreed-value-with-chunks");
+    donor.set(2, "extra");
+    let root = donor.ckpt(32);
+
+    let mut r = Rig::new();
+    r.svc.set_chunk_size(4);
+    r.set(0, "stale");
+    r.set(1, "junk");
+    let _ = r.ckpt(8);
+    let mut env = ExecEnv::new(1, &mut r.rng);
+    r.svc.install_checkpoint(
+        32,
+        root,
+        vec![(0, some("agreed-value-with-chunks")), (1, None), (2, some("extra"))],
+        &mut env,
+    );
+    assert_eq!(r.svc.current_tree().root_digest(), root, "chunked install must match the donor");
 }
 
 #[test]

@@ -22,6 +22,10 @@ impl Mac {
     /// Computes the truncated MAC of `digest` under `key`.
     fn compute(key: &crate::keys::SessionKey, digest: &Digest) -> Mac {
         let full = key.mac(digest.as_bytes());
+        Mac::truncate(full)
+    }
+
+    fn truncate(full: [u8; 32]) -> Mac {
         let mut out = [0u8; MAC_LEN];
         out.copy_from_slice(&full[..MAC_LEN]);
         Mac(out)
@@ -54,8 +58,16 @@ impl Authenticator {
     ///
     /// The sender's own slot is filled with a self-MAC so indices line up;
     /// it is never checked.
+    ///
+    /// Every entry MACs the *same* 32-byte digest — only the per-edge
+    /// session key differs — so the inner hash's final-block message
+    /// schedule is expanded once and shared across all `n` keys instead of
+    /// re-expanded per tag.
     pub fn generate(keys: &NodeKeys, n: usize, digest: &Digest) -> Self {
-        let macs = (0..n).map(|j| Mac::compute(&keys.key_to(j), digest)).collect();
+        let schedule = crate::sha256::Sha256Schedule::for_block1_tail32(digest.as_bytes());
+        let macs = (0..n)
+            .map(|j| Mac::truncate(keys.key_to(j).mac32_scheduled(&schedule)))
+            .collect();
         Self { macs }
     }
 
@@ -163,6 +175,20 @@ mod tests {
         // Authenticator only covers nodes 0 and 1; node 2 must reject.
         let auth = Authenticator::generate(&a, 2, &d);
         assert!(!auth.check(&c, 0, &d));
+    }
+
+    #[test]
+    fn shared_schedule_matches_per_key_macs() {
+        // generate() (shared inner-block schedule) must produce exactly
+        // the tags the straight per-key MAC path produces.
+        let (a, _, _) = setup();
+        for payload in [&b"msg"[..], b"", b"another multicast payload"] {
+            let d = Digest::of(payload);
+            let auth = Authenticator::generate(&a, 4, &d);
+            for j in 0..4 {
+                assert_eq!(auth.macs[j], Mac::compute(&a.key_to(j), &d), "entry {j}");
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! HMAC-SHA256 (RFC 2104), validated against the RFC 4231 test vectors.
 
-use crate::sha256::{Sha256, Sha256Midstate};
+use crate::sha256::{Sha256, Sha256Midstate, Sha256Schedule};
 
 const BLOCK_LEN: usize = 64;
 
@@ -40,6 +40,23 @@ impl HmacMidstate {
         let mut outer = Sha256::new();
         outer.update(&opad_key);
         Self { inner: inner.midstate(), outer: outer.midstate() }
+    }
+
+    /// MACs a 32-byte message through a pre-expanded inner-block schedule.
+    ///
+    /// For a 32-byte message the inner hash is exactly one compression
+    /// past the ipad midstate, of a block fully determined by the message
+    /// (`digest || 0x80 || zeros || len`). That block — and therefore its
+    /// schedule — is identical for every key MACing the same message, so a
+    /// multicast sender expands it once with
+    /// [`Sha256Schedule::for_block1_tail32`] and shares it across all
+    /// per-receiver keys. The outer hash cannot be shared (its input is
+    /// the per-key inner digest) and runs normally.
+    pub fn mac32_scheduled(&self, schedule: &Sha256Schedule) -> [u8; 32] {
+        let inner_digest = self.inner.finalize_scheduled(schedule);
+        let mut outer = Sha256::from_midstate(self.outer);
+        outer.update(&inner_digest);
+        outer.finalize()
     }
 }
 
@@ -200,6 +217,23 @@ mod tests {
         m.update(b"first");
         assert_eq!(m.finalize(), one);
         assert_eq!(one, hmac_sha256(b"key", b"first"));
+    }
+
+    #[test]
+    fn scheduled_mac32_matches_one_shot() {
+        for key_len in [0usize, 1, 20, 32, 64, 131] {
+            let key = vec![0x5du8; key_len];
+            let mid = HmacMidstate::new(&key);
+            for fill in [0x00u8, 0x7f, 0xee] {
+                let msg = [fill; 32];
+                let schedule = Sha256Schedule::for_block1_tail32(&msg);
+                assert_eq!(
+                    mid.mac32_scheduled(&schedule),
+                    hmac_sha256(&key, &msg),
+                    "key_len {key_len} fill {fill:02x}"
+                );
+            }
+        }
     }
 
     #[test]

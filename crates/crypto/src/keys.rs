@@ -69,6 +69,14 @@ impl SessionKey {
         mac.update(message);
         mac.finalize()
     }
+
+    /// MACs a 32-byte message whose inner-block schedule was pre-expanded
+    /// with [`crate::Sha256Schedule::for_block1_tail32`]. The schedule is
+    /// key-independent, so one multicast shares it across all receivers'
+    /// session keys (see [`crate::hmac::HmacMidstate::mac32_scheduled`]).
+    pub fn mac32_scheduled(&self, schedule: &crate::sha256::Sha256Schedule) -> [u8; 32] {
+        self.midstate.mac32_scheduled(schedule)
+    }
 }
 
 /// A node's handle onto the key infrastructure.

@@ -13,6 +13,8 @@
 //!   authentication.
 //! - [`keys`]: per-node key material, pairwise session-key derivation, and
 //!   the key-refresh used by proactive recovery.
+//! - [`fec`]: systematic Reed–Solomon erasure coding over GF(2⁸), the
+//!   fragment codec behind coded checkpoint state transfer.
 //! - [`sig`]: transferable signatures for view-change and checkpoint
 //!   certificates. These are *simulated*: signing is HMAC under the
 //!   signer's private key, and verification goes through a
@@ -30,6 +32,7 @@
 
 pub mod auth;
 pub mod digest;
+pub mod fec;
 pub mod hmac;
 pub mod keys;
 pub mod sha256;
@@ -39,5 +42,5 @@ pub use auth::{Authenticator, Mac, MAC_LEN};
 pub use digest::{digest_of, Digest, DIGEST_LEN};
 pub use hmac::{hmac_sha256, HmacMidstate, HmacSha256};
 pub use keys::{KeyPair, NodeKeys, SessionKey, SECRET_LEN};
-pub use sha256::{Sha256, Sha256Midstate};
+pub use sha256::{Sha256, Sha256Midstate, Sha256Schedule};
 pub use sig::{KeyDirectory, Signature, SIG_LEN};

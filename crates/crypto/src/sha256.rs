@@ -161,51 +161,112 @@ impl Sha256 {
 
     /// SHA-256 compression function on one 64-byte block.
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        let w = expand_schedule(block);
+        compress_rounds(&mut self.state, &w);
+    }
+}
+
+/// Expands one 64-byte block into the 64-entry message schedule W.
+fn expand_schedule(block: &[u8; 64]) -> [u32; 64] {
+    let mut w = [0u32; 64];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    w
+}
+
+/// The 64 state-mixing rounds over a pre-expanded schedule.
+fn compress_rounds(state: &mut [u32; 8], w: &[u32; 64]) {
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// A pre-expanded message schedule for one 64-byte block.
+///
+/// The schedule W depends only on the block's *bytes*, not on the
+/// compression state it lands on. When the identical final block is
+/// compressed on top of many different midstates — every receiver of one
+/// multicast MACs the same 32-byte digest, only the keyed ipad state
+/// differs — expanding it once and replaying it per state skips the
+/// 48-step schedule expansion on all but the first use.
+#[derive(Debug, Clone, Copy)]
+pub struct Sha256Schedule {
+    w: [u32; 64],
+}
+
+impl Sha256Schedule {
+    /// Expands the schedule for `block`.
+    pub fn new(block: &[u8; 64]) -> Self {
+        Self { w: expand_schedule(block) }
+    }
+
+    /// Builds the schedule of the *final* padded block of a message that
+    /// consists of one already-absorbed 64-byte block followed by the
+    /// 32-byte `tail` — the exact shape of an HMAC-SHA256 inner hash over
+    /// a 32-byte message (ipad block + digest). The block embeds the 0x80
+    /// terminator and the 768-bit length, so compressing it completes the
+    /// hash.
+    pub fn for_block1_tail32(tail: &[u8; 32]) -> Self {
+        let mut block = [0u8; 64];
+        block[..32].copy_from_slice(tail);
+        block[32] = 0x80;
+        block[56..].copy_from_slice(&(96u64 * 8).to_be_bytes());
+        Self::new(&block)
+    }
+}
+
+impl Sha256Midstate {
+    /// Compresses one pre-scheduled block on top of this midstate and
+    /// returns the resulting digest, treating that block as the message's
+    /// final (padding-carrying) block. The caller is responsible for the
+    /// schedule embedding correct padding and length for the midstate's
+    /// absorbed-byte count (see [`Sha256Schedule::for_block1_tail32`]).
+    pub fn finalize_scheduled(&self, schedule: &Sha256Schedule) -> [u8; 32] {
+        let mut state = self.state;
+        compress_rounds(&mut state, &schedule.w);
+        let mut out = [0u8; 32];
+        for (i, word) in state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
         }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
-        }
-
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        out
     }
 }
 
@@ -290,6 +351,29 @@ mod tests {
         let mut h = Sha256::new();
         h.update(b"partial");
         let _ = h.midstate();
+    }
+
+    #[test]
+    fn scheduled_final_block_matches_incremental() {
+        // One absorbed block + 32-byte tail, finished via a shared
+        // schedule, must equal the ordinary incremental hash.
+        for fill in [0x00u8, 0x36, 0xa5, 0xff] {
+            let prefix = [fill; 64];
+            let mut h = Sha256::new();
+            h.update(&prefix);
+            let mid = h.midstate();
+            for tail_fill in [0x00u8, 0x42, 0x9c] {
+                let tail = [tail_fill; 32];
+                let schedule = Sha256Schedule::for_block1_tail32(&tail);
+                let mut full = prefix.to_vec();
+                full.extend_from_slice(&tail);
+                assert_eq!(
+                    mid.finalize_scheduled(&schedule),
+                    Sha256::digest(&full),
+                    "prefix {fill:02x} tail {tail_fill:02x}"
+                );
+            }
+        }
     }
 
     #[test]

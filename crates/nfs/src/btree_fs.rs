@@ -227,7 +227,7 @@ impl NfsServer for BtreeFs {
         self.fh_of(self.root_ino)
     }
 
-    fn getattr(&mut self, fh: &ServerFh) -> SrvResult<SrvAttr> {
+    fn getattr(&self, fh: &ServerFh) -> SrvResult<SrvAttr> {
         let ino = self.resolve(fh)?;
         Ok(self.attr_of(ino))
     }
@@ -280,6 +280,19 @@ impl NfsServer for BtreeFs {
         };
         self.node_mut(ino).atime_ns = clock_us(clock_ns);
         Ok(out)
+    }
+
+    fn peek(&self, fh: &ServerFh, offset: u64, count: u32) -> SrvResult<Vec<u8>> {
+        let ino = self.resolve(fh)?;
+        match &self.node(ino).content {
+            Content::File { data } => {
+                let start = (offset as usize).min(data.len());
+                let end = (offset as usize).saturating_add(count as usize).min(data.len());
+                Ok(data[start..end].to_vec())
+            }
+            Content::Dir { .. } => Err(SrvError::IsDir),
+            Content::Symlink { .. } => Err(SrvError::Inval),
+        }
     }
 
     fn write(
@@ -421,7 +434,7 @@ impl NfsServer for BtreeFs {
         Ok((self.fh_of(ino), self.attr_of(ino)))
     }
 
-    fn readlink(&mut self, fh: &ServerFh) -> SrvResult<String> {
+    fn readlink(&self, fh: &ServerFh) -> SrvResult<String> {
         let ino = self.resolve(fh)?;
         match &self.node(ino).content {
             Content::Symlink { target } => Ok(target.clone()),
@@ -471,7 +484,7 @@ impl NfsServer for BtreeFs {
         Ok(())
     }
 
-    fn readdir(&mut self, dir: &ServerFh) -> SrvResult<Vec<(String, ServerFh)>> {
+    fn readdir(&self, dir: &ServerFh) -> SrvResult<Vec<(String, ServerFh)>> {
         let dir = self.resolve(dir)?;
         // Lexicographic order (BTreeMap iteration) — happens to match the
         // abstract spec, unlike the other implementations.

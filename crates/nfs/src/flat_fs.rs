@@ -267,7 +267,7 @@ impl NfsServer for FlatFs {
         self.fh_of(self.root_tag)
     }
 
-    fn getattr(&mut self, fh: &ServerFh) -> SrvResult<SrvAttr> {
+    fn getattr(&self, fh: &ServerFh) -> SrvResult<SrvAttr> {
         let tag = self.resolve(fh)?;
         Ok(self.attr_of(tag))
     }
@@ -320,6 +320,19 @@ impl NfsServer for FlatFs {
         };
         self.nodes.get_mut(&tag).expect("resolved").atime_ns = clock_ns;
         Ok(out)
+    }
+
+    fn peek(&self, fh: &ServerFh, offset: u64, count: u32) -> SrvResult<Vec<u8>> {
+        let tag = self.resolve(fh)?;
+        match &self.nodes[&tag].payload {
+            Payload::File(d) => {
+                let start = (offset as usize).min(d.len());
+                let end = (offset as usize).saturating_add(count as usize).min(d.len());
+                Ok(d[start..end].to_vec())
+            }
+            Payload::Dir => Err(SrvError::IsDir),
+            Payload::Symlink(_) => Err(SrvError::Inval),
+        }
     }
 
     fn write(
@@ -478,7 +491,7 @@ impl NfsServer for FlatFs {
         Ok((self.fh_of(tag), self.attr_of(tag)))
     }
 
-    fn readlink(&mut self, fh: &ServerFh) -> SrvResult<String> {
+    fn readlink(&self, fh: &ServerFh) -> SrvResult<String> {
         let tag = self.resolve(fh)?;
         match &self.nodes[&tag].payload {
             Payload::Symlink(t) => Ok(t.clone()),
@@ -525,7 +538,7 @@ impl NfsServer for FlatFs {
         Ok(())
     }
 
-    fn readdir(&mut self, dir: &ServerFh) -> SrvResult<Vec<(String, ServerFh)>> {
+    fn readdir(&self, dir: &ServerFh) -> SrvResult<Vec<(String, ServerFh)>> {
         let d = self.dir_path(self.resolve(dir)?)?;
         Ok(self.children(&d).into_iter().map(|(name, tag)| (name, self.fh_of(tag))).collect())
     }

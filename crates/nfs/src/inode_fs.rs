@@ -316,7 +316,7 @@ impl NfsServer for InodeFs {
         self.fh_of(0)
     }
 
-    fn getattr(&mut self, fh: &ServerFh) -> SrvResult<SrvAttr> {
+    fn getattr(&self, fh: &ServerFh) -> SrvResult<SrvAttr> {
         let ino = self.resolve(fh)?;
         Ok(self.attr_of(ino))
     }
@@ -360,6 +360,11 @@ impl NfsServer for InodeFs {
         let data = self.read_file(ino, offset, count)?;
         self.inode_mut(ino).atime_ns = clock_ns;
         Ok(data)
+    }
+
+    fn peek(&self, fh: &ServerFh, offset: u64, count: u32) -> SrvResult<Vec<u8>> {
+        let ino = self.resolve(fh)?;
+        self.read_file(ino, offset, count)
     }
 
     fn write(
@@ -502,7 +507,7 @@ impl NfsServer for InodeFs {
         Ok((self.fh_of(ino), self.attr_of(ino)))
     }
 
-    fn readlink(&mut self, fh: &ServerFh) -> SrvResult<String> {
+    fn readlink(&self, fh: &ServerFh) -> SrvResult<String> {
         let ino = self.resolve(fh)?;
         match &self.inode(ino).content {
             Content::Symlink { target } => Ok(target.clone()),
@@ -544,7 +549,7 @@ impl NfsServer for InodeFs {
         Ok(())
     }
 
-    fn readdir(&mut self, dir: &ServerFh) -> SrvResult<Vec<(String, ServerFh)>> {
+    fn readdir(&self, dir: &ServerFh) -> SrvResult<Vec<(String, ServerFh)>> {
         let dino = self.resolve(dir)?;
         // Insertion order — implementation-defined, deliberately not
         // sorted.

@@ -241,7 +241,7 @@ impl NfsServer for LogFs {
         self.fh_of(self.root_id)
     }
 
-    fn getattr(&mut self, fh: &ServerFh) -> SrvResult<SrvAttr> {
+    fn getattr(&self, fh: &ServerFh) -> SrvResult<SrvAttr> {
         let id = self.resolve(fh)?;
         Ok(self.attr_of(id))
     }
@@ -295,6 +295,19 @@ impl NfsServer for LogFs {
         };
         self.node_mut(id).atime_ns = clock_ns;
         Ok(out)
+    }
+
+    fn peek(&self, fh: &ServerFh, offset: u64, count: u32) -> SrvResult<Vec<u8>> {
+        let id = self.resolve(fh)?;
+        match &self.node(id).content {
+            Content::File { data } => {
+                let start = (offset as usize).min(data.len());
+                let end = (offset as usize).saturating_add(count as usize).min(data.len());
+                Ok(data[start..end].to_vec())
+            }
+            Content::Dir { .. } => Err(SrvError::IsDir),
+            Content::Symlink { .. } => Err(SrvError::Inval),
+        }
     }
 
     fn write(
@@ -446,7 +459,7 @@ impl NfsServer for LogFs {
         Ok((self.fh_of(id), self.attr_of(id)))
     }
 
-    fn readlink(&mut self, fh: &ServerFh) -> SrvResult<String> {
+    fn readlink(&self, fh: &ServerFh) -> SrvResult<String> {
         let id = self.resolve(fh)?;
         match &self.node(id).content {
             Content::Symlink { target } => Ok(target.clone()),
@@ -494,7 +507,7 @@ impl NfsServer for LogFs {
         Ok(())
     }
 
-    fn readdir(&mut self, dir: &ServerFh) -> SrvResult<Vec<(String, ServerFh)>> {
+    fn readdir(&self, dir: &ServerFh) -> SrvResult<Vec<(String, ServerFh)>> {
         let dir = self.resolve(dir)?;
         // Hash order — implementation-defined, deliberately not sorted.
         let out: Vec<(String, u64)> =

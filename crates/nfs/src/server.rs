@@ -97,8 +97,17 @@ pub trait NfsServer: Sync + 'static {
     /// The root directory's handle.
     fn root(&self) -> ServerFh;
 
-    /// Reads attributes.
-    fn getattr(&mut self, fh: &ServerFh) -> SrvResult<SrvAttr>;
+    /// Reads attributes. `&self`: attribute reads must not disturb the
+    /// concrete state, so the abstraction function can run off a shared
+    /// reference.
+    fn getattr(&self, fh: &ServerFh) -> SrvResult<SrvAttr>;
+
+    /// Reads up to `count` bytes at `offset` *without* updating atime — the
+    /// observation path of the abstraction function, which must not perturb
+    /// the concrete state it abstracts. (Concrete atime is invisible
+    /// abstractly — abstract timestamps live in the wrapper's rep — so
+    /// client-visible semantics are unchanged.)
+    fn peek(&self, fh: &ServerFh, offset: u64, count: u32) -> SrvResult<Vec<u8>>;
 
     /// Updates attributes.
     fn setattr(&mut self, fh: &ServerFh, sa: SrvSetAttr, clock_ns: u64) -> SrvResult<SrvAttr>;
@@ -151,7 +160,7 @@ pub trait NfsServer: Sync + 'static {
     ) -> SrvResult<(ServerFh, SrvAttr)>;
 
     /// Reads a symlink's target.
-    fn readlink(&mut self, fh: &ServerFh) -> SrvResult<String>;
+    fn readlink(&self, fh: &ServerFh) -> SrvResult<String>;
 
     /// Creates a directory.
     fn mkdir(
@@ -167,7 +176,7 @@ pub trait NfsServer: Sync + 'static {
     fn rmdir(&mut self, dir: &ServerFh, name: &str, clock_ns: u64) -> SrvResult<()>;
 
     /// Lists a directory in *implementation-defined* order.
-    fn readdir(&mut self, dir: &ServerFh) -> SrvResult<Vec<(String, ServerFh)>>;
+    fn readdir(&self, dir: &ServerFh) -> SrvResult<Vec<(String, ServerFh)>>;
 
     /// Restarts from an empty file system (clean reboot). Handles become
     /// stale; ids may be reassigned.

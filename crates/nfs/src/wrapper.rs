@@ -40,14 +40,28 @@ struct RepEntry {
 }
 
 /// Counters for the experiments.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub struct WrapperStats {
     /// Operations executed.
     pub ops: u64,
-    /// Objects materialized by the abstraction function.
-    pub get_objs: u64,
+    /// Objects materialized by the abstraction function. Atomic because
+    /// the abstraction function runs off `&self` (possibly from several
+    /// digest workers at once).
+    pub get_objs: std::sync::atomic::AtomicU64,
     /// Objects written back by the inverse abstraction function.
     pub put_objs: u64,
+}
+
+impl Clone for WrapperStats {
+    fn clone(&self) -> Self {
+        Self {
+            ops: self.ops,
+            get_objs: std::sync::atomic::AtomicU64::new(
+                self.get_objs.load(std::sync::atomic::Ordering::Relaxed),
+            ),
+            put_objs: self.put_objs,
+        }
+    }
 }
 
 /// The conformance wrapper.
@@ -98,7 +112,7 @@ impl<S: NfsServer> NfsWrapper<S> {
     }
 
     /// Wraps `server` with a custom abstract array capacity.
-    pub fn with_capacity(mut server: S, capacity: u64) -> Self {
+    pub fn with_capacity(server: S, capacity: u64) -> Self {
         assert!(capacity >= 2, "need room for the root and at least one object");
         let root_fh = server.root();
         let root_attr = server.getattr(&root_fh).expect("fresh root must resolve");
@@ -247,13 +261,15 @@ impl<S: NfsServer> NfsWrapper<S> {
         }
     }
 
-    /// Reads a whole file through the server interface.
-    fn read_all(&mut self, fh: &ServerFh, size: u64, clock_ns: u64) -> SrvResult<Vec<u8>> {
+    /// Reads a whole file through the server's atime-free observation
+    /// interface (the abstraction function must not perturb the concrete
+    /// state it abstracts).
+    fn read_all(&self, fh: &ServerFh, size: u64) -> SrvResult<Vec<u8>> {
         let mut out = Vec::with_capacity(size as usize);
         let mut off = 0u64;
         while off < size {
             let count = (size - off).min(1 << 20) as u32;
-            let chunk = self.server.read(fh, off, count, clock_ns)?;
+            let chunk = self.server.peek(fh, off, count)?;
             if chunk.is_empty() {
                 break;
             }
@@ -264,7 +280,7 @@ impl<S: NfsServer> NfsWrapper<S> {
     }
 
     /// The abstraction function for one object (paper §3.3).
-    fn abstract_of(&mut self, index: u64) -> Option<Vec<u8>> {
+    fn abstract_of(&self, index: u64) -> Option<Vec<u8>> {
         let e = self.entries.get(index as usize)?;
         let gen = e.gen;
         let fh = e.fh.clone()?;
@@ -272,7 +288,7 @@ impl<S: NfsServer> NfsWrapper<S> {
         let attr = self.abs_attr(index as u32, &srv);
         let obj = match srv.kind {
             ObjKind::File => {
-                let data = self.read_all(&fh, srv.size, 0).ok()?;
+                let data = self.read_all(&fh, srv.size).ok()?;
                 AbstractObject::File { attr, data }
             }
             ObjKind::Dir => {
@@ -293,21 +309,14 @@ impl<S: NfsServer> NfsWrapper<S> {
                 AbstractObject::Symlink { attr, target }
             }
         };
-        self.stats.get_objs += 1;
+        self.stats.get_objs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Some(obj.encode_entry(gen))
     }
 
     /// Registers a modification of abstract object `index` with the
     /// library's copy-on-write machinery.
     fn note_modify(&mut self, index: u32, mods: &mut ModifyLog) {
-        // Split the borrow: the closure needs `&mut self`, which is fine
-        // because `mods` is an independent argument.
-        let mut capture = None;
-        let needs = !mods.is_dirty(u64::from(index));
-        if needs {
-            capture = Some(self.abstract_of(u64::from(index)));
-        }
-        mods.modify(u64::from(index), || capture.expect("captured when needed"));
+        mods.modify(u64::from(index), || self.abstract_of(u64::from(index)));
     }
 
     fn run_op(
@@ -647,7 +656,7 @@ impl<S: NfsServer> Wrapper for NfsWrapper<S> {
         self.run_op(op, now_ns, mods, env).to_bytes()
     }
 
-    fn get_obj(&mut self, index: u64) -> Option<Vec<u8>> {
+    fn get_obj(&self, index: u64) -> Option<Vec<u8>> {
         self.abstract_of(index)
     }
 

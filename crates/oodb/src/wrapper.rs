@@ -513,7 +513,7 @@ impl Wrapper for OodbWrapper {
         self.run(op, now_ns, mods, env).to_bytes()
     }
 
-    fn get_obj(&mut self, index: u64) -> Option<Vec<u8>> {
+    fn get_obj(&self, index: u64) -> Option<Vec<u8>> {
         let e = self.entries.get(index as usize)?;
         let addr = e.addr?;
         let gen = e.gen;

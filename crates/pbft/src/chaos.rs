@@ -87,6 +87,11 @@ pub struct CounterChaosHarness {
     pub pipeline_depth: u64,
     /// Execution worker count ([`Config::exec_workers`]).
     pub exec_workers: usize,
+    /// Whether state transfer fetches erasure-coded fragments
+    /// ([`Config::coded_transfer`]).
+    pub coded_transfer: bool,
+    /// Chunk size for chunked Merkle leaf digests ([`Config::chunk_size`]).
+    pub chunk_size: usize,
     // Per-run state, reset by `build`.
     group: Option<TestGroup>,
     expected: HashMap<(u32, u64), OpKind>,
@@ -110,6 +115,8 @@ impl CounterChaosHarness {
             latency_budget: None,
             pipeline_depth: 16,
             exec_workers: 1,
+            coded_transfer: false,
+            chunk_size: 0,
             group: None,
             expected: HashMap::new(),
             all_deltas: 0,
@@ -128,6 +135,8 @@ impl CounterChaosHarness {
         cfg.adaptive_timeouts = self.adaptive;
         cfg.pipeline_depth = self.pipeline_depth;
         cfg.exec_workers = self.exec_workers;
+        cfg.coded_transfer = self.coded_transfer;
+        cfg.chunk_size = self.chunk_size;
         cfg
     }
 

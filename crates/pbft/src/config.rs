@@ -75,6 +75,21 @@ pub struct Config {
     /// charges, so results and timing are byte-identical at any worker
     /// count.
     pub exec_workers: usize,
+    /// Erasure-coded state transfer: when true, a recovering replica
+    /// fetches checkpoint data as systematic Reed–Solomon fragments
+    /// (`k = f + 1` data + `m = f` parity) spread across `f + 1` distinct
+    /// sources in parallel, instead of whole objects from one source at a
+    /// time. Parity fragments are fetched only when a data fragment is
+    /// missing or corrupt. Off by default — the legacy whole-object path.
+    pub coded_transfer: bool,
+    /// Leaf-digest chunk size in bytes
+    /// ([`Service::set_chunk_size`](crate::Service::set_chunk_size)).
+    /// `0` (the default) keeps legacy whole-object leaf digests. Non-zero
+    /// switches every leaf digest to the chunked fold, so small writes to
+    /// big objects re-hash only touched chunks and coded transfer can both
+    /// verify and skip chunks the fetcher already holds. Consensus-critical:
+    /// all replicas must configure the same value.
+    pub chunk_size: usize,
 }
 
 impl Config {
@@ -106,6 +121,8 @@ impl Config {
             fetch_window_max: 16,
             pipeline_depth: 16,
             exec_workers: 1,
+            coded_transfer: false,
+            chunk_size: 0,
         }
     }
 

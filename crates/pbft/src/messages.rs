@@ -785,6 +785,163 @@ impl XdrDecode for ObjectReplyMsg {
     }
 }
 
+/// Coded state transfer: request for the chunk-digest list of one object
+/// in a checkpoint. The reply verifies against the object's (chunked) leaf
+/// digest, after which individual chunks can be fetched as erasure-coded
+/// fragments and verified one by one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FetchChunksMsg {
+    /// Checkpoint sequence number.
+    pub seq: u64,
+    /// Object (leaf) index.
+    pub index: u64,
+    /// Requesting replica.
+    pub replica: u32,
+}
+
+impl XdrEncode for FetchChunksMsg {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u64(self.seq);
+        enc.put_u64(self.index);
+        enc.put_u32(self.replica);
+    }
+}
+
+impl XdrDecode for FetchChunksMsg {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self { seq: dec.get_u64()?, index: dec.get_u64()?, replica: dec.get_u32()? })
+    }
+}
+
+/// Reply to [`FetchChunksMsg`]: the object's length and per-chunk digests.
+/// Verified by folding into the chunked leaf digest, so it needs no
+/// authentication; `len` is thereby as trustworthy as the digests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunksReplyMsg {
+    /// Checkpoint sequence number.
+    pub seq: u64,
+    /// Object (leaf) index.
+    pub index: u64,
+    /// Object length in bytes.
+    pub len: u64,
+    /// Per-chunk digests, in chunk order.
+    pub digests: Vec<Digest>,
+    /// Replying replica.
+    pub replica: u32,
+}
+
+impl XdrEncode for ChunksReplyMsg {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u64(self.seq);
+        enc.put_u64(self.index);
+        enc.put_u64(self.len);
+        encode_vec(&self.digests, enc);
+        enc.put_u32(self.replica);
+    }
+}
+
+impl XdrDecode for ChunksReplyMsg {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self {
+            seq: dec.get_u64()?,
+            index: dec.get_u64()?,
+            len: dec.get_u64()?,
+            digests: decode_vec(dec)?,
+            replica: dec.get_u32()?,
+        })
+    }
+}
+
+/// Coded state transfer: request for one Reed–Solomon fragment of a chunk
+/// (or of a whole object when `chunk` is [`CHUNK_WHOLE`](crate::transfer::CHUNK_WHOLE)).
+/// Fragment ids `0..k` are systematic data fragments; `k..k+m` are parity.
+/// `k = f + 1` and `m = f` are derived from the group configuration, not
+/// carried on the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FetchFragMsg {
+    /// Checkpoint sequence number.
+    pub seq: u64,
+    /// Object (leaf) index.
+    pub index: u64,
+    /// Chunk number within the object, or `u32::MAX` for the whole object.
+    pub chunk: u32,
+    /// Fragment id (`0..k` data, `k..k+m` parity).
+    pub frag: u32,
+    /// Requesting replica.
+    pub replica: u32,
+}
+
+impl XdrEncode for FetchFragMsg {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u64(self.seq);
+        enc.put_u64(self.index);
+        enc.put_u32(self.chunk);
+        enc.put_u32(self.frag);
+        enc.put_u32(self.replica);
+    }
+}
+
+impl XdrDecode for FetchFragMsg {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self {
+            seq: dec.get_u64()?,
+            index: dec.get_u64()?,
+            chunk: dec.get_u32()?,
+            frag: dec.get_u32()?,
+            replica: dec.get_u32()?,
+        })
+    }
+}
+
+/// Reply to [`FetchFragMsg`]: one fragment of the (chunk's) bytes. `len` is
+/// the *unfragmented* length, which fixes the fragment geometry; it is
+/// validated against the verified chunk list (chunked mode) or treated as a
+/// candidate to be confirmed by digest check after reassembly (whole-object
+/// mode).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FragReplyMsg {
+    /// Checkpoint sequence number.
+    pub seq: u64,
+    /// Object (leaf) index.
+    pub index: u64,
+    /// Chunk number within the object, or `u32::MAX` for the whole object.
+    pub chunk: u32,
+    /// Fragment id.
+    pub frag: u32,
+    /// Length in bytes of the unfragmented chunk/object.
+    pub len: u64,
+    /// Fragment bytes (`fragment_len(len, k)` of them).
+    pub data: Vec<u8>,
+    /// Replying replica.
+    pub replica: u32,
+}
+
+impl XdrEncode for FragReplyMsg {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u64(self.seq);
+        enc.put_u64(self.index);
+        enc.put_u32(self.chunk);
+        enc.put_u32(self.frag);
+        enc.put_u64(self.len);
+        enc.put_opaque(&self.data);
+        enc.put_u32(self.replica);
+    }
+}
+
+impl XdrDecode for FragReplyMsg {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Self {
+            seq: dec.get_u64()?,
+            index: dec.get_u64()?,
+            chunk: dec.get_u32()?,
+            frag: dec.get_u32()?,
+            len: dec.get_u64()?,
+            data: dec.get_opaque()?,
+            replica: dec.get_u32()?,
+        })
+    }
+}
+
 /// Periodic status report (PBFT's status messages, simplified): lets peers
 /// detect that this replica is missing messages and retransmit them.
 /// Unauthenticated by design — a forged status can only trigger bounded
@@ -897,6 +1054,14 @@ pub enum Message {
     CertReply(CertReplyMsg),
     /// Periodic status report.
     Status(StatusMsg),
+    /// Coded state transfer: fetch an object's chunk-digest list.
+    FetchChunks(FetchChunksMsg),
+    /// Coded state transfer: chunk-digest list reply.
+    ChunksReply(ChunksReplyMsg),
+    /// Coded state transfer: fetch one erasure-coded fragment.
+    FetchFrag(FetchFragMsg),
+    /// Coded state transfer: fragment reply.
+    FragReply(FragReplyMsg),
 }
 
 impl Message {
@@ -929,6 +1094,10 @@ impl Message {
             Message::FetchCert(_) => "fetch-cert",
             Message::CertReply(_) => "cert-reply",
             Message::Status(_) => "status",
+            Message::FetchChunks(_) => "fetch-chunks",
+            Message::ChunksReply(_) => "chunks-reply",
+            Message::FetchFrag(_) => "fetch-frag",
+            Message::FragReply(_) => "frag-reply",
         }
     }
 }
@@ -996,6 +1165,22 @@ impl XdrEncode for Message {
                 enc.put_u32(14);
                 m.encode(enc);
             }
+            Message::FetchChunks(m) => {
+                enc.put_u32(15);
+                m.encode(enc);
+            }
+            Message::ChunksReply(m) => {
+                enc.put_u32(16);
+                m.encode(enc);
+            }
+            Message::FetchFrag(m) => {
+                enc.put_u32(17);
+                m.encode(enc);
+            }
+            Message::FragReply(m) => {
+                enc.put_u32(18);
+                m.encode(enc);
+            }
         }
     }
 }
@@ -1019,6 +1204,10 @@ impl XdrDecode for Message {
             12 => Message::FetchCert(FetchCertMsg::decode(dec)?),
             13 => Message::CertReply(CertReplyMsg::decode(dec)?),
             14 => Message::Status(StatusMsg::decode(dec)?),
+            15 => Message::FetchChunks(FetchChunksMsg::decode(dec)?),
+            16 => Message::ChunksReply(ChunksReplyMsg::decode(dec)?),
+            17 => Message::FetchFrag(FetchFragMsg::decode(dec)?),
+            18 => Message::FragReply(FragReplyMsg::decode(dec)?),
             v => {
                 return Err(XdrError::InvalidDiscriminant { type_name: "Message", value: v })
             }
@@ -1150,6 +1339,24 @@ mod tests {
             Message::ObjectReply(ObjectReplyMsg { seq: 128, index: 7, data: vec![9; 100], replica: 1 }),
             Message::FetchCert(FetchCertMsg { replica: 3 }),
             Message::CertReply(CertReplyMsg { msgs: vec![ckpt], replica: 3 }),
+            Message::FetchChunks(FetchChunksMsg { seq: 128, index: 7, replica: 1 }),
+            Message::ChunksReply(ChunksReplyMsg {
+                seq: 128,
+                index: 7,
+                len: 5000,
+                digests: vec![Digest::of(b"c0"), Digest::of(b"c1")],
+                replica: 1,
+            }),
+            Message::FetchFrag(FetchFragMsg { seq: 128, index: 7, chunk: 1, frag: 2, replica: 1 }),
+            Message::FragReply(FragReplyMsg {
+                seq: 128,
+                index: 7,
+                chunk: u32::MAX,
+                frag: 0,
+                len: 300,
+                data: vec![5; 100],
+                replica: 1,
+            }),
         ];
         for m in msgs {
             let decoded = Message::from_wire(&m.to_wire()).unwrap_or_else(|| panic!("{}", m.kind()));

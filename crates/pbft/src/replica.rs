@@ -11,13 +11,16 @@ use crate::config::Config;
 use crate::cost::CostModel;
 use crate::log::{CheckpointCollector, Log, ReplyCache, SlotStage, SlotTable};
 use crate::messages::{
-    CertReplyMsg, CheckpointMsg, CommitMsg, FetchCertMsg, FetchMetaMsg, FetchObjectMsg, Message,
-    MetaReplyMsg, NewViewMsg, ObjectReplyMsg, PrePrepareMsg, PreparedProof, PrepareMsg, ReplyMsg,
-    RequestMsg, StatusMsg, ViewChangeMsg,
+    CertReplyMsg, CheckpointMsg, ChunksReplyMsg, CommitMsg, FetchCertMsg, FetchChunksMsg,
+    FetchFragMsg, FetchMetaMsg, FetchObjectMsg, FragReplyMsg, Message, MetaReplyMsg, NewViewMsg,
+    ObjectReplyMsg, PrePrepareMsg, PreparedProof, PrepareMsg, ReplyMsg, RequestMsg, StatusMsg,
+    ViewChangeMsg,
 };
 use crate::service::{ExecEnv, Service};
-use crate::transfer::{checkpoint_digest, FetchResult, Fetcher, META_ROOT_LEVEL, REPLIES_INDEX};
-use base_crypto::{Authenticator, Digest, NodeKeys};
+use crate::transfer::{
+    checkpoint_digest, FetchResult, Fetcher, CHUNK_WHOLE, META_ROOT_LEVEL, REPLIES_INDEX,
+};
+use base_crypto::{fec, Authenticator, Digest, NodeKeys};
 use base_simnet::{
     Actor, Context, MetricsRegistry, NodeId, Payload, ProtocolEvent, RttEstimator, SimDuration,
     TimerId,
@@ -158,6 +161,7 @@ impl<S: Service> Replica<S> {
     pub fn new(cfg: Config, keys: NodeKeys, service: S) -> Self {
         let mut service = service;
         service.set_exec_workers(cfg.exec_workers);
+        service.set_chunk_size(cfg.chunk_size);
         let id = keys.id() as u32;
         assert!((id as usize) < cfg.n, "replica id must be < n");
         let vc_timeout = cfg.view_change_timeout;
@@ -1059,6 +1063,13 @@ impl<S: Service> Replica<S> {
         } else {
             Fetcher::with_window(self.id, self.cfg.n, seq, digest, self.cfg.fetch_window)
         };
+        if self.cfg.coded_transfer {
+            // Systematic Reed–Solomon over k = f+1 data + m = f parity
+            // fragments: any f+1 of the 2f+1 correct sources suffice, and
+            // the parity budget absorbs up to f corrupt fragments.
+            let f = self.cfg.f();
+            fetcher.enable_coded(f + 1, f, self.cfg.chunk_size);
+        }
         for (to, msg) in fetcher.begin() {
             self.send(ctx, NodeId(to as usize), &msg);
         }
@@ -1085,6 +1096,11 @@ impl<S: Service> Replica<S> {
         self.metrics.add("transfer.corrupt_replies", result.corrupt_replies);
         self.metrics.add("transfer.retransmissions", result.retransmissions);
         self.metrics.observe("transfer.peak_window", result.peak_window as u64);
+        if self.cfg.coded_transfer {
+            self.metrics.add("transfer.chunk_queries", result.chunk_queries);
+            self.metrics.add("transfer.frag_queries", result.frag_queries);
+            self.metrics.add("transfer.chunks_reused", result.chunks_reused);
+        }
         // Wall-clock from fetch start to installation: the transfer's
         // contribution to heal-to-progress latency.
         self.metrics.observe(
@@ -1229,6 +1245,105 @@ impl<S: Service> Replica<S> {
         ctx.charge(self.cost.digest(m.data.len()));
         let (out, done) = match &mut self.fetcher {
             Some(f) => f.on_object_reply(&m, self.service.current_tree()),
+            None => return,
+        };
+        ctx.emit(
+            self.view,
+            m.seq,
+            ProtocolEvent::StateTransferFetchChunk { bytes: m.data.len() as u64 },
+        );
+        for (to, msg) in out {
+            self.send(ctx, NodeId(to as usize), &msg);
+        }
+        if let Some(result) = done {
+            self.finish_fetch(result, ctx);
+        }
+    }
+
+    fn handle_fetch_chunks(&mut self, m: FetchChunksMsg, ctx: &mut Context<'_>) {
+        if m.replica as usize >= self.cfg.n || self.cfg.chunk_size == 0 {
+            return;
+        }
+        let Some(data) = self.service.checkpoint_object(m.seq, m.index) else { return };
+        // Recomputing the chunk digests re-hashes the object once.
+        ctx.charge(self.cost.digest(data.len()));
+        let digests = crate::tree::chunk_digests(m.index, &data, self.cfg.chunk_size);
+        let reply = ChunksReplyMsg {
+            seq: m.seq,
+            index: m.index,
+            len: data.len() as u64,
+            digests,
+            replica: self.id,
+        };
+        self.send(ctx, NodeId(m.replica as usize), &Message::ChunksReply(reply));
+    }
+
+    fn handle_fetch_frag(&mut self, m: FetchFragMsg, ctx: &mut Context<'_>) {
+        let f = self.cfg.f();
+        let (k, pm) = (f + 1, f);
+        if m.replica as usize >= self.cfg.n || (m.frag as usize) >= k + pm {
+            return;
+        }
+        let Some(data) = self.service.checkpoint_object(m.seq, m.index) else { return };
+        let bytes: &[u8] = if m.chunk == CHUNK_WHOLE {
+            &data
+        } else {
+            let cs = self.cfg.chunk_size;
+            let start = m.chunk as usize * cs;
+            let end = ((m.chunk as usize + 1) * cs).min(data.len());
+            if cs == 0 || start >= end {
+                return;
+            }
+            &data[start..end]
+        };
+        // Serving one fragment streams 1/k of the bytes; parity fragments
+        // additionally pay one pass of GF(2^8) arithmetic, charged as a
+        // digest pass over the source bytes.
+        let frag = fec::fragment(bytes, k, pm, m.frag as usize);
+        let charged = if (m.frag as usize) < k { frag.len() } else { bytes.len() };
+        ctx.charge(self.cost.digest(charged));
+        let reply = FragReplyMsg {
+            seq: m.seq,
+            index: m.index,
+            chunk: m.chunk,
+            frag: m.frag,
+            len: bytes.len() as u64,
+            data: frag,
+            replica: self.id,
+        };
+        self.send(ctx, NodeId(m.replica as usize), &Message::FragReply(reply));
+    }
+
+    fn handle_chunks_reply(&mut self, m: ChunksReplyMsg, ctx: &mut Context<'_>) {
+        ctx.charge(self.cost.digest(m.digests.len() * 32));
+        if self.fetcher.is_none() {
+            return;
+        }
+        // Local chunk reuse diffs against the *current* value of the
+        // object, whatever it has drifted to — the fetcher validates every
+        // reused chunk against the verified remote chunk digest.
+        let local = self.service.transfer_object(m.index);
+        let (out, done) = match &mut self.fetcher {
+            Some(f) => f.on_chunks_reply(&m, local.as_deref()),
+            None => return,
+        };
+        ctx.emit(
+            self.view,
+            m.seq,
+            ProtocolEvent::StateTransferFetchChunk { bytes: (m.digests.len() * 32) as u64 },
+        );
+        for (to, msg) in out {
+            self.send(ctx, NodeId(to as usize), &msg);
+        }
+        if let Some(result) = done {
+            self.finish_fetch(result, ctx);
+        }
+    }
+
+    fn handle_frag_reply(&mut self, m: FragReplyMsg, ctx: &mut Context<'_>) {
+        ctx.charge(self.cost.digest(m.data.len()));
+        let (out, done) = match &mut self.fetcher {
+            Some(f) => f.on_frag_reply(&m),
             None => return,
         };
         ctx.emit(
@@ -1915,6 +2030,10 @@ impl<S: Service> Actor for Replica<S> {
             Message::MetaReply(m) => self.handle_meta_reply(m, ctx),
             Message::FetchObject(m) => self.handle_fetch_object(m, ctx),
             Message::ObjectReply(m) => self.handle_object_reply(m, ctx),
+            Message::FetchChunks(m) => self.handle_fetch_chunks(m, ctx),
+            Message::ChunksReply(m) => self.handle_chunks_reply(m, ctx),
+            Message::FetchFrag(m) => self.handle_fetch_frag(m, ctx),
+            Message::FragReply(m) => self.handle_frag_reply(m, ctx),
             Message::FetchCert(m) => self.handle_fetch_cert(m, ctx),
             Message::CertReply(m) => self.handle_cert_reply(m, ctx),
             Message::Status(m) => self.handle_status(m, ctx),

@@ -88,6 +88,27 @@ pub trait Service: 'static {
         let _ = workers;
     }
 
+    /// Sets the leaf-digest chunk size (bytes) used by the checkpoint
+    /// digest scheme. `0` = legacy whole-object leaf digests. When
+    /// non-zero, every present object's leaf digest must be the chunked
+    /// fold (`tree::chunked_leaf_digest`), so per-chunk digest lists served
+    /// during coded state transfer verify against the partition tree. All
+    /// replicas must agree on the value — it changes every leaf digest and
+    /// hence the checkpoint roots. The default ignores the hint (services
+    /// that keep whole-object digests only).
+    fn set_chunk_size(&mut self, chunk_size: usize) {
+        let _ = chunk_size;
+    }
+
+    /// The *current* value of object `index` (not a stored checkpoint's),
+    /// used by a fetching replica to reuse local chunks that already match
+    /// the remote checkpoint's verified chunk digests. `None` = absent or
+    /// unsupported (the default) — the fetcher then transfers every chunk.
+    fn transfer_object(&mut self, index: u64) -> Option<Vec<u8>> {
+        let _ = index;
+        None
+    }
+
     /// Called at the primary to choose non-deterministic values for a
     /// batch (e.g. the operation timestamp).
     fn propose_nondet(&mut self, env: &mut ExecEnv<'_>) -> Vec<u8> {

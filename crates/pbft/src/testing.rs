@@ -4,7 +4,7 @@
 use crate::config::Config;
 use crate::replica::Replica;
 use crate::service::{ExecEnv, Service};
-use crate::tree::{leaf_digest, PartitionTree};
+use crate::tree::{chunked_leaf_digest, PartitionTree};
 use crate::ClientActor;
 use base_crypto::{Digest, KeyDirectory, NodeKeys};
 use base_simnet::{NodeId, Simulation};
@@ -26,6 +26,7 @@ pub struct CounterService {
     values: Vec<u64>,
     tree: PartitionTree,
     checkpoints: BTreeMap<u64, (Vec<u64>, PartitionTree)>,
+    chunk_size: usize,
     /// Execution counter (visible to tests).
     pub executed: u64,
 }
@@ -36,6 +37,7 @@ impl Default for CounterService {
             values: vec![0; COUNTER_REGS as usize],
             tree: PartitionTree::new(COUNTER_REGS, 4),
             checkpoints: BTreeMap::new(),
+            chunk_size: 0,
             executed: 0,
         }
     }
@@ -58,7 +60,7 @@ impl CounterService {
         let digest = if value == 0 {
             Digest::ZERO
         } else {
-            leaf_digest(reg as u64, &value.to_be_bytes())
+            chunked_leaf_digest(reg as u64, &value.to_be_bytes(), self.chunk_size)
         };
         self.tree.set_leaf(reg as u64, digest);
     }
@@ -70,8 +72,11 @@ impl CounterService {
     fn refresh_digests(&mut self) {
         for reg in 0..self.values.len() {
             let v = self.values[reg];
-            let digest =
-                if v == 0 { Digest::ZERO } else { leaf_digest(reg as u64, &v.to_be_bytes()) };
+            let digest = if v == 0 {
+                Digest::ZERO
+            } else {
+                chunked_leaf_digest(reg as u64, &v.to_be_bytes(), self.chunk_size)
+            };
             self.tree.set_leaf(reg as u64, digest);
         }
     }
@@ -174,6 +179,22 @@ impl Service for CounterService {
 
     fn prepare_for_transfer(&mut self, _env: &mut ExecEnv<'_>) {
         self.refresh_digests();
+    }
+
+    fn set_chunk_size(&mut self, chunk_size: usize) {
+        if self.chunk_size != chunk_size {
+            self.chunk_size = chunk_size;
+            self.refresh_digests();
+        }
+    }
+
+    fn transfer_object(&mut self, index: u64) -> Option<Vec<u8>> {
+        let v = *self.values.get(index as usize)?;
+        if v == 0 {
+            None
+        } else {
+            Some(v.to_be_bytes().to_vec())
+        }
     }
 
     fn reboot(&mut self, clean: bool, _env: &mut ExecEnv<'_>) {

@@ -26,11 +26,14 @@
 //! reply cache (which PBFT replicates as part of the state):
 //! `D = H("ckpt" || service_root || H(replies_blob))`.
 
-use crate::messages::{FetchMetaMsg, FetchObjectMsg, Message, MetaReplyMsg, ObjectReplyMsg};
+use crate::messages::{
+    ChunksReplyMsg, FetchChunksMsg, FetchFragMsg, FetchMetaMsg, FetchObjectMsg, FragReplyMsg,
+    Message, MetaReplyMsg, ObjectReplyMsg,
+};
 use crate::tree::PartitionTree;
-use base_crypto::Digest;
+use base_crypto::{fec, Digest};
 use base_simnet::RttEstimator;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Default window of concurrently outstanding fetch queries.
 ///
@@ -49,6 +52,10 @@ pub const META_ROOT_LEVEL: u32 = u32::MAX;
 
 /// Pseudo-object index used to fetch the serialized reply cache.
 pub const REPLIES_INDEX: u64 = u64::MAX;
+
+/// Chunk number in fragment messages meaning "the whole object" — coded
+/// transfer without chunked leaf digests fragments entire objects.
+pub const CHUNK_WHOLE: u32 = u32::MAX;
 
 /// Composite checkpoint digest over service state and reply cache.
 pub fn checkpoint_digest(service_root: &Digest, replies_digest: &Digest) -> Digest {
@@ -78,6 +85,13 @@ pub struct FetchResult {
     /// Largest pipelining window the fetch reached (equals the configured
     /// window for non-adaptive fetchers).
     pub peak_window: usize,
+    /// Coded transfer: chunk-digest-list queries issued.
+    pub chunk_queries: u64,
+    /// Coded transfer: fragment queries issued.
+    pub frag_queries: u64,
+    /// Coded transfer: chunks satisfied from the local value (matched the
+    /// remote checkpoint's verified chunk digest, so no bytes moved).
+    pub chunks_reused: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,6 +100,11 @@ enum FetchKey {
     Replies,
     Meta { level: u32, index: u64 },
     Object { index: u64 },
+    /// Coded transfer: an object's chunk-digest list.
+    Chunks { index: u64 },
+    /// Coded transfer: one erasure-coded fragment of a chunk (or of the
+    /// whole object when `chunk == CHUNK_WHOLE`).
+    Frag { index: u64, chunk: u32, frag: u32 },
 }
 
 #[derive(Debug)]
@@ -102,6 +121,58 @@ struct Outstanding {
 
 /// Retransmission backoff cap, in ticks.
 const MAX_BACKOFF_TICKS: u64 = 32;
+
+/// Erasure-coding parameters for a coded fetch.
+#[derive(Debug, Clone, Copy)]
+struct CodedCfg {
+    /// Data fragments needed to reconstruct (`f + 1`).
+    k: usize,
+    /// Parity fragments available beyond the data ones (`f`).
+    m: usize,
+    /// Leaf-digest chunk size; `0` fragments whole objects.
+    chunk_size: usize,
+}
+
+/// Reassembly state for one coded unit — a chunk, or a whole object when
+/// `chunk == CHUNK_WHOLE`.
+#[derive(Debug)]
+struct CodedUnit {
+    /// Digest the reassembled bytes must hash to (chunk digest, or leaf
+    /// digest for whole-object units).
+    expected: Digest,
+    /// Unfragmented length when known a priori (chunked mode learns it
+    /// from the verified chunk list); whole-object units learn candidate
+    /// lengths from fragment replies.
+    len: Option<u64>,
+    /// Distinct candidate lengths claimed by fragment replies (whole-object
+    /// units only; the digest check arbitrates).
+    lens_seen: Vec<u64>,
+    /// Verified-length fragments received so far, by fragment id.
+    frags: BTreeMap<u32, Vec<u8>>,
+    /// Fragment queries issued for this unit (k, then k+m once escalated).
+    issued: u32,
+    /// Parity fragments have been requested (a data fragment arrived
+    /// corrupt, or lengths disagree).
+    escalated: bool,
+}
+
+impl CodedUnit {
+    fn new(expected: Digest, len: Option<u64>) -> Self {
+        Self { expected, len, lens_seen: Vec::new(), frags: BTreeMap::new(), issued: 0, escalated: false }
+    }
+}
+
+/// Per-object assembly state for chunked coded fetches: the verified chunk
+/// list plus reused or reconstructed chunk bytes.
+#[derive(Debug)]
+struct ChunkedObject {
+    /// Object length from the verified chunk list.
+    len: u64,
+    /// Chunks still missing.
+    remaining: usize,
+    /// Chunk bytes, filled in as they are reused or reconstructed.
+    chunks: Vec<Option<Vec<u8>>>,
+}
 
 /// State machine driving one state transfer.
 #[derive(Debug)]
@@ -141,6 +212,15 @@ pub struct Fetcher {
     retransmissions: u64,
     fetched_bytes: u64,
     meta_queries: u64,
+    /// Erasure-coded fetch mode; `None` = legacy whole-object fetches.
+    coded: Option<CodedCfg>,
+    /// In-flight coded units, keyed by `(object index, chunk)`.
+    units: HashMap<(u64, u32), CodedUnit>,
+    /// In-flight chunked objects, keyed by object index.
+    chunked: HashMap<u64, ChunkedObject>,
+    chunk_queries: u64,
+    frag_queries: u64,
+    chunks_reused: u64,
     done: bool,
 }
 
@@ -178,8 +258,27 @@ impl Fetcher {
             retransmissions: 0,
             fetched_bytes: 0,
             meta_queries: 0,
+            coded: None,
+            units: HashMap::new(),
+            chunked: HashMap::new(),
+            chunk_queries: 0,
+            frag_queries: 0,
+            chunks_reused: 0,
             done: false,
         }
+    }
+
+    /// Switches the fetcher to erasure-coded object transfer: out-of-date
+    /// objects are fetched as `(k, m)` Reed–Solomon fragments spread over
+    /// the sources instead of whole values from one source. With
+    /// `chunk_size > 0` the leaf digests must be chunked folds
+    /// ([`crate::tree::chunked_leaf_digest`]); the fetcher first retrieves
+    /// an object's chunk-digest list, reuses local chunks that already
+    /// match, and fragments only the missing chunks. Parity fragments are
+    /// requested only when a data fragment is lost to corruption.
+    pub fn enable_coded(&mut self, k: usize, m: usize, chunk_size: usize) {
+        assert!(k >= 1, "coded transfer needs k >= 1 data fragments");
+        self.coded = Some(CodedCfg { k, m, chunk_size });
     }
 
     /// Creates a fetcher whose window adapts between `window` and
@@ -261,6 +360,18 @@ impl Fetcher {
                 index,
                 replica: self.me,
             }),
+            FetchKey::Chunks { index } => Message::FetchChunks(FetchChunksMsg {
+                seq: self.seq,
+                index,
+                replica: self.me,
+            }),
+            FetchKey::Frag { index, chunk, frag } => Message::FetchFrag(FetchFragMsg {
+                seq: self.seq,
+                index,
+                chunk,
+                frag,
+                replica: self.me,
+            }),
         }
     }
 
@@ -273,6 +384,10 @@ impl Fetcher {
             FetchKey::Replies => 2,
             FetchKey::Meta { level, index } => 3 ^ ((level as u64) << 32) ^ index,
             FetchKey::Object { index } => 5 ^ index,
+            FetchKey::Chunks { index } => 7 ^ index,
+            FetchKey::Frag { index, chunk, frag } => {
+                11 ^ index ^ ((chunk as u64) << 20) ^ ((frag as u64) << 52)
+            }
         };
         let mut x = self.seq ^ code ^ (u64::from(attempts) << 48) ^ 0x9e37_79b9_7f4a_7c15;
         x ^= x >> 30;
@@ -321,8 +436,11 @@ impl Fetcher {
     fn pump(&mut self, out: &mut Vec<(u32, Message)>) {
         while self.outstanding.len() < self.window {
             let Some((key, expected)) = self.pending.pop_front() else { break };
-            if matches!(key, FetchKey::Meta { .. } | FetchKey::Root) {
-                self.meta_queries += 1;
+            match key {
+                FetchKey::Meta { .. } | FetchKey::Root => self.meta_queries += 1,
+                FetchKey::Chunks { .. } => self.chunk_queries += 1,
+                FetchKey::Frag { .. } => self.frag_queries += 1,
+                _ => {}
             }
             let msg = self.request_for(key);
             let next_retry = self.ticks + self.backoff_ticks(key, 0);
@@ -330,6 +448,35 @@ impl Fetcher {
                 .insert(key, Outstanding { expected, attempts: 0, next_retry, sent_at: self.ticks });
             let src = self.next_source();
             out.push((src, msg));
+        }
+    }
+
+    /// Drops a query that is no longer needed (its coded unit completed
+    /// from other fragments), whether parked or on the wire, and lets a
+    /// parked query take the freed slot.
+    fn cancel(&mut self, key: FetchKey, out: &mut Vec<(u32, Message)>) {
+        self.outstanding.remove(&key);
+        self.pending.retain(|(k, _)| *k != key);
+        self.pump(out);
+    }
+
+    /// Issues the fetch for one out-of-date object, routed by mode: legacy
+    /// whole-object query, chunk-digest list (chunked coded), or `k` data
+    /// fragment queries (whole-object coded).
+    fn issue_object(&mut self, index: u64, expected: Digest, out: &mut Vec<(u32, Message)>) {
+        match self.coded {
+            None => self.issue(FetchKey::Object { index }, expected, out),
+            Some(c) if c.chunk_size > 0 => self.issue(FetchKey::Chunks { index }, expected, out),
+            Some(c) => {
+                let unit = self
+                    .units
+                    .entry((index, CHUNK_WHOLE))
+                    .or_insert_with(|| CodedUnit::new(expected, None));
+                unit.issued = c.k as u32;
+                for frag in 0..c.k as u32 {
+                    self.issue(FetchKey::Frag { index, chunk: CHUNK_WHOLE, frag }, expected, out);
+                }
+            }
         }
     }
 
@@ -381,6 +528,10 @@ impl Fetcher {
             FetchKey::Replies => (1, 0, 0),
             FetchKey::Meta { level, index } => (2, level as u64, index),
             FetchKey::Object { index } => (3, 0, index),
+            FetchKey::Chunks { index } => (4, 0, index),
+            FetchKey::Frag { index, chunk, frag } => {
+                (5, index, (u64::from(chunk) << 32) | u64::from(frag))
+            }
         });
         due.into_iter().filter_map(|key| self.reissue(key)).collect()
     }
@@ -425,7 +576,7 @@ impl Fetcher {
                     if service_root.is_zero() {
                         self.objects.push((0, None));
                     } else {
-                        self.issue(FetchKey::Object { index: 0 }, service_root, &mut out);
+                        self.issue_object(0, service_root, &mut out);
                     }
                 } else {
                     self.issue(
@@ -470,11 +621,7 @@ impl Fetcher {
                     if remote_digest.is_zero() {
                         self.objects.push((child_index, None));
                     } else {
-                        self.issue(
-                            FetchKey::Object { index: child_index },
-                            *remote_digest,
-                            &mut out,
-                        );
+                        self.issue_object(child_index, *remote_digest, &mut out);
                     }
                 }
             } else {
@@ -537,10 +684,227 @@ impl Fetcher {
         (out, self.maybe_complete())
     }
 
+    /// Handles a chunk-digest-list reply. `local_value` is this replica's
+    /// *current* value of the object (from
+    /// [`Service::transfer_object`](crate::Service::transfer_object)):
+    /// chunks whose local bytes already hash to the verified remote chunk
+    /// digest are reused without moving bytes.
+    pub fn on_chunks_reply(
+        &mut self,
+        m: &ChunksReplyMsg,
+        local_value: Option<&[u8]>,
+    ) -> (Vec<(u32, Message)>, Option<FetchResult>) {
+        if self.done || m.seq != self.seq {
+            return (Vec::new(), None);
+        }
+        let Some(c) = self.coded else { return (Vec::new(), None) };
+        let key = FetchKey::Chunks { index: m.index };
+        let expected = match self.outstanding.get(&key) {
+            Some(o) => o.expected,
+            None => return (Vec::new(), None),
+        };
+        // The fold binds both the length and every chunk digest to the
+        // (certified) leaf digest, so `len` is as trustworthy as the data.
+        let len = m.len as usize;
+        if c.chunk_size == 0
+            || m.digests.len() != len.div_ceil(c.chunk_size)
+            || crate::tree::chunked_leaf_from_digests(m.index, m.len, &m.digests) != expected
+        {
+            self.corrupt_replies += 1;
+            let out = self.reissue(key).into_iter().collect();
+            return (out, None);
+        }
+        self.consume(key);
+        self.fetched_bytes += (m.digests.len() * 32) as u64;
+
+        let mut out = Vec::new();
+        let mut chunks: Vec<Option<Vec<u8>>> = vec![None; m.digests.len()];
+        let mut remaining = 0usize;
+        for (ci, d) in m.digests.iter().enumerate() {
+            let start = ci * c.chunk_size;
+            let end = ((ci + 1) * c.chunk_size).min(len);
+            // Reuse the local bytes at this chunk's position when they hash
+            // to the verified remote digest — correct whatever the local
+            // object has drifted to, because equality is checked against
+            // the remote checkpoint's digest, not local metadata.
+            let reused = local_value
+                .and_then(|v| v.get(start..end))
+                .filter(|cand| crate::tree::chunk_digest(m.index, ci as u32, cand) == *d);
+            if let Some(cand) = reused {
+                chunks[ci] = Some(cand.to_vec());
+                self.chunks_reused += 1;
+                continue;
+            }
+            remaining += 1;
+            let unit = self
+                .units
+                .entry((m.index, ci as u32))
+                .or_insert_with(|| CodedUnit::new(*d, Some((end - start) as u64)));
+            unit.issued = c.k as u32;
+            for frag in 0..c.k as u32 {
+                self.issue(FetchKey::Frag { index: m.index, chunk: ci as u32, frag }, *d, &mut out);
+            }
+        }
+        if remaining == 0 {
+            // Everything reused (or a zero-length object): assemble now.
+            let mut value = Vec::with_capacity(len);
+            for ch in chunks {
+                value.extend_from_slice(&ch.expect("no chunk outstanding"));
+            }
+            self.objects.push((m.index, Some(value)));
+        } else {
+            self.chunked.insert(m.index, ChunkedObject { len: m.len, remaining, chunks });
+        }
+        self.pump(&mut out);
+        (out, self.maybe_complete())
+    }
+
+    /// Handles a fragment reply: validates its geometry, banks it in the
+    /// unit, and attempts reconstruction once `k` fragments are in.
+    pub fn on_frag_reply(&mut self, m: &FragReplyMsg) -> (Vec<(u32, Message)>, Option<FetchResult>) {
+        if self.done || m.seq != self.seq {
+            return (Vec::new(), None);
+        }
+        let Some(c) = self.coded else { return (Vec::new(), None) };
+        let key = FetchKey::Frag { index: m.index, chunk: m.chunk, frag: m.frag };
+        if !self.outstanding.contains_key(&key) {
+            return (Vec::new(), None);
+        }
+        let Some(unit) = self.units.get_mut(&(m.index, m.chunk)) else {
+            return (Vec::new(), None);
+        };
+        // Geometry check. With a verified length (chunked mode) the reply
+        // must match it exactly; whole-object units treat the claimed
+        // length as a candidate to be arbitrated by the digest check.
+        let geometry_ok = (m.frag as usize) < c.k + c.m
+            && match unit.len {
+                Some(l) => m.len == l && m.data.len() == fec::fragment_len(l as usize, c.k),
+                None => m.data.len() == fec::fragment_len(m.len as usize, c.k),
+            };
+        if !geometry_ok {
+            self.corrupt_replies += 1;
+            let out = self.reissue(key).into_iter().collect();
+            return (out, None);
+        }
+        if unit.len.is_none() && !unit.lens_seen.contains(&m.len) {
+            unit.lens_seen.push(m.len);
+            unit.lens_seen.sort_unstable();
+        }
+        unit.frags.entry(m.frag).or_insert_with(|| m.data.clone());
+        self.consume(key);
+        self.fetched_bytes += m.data.len() as u64;
+        let mut out = Vec::new();
+        self.try_unit(m.index, m.chunk, &mut out);
+        self.pump(&mut out);
+        (out, self.maybe_complete())
+    }
+
+    /// Attempts to reconstruct one coded unit from its banked fragments;
+    /// on digest failure with every issued fragment in, escalates to
+    /// parity fragments and then to a fresh fetch round (rotated sources).
+    fn try_unit(&mut self, index: u64, chunk: u32, out: &mut Vec<(u32, Message)>) {
+        let Some(c) = self.coded else { return };
+        let Some(unit) = self.units.get(&(index, chunk)) else { return };
+        if unit.frags.len() < c.k {
+            return;
+        }
+        let expected = unit.expected;
+        let check = |data: &[u8]| {
+            if chunk == CHUNK_WHOLE {
+                crate::tree::leaf_digest(index, data) == expected
+            } else {
+                crate::tree::chunk_digest(index, chunk, data) == expected
+            }
+        };
+        let candidates: Vec<u64> = match unit.len {
+            Some(l) => vec![l],
+            None => unit.lens_seen.clone(),
+        };
+        let frag_vec: Vec<(usize, Vec<u8>)> =
+            unit.frags.iter().map(|(id, d)| (*id as usize, d.clone())).collect();
+        for &len in &candidates {
+            let flen = fec::fragment_len(len as usize, c.k);
+            let fit: Vec<(usize, Vec<u8>)> =
+                frag_vec.iter().filter(|(_, d)| d.len() == flen).cloned().collect();
+            if fit.len() < c.k {
+                continue;
+            }
+            if let Some(data) = fec::reconstruct_verified(&fit, c.k, c.m, len as usize, check) {
+                self.complete_unit(index, chunk, data, out);
+                return;
+            }
+        }
+        // >= k fragments and no verifiable reconstruction: wait for the
+        // stragglers; once every issued fragment has answered, at least one
+        // banked fragment is corrupt.
+        let (received, issued, escalated) = {
+            let u = &self.units[&(index, chunk)];
+            (u.frags.len() as u32, u.issued, u.escalated)
+        };
+        if received < issued {
+            return;
+        }
+        self.corrupt_replies += 1;
+        if !escalated && c.m > 0 {
+            // Escalate: pull parity fragments so `reconstruct_verified` can
+            // vote the corrupt fragment out.
+            let u = self.units.get_mut(&(index, chunk)).expect("unit exists");
+            u.escalated = true;
+            u.issued = (c.k + c.m) as u32;
+            for frag in c.k as u32..(c.k + c.m) as u32 {
+                self.issue(FetchKey::Frag { index, chunk, frag }, expected, out);
+            }
+        } else {
+            // Even the full fragment set cannot be verified (more corrupt
+            // fragments than parity). Start the unit over — the round-robin
+            // cursor has moved on, so the retry lands on different sources.
+            let u = self.units.get_mut(&(index, chunk)).expect("unit exists");
+            u.frags.clear();
+            u.lens_seen.clear();
+            u.escalated = false;
+            u.issued = c.k as u32;
+            self.retransmissions += 1;
+            for frag in 0..c.k as u32 {
+                self.issue(FetchKey::Frag { index, chunk, frag }, expected, out);
+            }
+        }
+    }
+
+    /// Banks a verified reconstruction: cancels the unit's remaining
+    /// fragment queries and, for chunked objects, assembles the value once
+    /// the last chunk lands.
+    fn complete_unit(&mut self, index: u64, chunk: u32, data: Vec<u8>, out: &mut Vec<(u32, Message)>) {
+        let unit = self.units.remove(&(index, chunk)).expect("unit exists");
+        for frag in 0..unit.issued {
+            self.cancel(FetchKey::Frag { index, chunk, frag }, out);
+        }
+        if chunk == CHUNK_WHOLE {
+            self.objects.push((index, Some(data)));
+            return;
+        }
+        let obj = self.chunked.get_mut(&index).expect("chunked object exists");
+        let ci = chunk as usize;
+        if obj.chunks[ci].is_none() {
+            obj.chunks[ci] = Some(data);
+            obj.remaining -= 1;
+        }
+        if obj.remaining == 0 {
+            let obj = self.chunked.remove(&index).expect("just seen");
+            let mut value = Vec::with_capacity(obj.len as usize);
+            for ch in obj.chunks {
+                value.extend_from_slice(&ch.expect("remaining == 0"));
+            }
+            debug_assert_eq!(value.len() as u64, obj.len);
+            self.objects.push((index, Some(value)));
+        }
+    }
+
     fn maybe_complete(&mut self) -> Option<FetchResult> {
         if self.done
             || !self.outstanding.is_empty()
             || !self.pending.is_empty()
+            || !self.units.is_empty()
+            || !self.chunked.is_empty()
             || self.service_root.is_none()
             || self.replies_blob.is_none()
         {
@@ -557,6 +921,9 @@ impl Fetcher {
             corrupt_replies: self.corrupt_replies,
             retransmissions: self.retransmissions,
             peak_window: self.peak_window,
+            chunk_queries: self.chunk_queries,
+            frag_queries: self.frag_queries,
+            chunks_reused: self.chunks_reused,
         })
     }
 }

@@ -242,6 +242,84 @@ fn ddmin_strips_decoys_and_localizes_divergence() {
     );
 }
 
+/// Fragment drops and corruption on the coded-transfer wire (FragReply is
+/// tag 18, ChunksReply tag 16) layered over a crash that forces state
+/// transfer: every campaign invariant must still hold — corrupt fragments
+/// are shed by the per-chunk digest check and parity reconstruction, and
+/// drops are absorbed by the fetch window's retransmission.
+#[test]
+fn coded_campaign_survives_fragment_faults() {
+    let mut h = CounterChaosHarness::new(4);
+    h.coded_transfer = true;
+    h.chunk_size = 4;
+    let mut schedule = FaultSchedule::new();
+    schedule
+        .crash(SimTime::from_millis(400), NodeId(3), SimDuration::from_secs(3))
+        .net(
+            SimTime::from_millis(300),
+            NetFault::DropTagged { tag: 18, prob: 0.3 },
+            SimDuration::from_secs(6),
+        )
+        .net(
+            SimTime::from_secs(4),
+            NetFault::CorruptTagged { tag: 18, prob: 0.4 },
+            SimDuration::from_secs(4),
+        )
+        .net(
+            SimTime::from_secs(5),
+            NetFault::CorruptTagged { tag: 16, prob: 0.3 },
+            SimDuration::from_secs(3),
+        );
+
+    let mut transfers = 0u64;
+    for seed in 0..4u64 {
+        let (outcome, verdict) = run_one(&mut h, seed, &schedule);
+        assert_eq!(
+            verdict,
+            Ok(()),
+            "coded run under fragment faults failed (seed {seed}):\n{}",
+            outcome.trace.join("\n")
+        );
+        transfers += outcome.coverage.state_transfers_completed;
+    }
+    assert!(transfers > 0, "the crash window must force at least one coded state transfer");
+}
+
+/// The injected client bug's trigger buried among the new tagged fragment
+/// faults: ddmin must treat them as first-class schedule events — digest
+/// them, strip them as decoys and keep only the Byzantine replier.
+#[test]
+fn ddmin_strips_fragment_fault_decoys() {
+    let mut h = CounterChaosHarness::new(4);
+    h.coded_transfer = true;
+    h.inject_client_bug = true;
+    let mut schedule = FaultSchedule::new();
+    schedule
+        .net(
+            SimTime::from_millis(100),
+            NetFault::DropTagged { tag: 18, prob: 0.4 },
+            SimDuration::from_secs(2),
+        )
+        .app(SimTime::from_millis(200), NodeId(1), APP_BYZ, ByzMode::CorruptReplies.code())
+        .net(
+            SimTime::from_millis(600),
+            NetFault::CorruptTagged { tag: 16, prob: 0.4 },
+            SimDuration::from_secs(2),
+        );
+
+    let seed = 5;
+    let (outcome, verdict) = run_one(&mut h, seed, &schedule);
+    assert!(verdict.is_err(), "trigger must fire; trace:\n{}", outcome.trace.join("\n"));
+
+    let minimal = minimize(&mut h, seed, &schedule);
+    assert_eq!(minimal.len(), 1, "tagged-fault decoys must be stripped:\n{}", minimal.describe());
+    assert!(
+        matches!(minimal.events[0].event, ChaosEvent::App { tag: APP_BYZ, .. }),
+        "minimal schedule must retain the Byzantine replier:\n{}",
+        minimal.describe()
+    );
+}
+
 #[test]
 fn pbft_chaos_runs_are_deterministic() {
     let mut h = CounterChaosHarness::new(4);

@@ -5,8 +5,9 @@
 
 use base_crypto::{Authenticator, Digest, Mac, Signature};
 use base_pbft::messages::{
-    CheckpointMsg, CommitMsg, FetchCertMsg, FetchMetaMsg, FetchObjectMsg, PrePrepareMsg,
-    PrepareMsg, PreparedProof, ReplyMsg, RequestMsg, StatusMsg, ViewChangeMsg,
+    CheckpointMsg, ChunksReplyMsg, CommitMsg, FetchCertMsg, FetchChunksMsg, FetchFragMsg,
+    FetchMetaMsg, FetchObjectMsg, FragReplyMsg, PrePrepareMsg, PrepareMsg, PreparedProof,
+    ReplyMsg, RequestMsg, StatusMsg, ViewChangeMsg,
 };
 use base_pbft::Message;
 use proptest::prelude::*;
@@ -176,6 +177,40 @@ fn arb_message() -> impl Strategy<Value = Message> {
         (any::<u64>(), any::<u64>(), 0u32..N as u32).prop_map(|(seq, index, replica)| {
             Message::FetchObject(FetchObjectMsg { seq, index, replica })
         }),
+        (any::<u64>(), any::<u64>(), 0u32..N as u32).prop_map(|(seq, index, replica)| {
+            Message::FetchChunks(FetchChunksMsg { seq, index, replica })
+        }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(arb_digest(), 0..8),
+            0u32..N as u32,
+        )
+            .prop_map(|(seq, index, len, digests, replica)| {
+                Message::ChunksReply(ChunksReplyMsg { seq, index, len, digests, replica })
+            }),
+        (any::<u64>(), any::<u64>(), any::<u32>(), any::<u32>(), 0u32..N as u32).prop_map(
+            |(seq, index, chunk, frag, replica)| Message::FetchFrag(FetchFragMsg {
+                seq,
+                index,
+                chunk,
+                frag,
+                replica,
+            })
+        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..128),
+            0u32..N as u32,
+        )
+            .prop_map(|(seq, index, chunk, frag, len, data, replica)| {
+                Message::FragReply(FragReplyMsg { seq, index, chunk, frag, len, data, replica })
+            }),
     ]
 }
 

@@ -15,7 +15,10 @@
 //! Everything is deterministic: the same seed and schedule produce the same
 //! trace and the same [`NetStats`], which the determinism tests assert.
 
-use crate::faults::{ActiveWindow, BitFlipper, Duplicator, FilterChain, Isolate, SlowLink};
+use crate::faults::{
+    ActiveWindow, BitFlipper, Duplicator, FilterChain, Isolate, SlowLink, TaggedDropper,
+    TaggedFlipper,
+};
 use crate::trace::{ProtocolEvent, RingBufferSink, TraceEvent};
 use crate::{NetStats, NodeId, SimDuration, SimTime, Simulation};
 use rand::rngs::StdRng;
@@ -52,6 +55,24 @@ pub enum NetFault {
     /// Duplicate a fraction of all traffic.
     Duplicate {
         /// Per-message duplication probability.
+        prob: f64,
+    },
+    /// Drop a fraction of one protocol message kind, selected by its
+    /// leading 4-byte wire discriminant (targeted starvation, e.g. of
+    /// erasure-coded fragment replies).
+    DropTagged {
+        /// Wire discriminant of the targeted message kind.
+        tag: u32,
+        /// Per-message drop probability.
+        prob: f64,
+    },
+    /// Corrupt the body (never the discriminant) of a fraction of one
+    /// protocol message kind: the message still parses as its kind but
+    /// fails content verification downstream.
+    CorruptTagged {
+        /// Wire discriminant of the targeted message kind.
+        tag: u32,
+        /// Per-message corruption probability.
         prob: f64,
     },
 }
@@ -122,6 +143,12 @@ impl fmt::Display for TimedEvent {
                     ),
                     NetFault::Duplicate { prob } => {
                         write!(f, "duplicate p={prob:.2} for {ms}ms")
+                    }
+                    NetFault::DropTagged { tag, prob } => {
+                        write!(f, "drop tag {tag} p={prob:.2} for {ms}ms")
+                    }
+                    NetFault::CorruptTagged { tag, prob } => {
+                        write!(f, "corrupt tag {tag} p={prob:.2} for {ms}ms")
                     }
                 }
             }
@@ -689,6 +716,12 @@ pub fn run_one<H: ChaosHarness>(
                 }
                 NetFault::Duplicate { prob } => {
                     Box::new(Duplicator { prob: *prob, dup_delay: SimDuration::from_millis(2) })
+                }
+                NetFault::DropTagged { tag, prob } => {
+                    Box::new(TaggedDropper { tag: *tag, prob: *prob })
+                }
+                NetFault::CorruptTagged { tag, prob } => {
+                    Box::new(TaggedFlipper { tag: *tag, prob: *prob })
                 }
             };
             chain.push(Box::new(ActiveWindow::new(boxed, ev.at, until)));

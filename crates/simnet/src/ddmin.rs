@@ -80,6 +80,16 @@ pub fn schedule_digest(schedule: &FaultSchedule) -> u64 {
                         mix(4);
                         mix(prob.to_bits());
                     }
+                    NetFault::DropTagged { tag, prob } => {
+                        mix(5);
+                        mix(u64::from(*tag));
+                        mix(prob.to_bits());
+                    }
+                    NetFault::CorruptTagged { tag, prob } => {
+                        mix(6);
+                        mix(u64::from(*tag));
+                        mix(prob.to_bits());
+                    }
                 }
             }
             ChaosEvent::App { node, tag, arg } => {
@@ -433,6 +443,32 @@ fn shrink_parameters_with(
                         });
                         current[idx].event = ChaosEvent::Net {
                             fault: NetFault::Duplicate { prob: units_to_prob(best) },
+                            dur,
+                        };
+                    }
+                    NetFault::DropTagged { tag, prob } => {
+                        let best = shrink(current, idx, prob_to_units(prob), &|v| TimedEvent {
+                            at: ev.at,
+                            event: ChaosEvent::Net {
+                                fault: NetFault::DropTagged { tag, prob: units_to_prob(v) },
+                                dur,
+                            },
+                        });
+                        current[idx].event = ChaosEvent::Net {
+                            fault: NetFault::DropTagged { tag, prob: units_to_prob(best) },
+                            dur,
+                        };
+                    }
+                    NetFault::CorruptTagged { tag, prob } => {
+                        let best = shrink(current, idx, prob_to_units(prob), &|v| TimedEvent {
+                            at: ev.at,
+                            event: ChaosEvent::Net {
+                                fault: NetFault::CorruptTagged { tag, prob: units_to_prob(v) },
+                                dur,
+                            },
+                        });
+                        current[idx].event = ChaosEvent::Net {
+                            fault: NetFault::CorruptTagged { tag, prob: units_to_prob(best) },
                             dur,
                         };
                     }

@@ -99,6 +99,74 @@ impl NetFilter for BitFlipper {
     }
 }
 
+/// Drops a random fraction of the messages whose leading 4-byte big-endian
+/// discriminant equals `tag` — targeted loss of one protocol message kind
+/// (the protocol's XDR envelope puts the variant tag first, so the filter
+/// needs no protocol dependency). Used by the chaos campaigns to starve
+/// specific exchanges, e.g. erasure-coded fragment replies during state
+/// transfer.
+#[derive(Debug, Clone)]
+pub struct TaggedDropper {
+    /// Wire discriminant of the targeted message kind.
+    pub tag: u32,
+    /// Probability that a matching message is dropped.
+    pub prob: f64,
+}
+
+/// True when `payload` starts with the 4-byte big-endian `tag`.
+fn has_tag(payload: &[u8], tag: u32) -> bool {
+    payload.len() >= 4 && payload[..4] == tag.to_be_bytes()
+}
+
+impl NetFilter for TaggedDropper {
+    fn filter(
+        &mut self,
+        _from: NodeId,
+        _to: NodeId,
+        payload: &[u8],
+        _now: SimTime,
+        rng: &mut StdRng,
+    ) -> FilterAction {
+        if has_tag(payload, self.tag) && rng.gen_bool(self.prob) {
+            FilterAction::Drop
+        } else {
+            FilterAction::Pass
+        }
+    }
+}
+
+/// Corrupts a random byte *past the discriminant* in a fraction of the
+/// messages of one kind, so the message still parses as its kind but its
+/// content is damaged — the interesting case for digest-verified exchanges
+/// (a reply that fails its hash check, not one that fails to decode).
+#[derive(Debug, Clone)]
+pub struct TaggedFlipper {
+    /// Wire discriminant of the targeted message kind.
+    pub tag: u32,
+    /// Probability that a matching message is corrupted.
+    pub prob: f64,
+}
+
+impl NetFilter for TaggedFlipper {
+    fn filter(
+        &mut self,
+        _from: NodeId,
+        _to: NodeId,
+        payload: &[u8],
+        _now: SimTime,
+        rng: &mut StdRng,
+    ) -> FilterAction {
+        if has_tag(payload, self.tag) && payload.len() > 4 && rng.gen_bool(self.prob) {
+            let mut corrupted = payload.to_vec();
+            let idx = rng.gen_range(4..corrupted.len());
+            corrupted[idx] ^= 0xff;
+            FilterAction::Rewrite(corrupted)
+        } else {
+            FilterAction::Pass
+        }
+    }
+}
+
 /// Delays all traffic on one direction of one link, simulating congestion.
 #[derive(Debug, Clone)]
 pub struct SlowLink {
@@ -291,6 +359,46 @@ mod tests {
         // Traffic from other nodes is untouched.
         assert_eq!(
             f.filter(NodeId(2), NodeId(1), b"abcd", SimTime::ZERO, &mut r),
+            FilterAction::Pass
+        );
+    }
+
+    #[test]
+    fn tagged_dropper_matches_discriminant_only() {
+        let mut f = TaggedDropper { tag: 18, prob: 1.0 };
+        let mut r = rng();
+        let frag_reply = [0u8, 0, 0, 18, 1, 2, 3];
+        let other = [0u8, 0, 0, 11, 1, 2, 3];
+        assert_eq!(
+            f.filter(NodeId(0), NodeId(1), &frag_reply, SimTime::ZERO, &mut r),
+            FilterAction::Drop
+        );
+        assert_eq!(
+            f.filter(NodeId(0), NodeId(1), &other, SimTime::ZERO, &mut r),
+            FilterAction::Pass
+        );
+        // Too short to carry a tag: passes.
+        assert_eq!(
+            f.filter(NodeId(0), NodeId(1), &[0, 0], SimTime::ZERO, &mut r),
+            FilterAction::Pass
+        );
+    }
+
+    #[test]
+    fn tagged_flipper_preserves_discriminant() {
+        let mut f = TaggedFlipper { tag: 18, prob: 1.0 };
+        let mut r = rng();
+        let frag_reply = [0u8, 0, 0, 18, 1, 2, 3];
+        match f.filter(NodeId(0), NodeId(1), &frag_reply, SimTime::ZERO, &mut r) {
+            FilterAction::Rewrite(p) => {
+                assert_eq!(&p[..4], &frag_reply[..4], "tag bytes untouched");
+                assert_ne!(&p[4..], &frag_reply[4..], "body corrupted");
+            }
+            other => panic!("expected rewrite, got {other:?}"),
+        }
+        // A tag-only message has no body to corrupt: passes.
+        assert_eq!(
+            f.filter(NodeId(0), NodeId(1), &[0, 0, 0, 18], SimTime::ZERO, &mut r),
             FilterAction::Pass
         );
     }

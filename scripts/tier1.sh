@@ -16,3 +16,9 @@ cargo test -q
 # (see crates/bench/tests/pipeline_equivalence.rs). On divergence the
 # suite writes both fingerprints under target/tmp/equivalence/.
 cargo test -q -p base-bench --test pipeline_equivalence
+
+# Coded-transfer equivalence gate: erasure-coded recovery must converge to
+# the same installed state as the legacy whole-object path — byte-identical
+# roots at chunk_size 0 — and survive fragment drops/corruption (see
+# crates/pbft/tests/coded_transfer.rs).
+cargo test -q -p base-pbft --test coded_transfer
