@@ -3,7 +3,7 @@
 
 use base_bench::experiments::{
     run_andrew, run_bandwidth, run_checkpoint, run_codesize, run_degree, run_faultinj, run_oodb, run_recovery,
-    run_roopt, run_sigmac, run_throughput, run_transfer,
+    run_roopt, run_shards, run_sigmac, run_throughput, run_transfer,
 };
 use base_bench::{AndrewScale, FsMix};
 
@@ -30,6 +30,8 @@ fn main() {
     run_throughput();
     println!("\n################ E10: replication degree ################");
     run_degree();
+    println!("\n################ E14: shard scaling ################");
+    run_shards();
     println!();
     run_roopt();
     println!();

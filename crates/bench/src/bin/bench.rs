@@ -23,6 +23,7 @@
 //! multiple (default 3x).
 
 use base::{BaseService, ModifyLog, Wrapper};
+use base_bench::experiments::shards::measure_shards;
 use base_bench::experiments::throughput::{measure_throughput, measure_throughput_with};
 use base_crypto::Digest;
 use base_pbft::chaos::{CounterChaosHarness, APP_BYZ};
@@ -56,6 +57,11 @@ const E9_VALUE_BYTES: usize = 1024;
 const PIPE_MAX_INFLIGHT: u64 = 4;
 const DEFAULT_PIPELINE_DEPTH: u64 = 4;
 const DEFAULT_EXEC_WORKERS: usize = 2;
+/// Largest cell of the shard-scaling sweep (cells 1, 2, … up to this,
+/// doubling). The section is informational: sim quantities are
+/// deterministic but deliberately absent from the `--check` field list, so
+/// resizing the sweep never forces a baseline re-bless.
+const DEFAULT_MAX_SHARDS: u32 = 4;
 /// Campaign shape: seeds and worker count.
 const CAMPAIGN_SEEDS: std::ops::Range<u64> = 6200..6212;
 const CAMPAIGN_WORKERS: usize = 4;
@@ -85,12 +91,13 @@ struct Opts {
     digest_workers: usize,
     pipeline_depth: u64,
     exec_workers: usize,
+    max_shards: u32,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench [--json] [--out DIR] [--stamp STAMP] [--ddmin-workers N] \
-         [--digest-workers N] [--pipeline-depth N] [--exec-workers N]\n\
+         [--digest-workers N] [--pipeline-depth N] [--exec-workers N] [--shards N]\n\
          \x20      bench --check BASELINE.json [--threshold X]\n\
          \x20      bench --perfetto [--out DIR]   # export the E9 cell's span \
          graph as Chrome trace JSON"
@@ -120,6 +127,7 @@ fn parse_args() -> Opts {
         // of the recorded baseline; exec workers are charge-neutral.
         pipeline_depth: DEFAULT_PIPELINE_DEPTH,
         exec_workers: DEFAULT_EXEC_WORKERS,
+        max_shards: DEFAULT_MAX_SHARDS,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -148,6 +156,12 @@ fn parse_args() -> Opts {
             }
             "--exec-workers" => {
                 opts.exec_workers = need(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--shards" => {
+                opts.max_shards = need(&mut i).parse().unwrap_or_else(|_| usage());
+                if opts.max_shards == 0 {
+                    usage();
+                }
             }
             "--help" | "-h" => usage(),
             other => {
@@ -511,6 +525,55 @@ fn measure_pipeline(depth: u64, workers: usize) -> PipelineOut {
     }
 }
 
+struct ShardsOut {
+    /// `(shards, disjoint sim ops/s, mixed sim ops/s, mixed cross aborts)`
+    /// per cell, at doubling shard counts up to the `--shards` knob.
+    cells: Vec<(u32, u64, u64, u64)>,
+    wall_ms: u64,
+}
+
+/// Shard-scaling lab: the E14 cells at doubling shard counts. All sim
+/// quantities are deterministic, but the section is informational — kept
+/// out of the `--check` field list so `--shards` resizes freely without a
+/// baseline re-bless (the scaling gate itself lives in `ab_shards`).
+fn measure_shards_section(max_shards: u32) -> ShardsOut {
+    let t0 = Instant::now();
+    let mut cells = Vec::new();
+    let mut k = 1u32;
+    while k <= max_shards {
+        let disjoint = measure_shards(k, false);
+        let mixed = measure_shards(k, true);
+        cells.push((k, disjoint.sim_ops_per_sec, mixed.sim_ops_per_sec, mixed.cross_aborts));
+        k *= 2;
+    }
+    ShardsOut { cells, wall_ms: t0.elapsed().as_millis() as u64 }
+}
+
+impl ShardsOut {
+    fn to_json(&self) -> String {
+        let mut out = String::from("\"shards\":{");
+        for (k, disjoint, mixed, aborts) in &self.cells {
+            let _ = write!(
+                out,
+                "\"disjoint_{k}\":{disjoint},\"mixed_{k}\":{mixed},\"cross_aborts_{k}\":{aborts},"
+            );
+        }
+        let _ = write!(out, "\"speedup_milli\":{},\"wall_ms\":{}}}", self.speedup_milli(), self.wall_ms);
+        out
+    }
+
+    /// Disjoint-workload speedup of the largest cell over one shard, in
+    /// thousandths.
+    fn speedup_milli(&self) -> u64 {
+        let base = self.cells.first().map(|c| c.1).unwrap_or(0);
+        let top = self.cells.last().map(|c| c.1).unwrap_or(0);
+        if base == 0 {
+            return 0;
+        }
+        (top as f64 / base as f64 * 1000.0).round() as u64
+    }
+}
+
 struct BenchReport {
     e9_ops: u64,
     e9_sim_ops_per_sec: u64,
@@ -530,6 +593,7 @@ struct BenchReport {
     ckpt: CheckpointOut,
     transfer: TransferOut,
     pipeline: PipelineOut,
+    shards: ShardsOut,
 }
 
 fn measure(
@@ -537,6 +601,7 @@ fn measure(
     digest_workers: usize,
     pipeline_depth: u64,
     exec_workers: usize,
+    max_shards: u32,
 ) -> BenchReport {
     // E9 batching throughput: sim ops/s is deterministic; wall-clock is
     // what the zero-copy/memoization work moves.
@@ -583,6 +648,7 @@ fn measure(
     let ckpt = measure_checkpoint(digest_workers);
     let transfer = measure_transfer();
     let pipeline = measure_pipeline(pipeline_depth, exec_workers);
+    let shards = measure_shards_section(max_shards);
 
     BenchReport {
         e9_ops: e9.ops,
@@ -603,6 +669,7 @@ fn measure(
         ckpt,
         transfer,
         pipeline,
+        shards,
     }
 }
 
@@ -626,7 +693,7 @@ impl BenchReport {
              \"wall_ms\":{}}},\
              \"pipeline\":{{\"depth\":{},\"workers\":{},\"serial_sim_ops_per_sec\":{},\
              \"piped_sim_ops_per_sec\":{},\"exec_groups_milli\":{},\
-             \"exec_serial_ns\":{},\"exec_makespan_ns\":{},\"wall_ms\":{}}}}}",
+             \"exec_serial_ns\":{},\"exec_makespan_ns\":{},\"wall_ms\":{}}},{}}}",
             E9_CLIENTS,
             self.e9_ops,
             self.e9_sim_ops_per_sec,
@@ -664,6 +731,7 @@ impl BenchReport {
             self.pipeline.piped_exec_serial_ns,
             self.pipeline.piped_exec_makespan_ns,
             self.pipeline.wall_ms,
+            self.shards.to_json(),
         );
         out
     }
@@ -725,6 +793,18 @@ impl BenchReport {
             self.pipeline.piped_exec_makespan_ns / 1_000_000,
             self.pipeline.wall_ms
         );
+        let cells: Vec<String> = self
+            .shards
+            .cells
+            .iter()
+            .map(|(k, d, m, _)| format!("{k}:{d}/{m}"))
+            .collect();
+        println!(
+            "shards:   ops/s(disjoint/mixed) [{}] speedup={:.2}x wall={}ms",
+            cells.join(" "),
+            self.shards.speedup_milli() as f64 / 1000.0,
+            self.shards.wall_ms
+        );
     }
 }
 
@@ -752,6 +832,7 @@ fn check(
     digest_workers: usize,
     pipeline_depth: u64,
     exec_workers: usize,
+    max_shards: u32,
 ) -> ExitCode {
     let baseline = match std::fs::read_to_string(baseline_path) {
         Ok(s) => s,
@@ -760,7 +841,7 @@ fn check(
             return ExitCode::from(2);
         }
     };
-    let fresh = measure(ddmin_workers, digest_workers, pipeline_depth, exec_workers);
+    let fresh = measure(ddmin_workers, digest_workers, pipeline_depth, exec_workers, max_shards);
     let fresh_json = fresh.to_json("check");
     let mut failures = Vec::new();
 
@@ -872,13 +953,19 @@ fn main() -> ExitCode {
             opts.digest_workers,
             opts.pipeline_depth,
             opts.exec_workers,
+            opts.max_shards,
         );
     }
     if opts.perfetto {
         return export_perfetto_artifacts(&opts.out);
     }
-    let report =
-        measure(opts.ddmin_workers, opts.digest_workers, opts.pipeline_depth, opts.exec_workers);
+    let report = measure(
+        opts.ddmin_workers,
+        opts.digest_workers,
+        opts.pipeline_depth,
+        opts.exec_workers,
+        opts.max_shards,
+    );
     if opts.json {
         let stamp = opts.stamp.clone().unwrap_or_else(|| {
             let secs = std::time::SystemTime::now()

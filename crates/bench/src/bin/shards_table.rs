@@ -1,0 +1,5 @@
+//! Experiment E14 (extension): shard scaling of the multi-group deployment.
+
+fn main() {
+    base_bench::experiments::run_shards();
+}

@@ -11,6 +11,7 @@ pub mod faultinj;
 pub mod oodb;
 pub mod recovery;
 pub mod roopt;
+pub mod shards;
 pub mod sigmac;
 pub mod throughput;
 pub mod transfer;
@@ -24,6 +25,7 @@ pub use faultinj::run_faultinj;
 pub use oodb::run_oodb;
 pub use recovery::run_recovery;
 pub use roopt::run_roopt;
+pub use shards::run_shards;
 pub use sigmac::run_sigmac;
 pub use throughput::run_throughput;
 pub use transfer::run_transfer;

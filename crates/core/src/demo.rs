@@ -38,6 +38,28 @@ fn slot_of(key: &str) -> u64 {
     h % N_SLOTS
 }
 
+/// The abstract-object footprint of a KV text operation — a pure function
+/// so shard routers and replica-side lock services classify identically.
+///
+/// Mirrors [`KvWrapper`]'s `execute` parse exactly: a `put`/`del` touches
+/// only the key's slot, `get`/`mtime` only reads it. Anything `execute`
+/// would answer with `err` (unknown verb, missing key) gets a conservative
+/// `None` — whole-state conflict — rather than a guess.
+pub fn kv_footprint(op: &[u8]) -> Option<Footprint> {
+    let text = String::from_utf8_lossy(op).into_owned();
+    let mut parts = text.splitn(3, ' ');
+    let verb = parts.next().unwrap_or("");
+    let key = parts.next().unwrap_or("");
+    if key.is_empty() {
+        return None;
+    }
+    match verb {
+        "put" | "del" => Some(Footprint::writes(vec![slot_of(key)])),
+        "get" | "mtime" => Some(Footprint::reads(vec![slot_of(key)])),
+        _ => None,
+    }
+}
+
 #[derive(Debug, Clone)]
 struct KvEntry {
     value: Vec<u8>,
@@ -280,22 +302,7 @@ impl Wrapper for KvWrapper {
     }
 
     fn footprint(&self, op: &[u8]) -> Option<Footprint> {
-        // Mirrors `execute`'s parse exactly: a `put`/`del` touches only the
-        // key's slot, `get`/`mtime` only read it. Anything `execute` would
-        // answer with `err` (unknown verb, missing key) gets a conservative
-        // `None` — whole-state conflict — rather than a guess.
-        let text = String::from_utf8_lossy(op).into_owned();
-        let mut parts = text.splitn(3, ' ');
-        let verb = parts.next().unwrap_or("");
-        let key = parts.next().unwrap_or("");
-        if key.is_empty() {
-            return None;
-        }
-        match verb {
-            "put" | "del" => Some(Footprint::writes(vec![slot_of(key)])),
-            "get" | "mtime" => Some(Footprint::reads(vec![slot_of(key)])),
-            _ => None,
-        }
+        kv_footprint(op)
     }
 
     fn get_obj(&self, index: u64) -> Option<Vec<u8>> {

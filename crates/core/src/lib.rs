@@ -76,11 +76,15 @@
 pub mod client;
 pub mod demo;
 pub mod service;
+pub mod shard;
+pub mod shard_chaos;
 pub mod wrapper;
 
 pub use base_pbft::{ByzMode, Config, CostModel, PartitionTree};
 pub use client::BaseClient;
 pub use service::BaseService;
+pub use shard::{build_sharded_group, ShardLockService, ShardMap, ShardedClient, ShardedGroup};
+pub use shard_chaos::{ShardedChaosHarness, APP_XBUSY};
 pub use wrapper::{Footprint, ModifyLog, Wrapper};
 
 /// A BASE replica: the PBFT replica driving a [`BaseService`].

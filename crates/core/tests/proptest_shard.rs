@@ -1,0 +1,149 @@
+//! Property tests for the shard router's building blocks.
+//!
+//! - [`ShardMap`] is total, deterministic, monotone and balanced: every
+//!   object index maps to exactly one shard, the per-shard ranges
+//!   partition the index space, and shard sizes differ by at most one.
+//! - Footprint-based splitting never loses or duplicates an operation:
+//!   partitioning a batch by owning shard is a permutation of the batch,
+//!   and every sub-operation lands on the shard that owns its footprint.
+
+use base::demo::{kv_footprint, N_SLOTS};
+use base::shard::{counter_footprint, ShardMap};
+use base::Footprint;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn shard_map_total_deterministic_balanced(
+        n_objects in 1u64..=4096,
+        shards in 1u32..=64,
+    ) {
+        prop_assume!(u64::from(shards) <= n_objects);
+        let map = ShardMap::new(n_objects, shards);
+        let again = ShardMap::new(n_objects, shards);
+        let mut sizes = vec![0u64; shards as usize];
+        let mut last = 0u32;
+        for idx in 0..n_objects {
+            let s = map.shard_of(idx);
+            // Total and in range.
+            prop_assert!(s < shards);
+            // Deterministic: a second map agrees on every index.
+            prop_assert_eq!(s, again.shard_of(idx));
+            // Monotone: contiguous ranges.
+            prop_assert!(s >= last);
+            last = s;
+            sizes[s as usize] += 1;
+        }
+        // Balanced within one object, and every shard non-empty.
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(min >= 1, "empty shard: {:?}", sizes);
+        prop_assert!(max - min <= 1, "unbalanced: {:?}", sizes);
+        prop_assert_eq!(sizes.iter().sum::<u64>(), n_objects);
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_index_space(
+        n_objects in 1u64..=4096,
+        shards in 1u32..=64,
+    ) {
+        prop_assume!(u64::from(shards) <= n_objects);
+        let map = ShardMap::new(n_objects, shards);
+        let mut next = 0u64;
+        for s in 0..shards {
+            let range = map.range_of(s);
+            // Ranges tile 0..n_objects exactly, in order, without gaps.
+            prop_assert_eq!(range.start, next);
+            prop_assert!(range.end > range.start);
+            for idx in range.clone() {
+                prop_assert_eq!(map.shard_of(idx), s);
+            }
+            next = range.end;
+        }
+        prop_assert_eq!(next, n_objects);
+    }
+
+    #[test]
+    fn footprint_shards_are_sorted_unique_and_complete(
+        reads in proptest::collection::vec(0u64..256, 0..8),
+        writes in proptest::collection::vec(0u64..256, 0..8),
+        shards in 1u32..=16,
+    ) {
+        let map = ShardMap::new(256, shards);
+        let fp = Footprint { reads: reads.clone(), writes: writes.clone() };
+        let touched = map.shards_of(&fp);
+        // Sorted, deduplicated.
+        prop_assert!(touched.windows(2).all(|w| w[0] < w[1]));
+        // Complete: exactly the owners of the touched indices.
+        for idx in reads.iter().chain(writes.iter()) {
+            prop_assert!(touched.contains(&map.shard_of(*idx)));
+        }
+        for s in &touched {
+            prop_assert!(
+                reads.iter().chain(writes.iter()).any(|i| map.shard_of(*i) == *s),
+                "shard {} claimed but no index maps to it", s
+            );
+        }
+    }
+
+    /// Splitting a batch of single-shard operations by owning shard is a
+    /// permutation: no operation is lost, duplicated, or misrouted.
+    #[test]
+    fn splitting_a_batch_neither_loses_nor_duplicates_ops(
+        ops in proptest::collection::vec((0u64..16, 0u64..100, any::<bool>()), 1..64),
+        shards in 1u32..=8,
+    ) {
+        let map = ShardMap::new(16, shards);
+        let batch: Vec<Vec<u8>> = ops
+            .iter()
+            .map(|(reg, delta, ro)| {
+                if *ro {
+                    format!("get {reg}").into_bytes()
+                } else {
+                    format!("add {reg} {delta}").into_bytes()
+                }
+            })
+            .collect();
+        // Route the way the ShardedClient does: by footprint.
+        let mut per_shard: Vec<Vec<&Vec<u8>>> = vec![Vec::new(); shards as usize];
+        for op in &batch {
+            let fp = counter_footprint(op).expect("counter ops parse");
+            let touched = map.shards_of(&fp);
+            prop_assert_eq!(touched.len(), 1, "single-register op spans one shard");
+            per_shard[touched[0] as usize].push(op);
+        }
+        // Nothing lost, nothing duplicated.
+        let total: usize = per_shard.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, batch.len());
+        // Every op landed on the shard owning its register.
+        for (s, sub) in per_shard.iter().enumerate() {
+            for op in sub {
+                let fp = counter_footprint(op).unwrap();
+                let idx = *fp.reads.first().or_else(|| fp.writes.first()).unwrap();
+                prop_assert_eq!(map.shard_of(idx) as usize, s);
+            }
+        }
+    }
+
+    /// The KV footprint function is stable (pure) and always single-slot,
+    /// so any KV operation routes to exactly one shard.
+    #[test]
+    fn kv_footprint_routes_every_op_to_one_shard(
+        key in "[a-z]{1,8}",
+        value in "[a-z0-9]{0,8}",
+        verb_idx in 0usize..4,
+        shards in 1u32..=8,
+    ) {
+        let verb = ["put", "get", "del", "mtime"][verb_idx];
+        let op = if verb == "put" {
+            format!("{verb} {key} {value}").into_bytes()
+        } else {
+            format!("{verb} {key}").into_bytes()
+        };
+        let fp = kv_footprint(&op).expect("well-formed kv op");
+        prop_assert_eq!(kv_footprint(&op), Some(fp.clone()), "pure");
+        let map = ShardMap::new(N_SLOTS, shards);
+        let touched = map.shards_of(&fp);
+        prop_assert_eq!(touched.len(), 1);
+    }
+}

@@ -93,6 +93,11 @@ pub struct ClientCore {
     /// Each timeout doubles the effective RTO for subsequent sends; the
     /// next clean (unretransmitted) completion resets it.
     rto_shift: u32,
+    /// Timer token used for this core's retransmission timer
+    /// ([`TOKEN_CLIENT_RETRANS`] by default). Actors embedding several
+    /// cores — the sharded router hosts one per replica group — give each
+    /// a distinct token so timers route to the right core.
+    retrans_token: u64,
 }
 
 impl ClientCore {
@@ -127,7 +132,16 @@ impl ClientCore {
             auto_pump: true,
             metrics: MetricsRegistry::new(),
             rtt,
+            retrans_token: TOKEN_CLIENT_RETRANS,
         }
+    }
+
+    /// Overrides the retransmission-timer token (embedders hosting several
+    /// cores in one actor). Must keep the high bit set so it never collides
+    /// with an embedding actor's own low-valued tokens.
+    pub fn set_retrans_token(&mut self, token: u64) {
+        assert!(token & (1 << 63) != 0, "client timer tokens keep the high bit");
+        self.retrans_token = token;
     }
 
     /// Overrides the CPU cost model (ablations).
@@ -171,7 +185,10 @@ impl ClientCore {
             self.broadcast(&req, ctx);
         } else {
             let primary = self.cfg.primary_of(self.view_guess);
-            ctx.send(NodeId(primary), Message::Request(req).to_wire());
+            ctx.send(
+                self.cfg.replica_node(primary),
+                Message::Request(req).to_wire_tagged(self.cfg.shard),
+            );
         }
         ctx.emit(self.view_guess, ts, ProtocolEvent::ClientOpSubmitted);
         let timeout = if self.cfg.adaptive_timeouts {
@@ -183,7 +200,7 @@ impl ClientCore {
         } else {
             self.cfg.client_timeout
         };
-        let timer = ctx.set_timer(timeout, TOKEN_CLIENT_RETRANS);
+        let timer = ctx.set_timer(timeout, self.retrans_token);
         self.pending = Some(Pending {
             ts,
             op,
@@ -215,9 +232,9 @@ impl ClientCore {
 
     fn broadcast(&self, req: &RequestMsg, ctx: &mut Context<'_>) {
         // Encode once; every replica shares the same allocation.
-        let wire = Payload::from(Message::Request(req.clone()).to_wire());
+        let wire = Payload::from(Message::Request(req.clone()).to_wire_tagged(self.cfg.shard));
         for i in 0..self.cfg.n {
-            ctx.send(NodeId(i), wire.clone());
+            ctx.send(self.cfg.replica_node(i), wire.clone());
         }
     }
 
@@ -229,9 +246,12 @@ impl ClientCore {
         payload: &[u8],
         ctx: &mut Context<'_>,
     ) -> Option<ClientEvent> {
-        let Some(Message::Reply(reply)) = Message::from_wire(payload) else {
+        let Some((shard, Message::Reply(reply))) = Message::from_wire_tagged(payload) else {
             return None;
         };
+        if shard != self.cfg.shard {
+            return None;
+        }
         self.on_reply(reply, ctx)
     }
 
@@ -316,7 +336,7 @@ impl ClientCore {
     /// Handles the retransmission timer. Returns true if the token belonged
     /// to this core.
     pub fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) -> bool {
-        if token != TOKEN_CLIENT_RETRANS {
+        if token != self.retrans_token {
             return false;
         }
         if self.bug_never_retransmit {
@@ -375,7 +395,7 @@ impl ClientCore {
             ));
             backoff + jitter
         };
-        let timer = ctx.set_timer(delay, TOKEN_CLIENT_RETRANS);
+        let timer = ctx.set_timer(delay, self.retrans_token);
         if let Some(p) = self.pending.as_mut() {
             p.timer = Some(timer);
         }

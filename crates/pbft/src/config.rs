@@ -90,6 +90,22 @@ pub struct Config {
     /// verify and skip chunks the fetcher already holds. Consensus-critical:
     /// all replicas must configure the same value.
     pub chunk_size: usize,
+    /// Shard (replica-group) identity. `0` — the default — is the classic
+    /// single-group deployment and keeps every message byte-identical to
+    /// the unsharded wire format; non-zero shards prefix their messages
+    /// with a shard envelope so groups sharing one simulated network never
+    /// accept each other's traffic (on top of per-shard key directories,
+    /// whose MACs would not cross-verify anyway).
+    pub shard: u32,
+    /// First simulator node of this group's replica range: replica `i`
+    /// lives at node `node_base + i`. Defaults to `0` (the unsharded
+    /// layout). Sharded deployments place shard `s` at `s * n`.
+    pub node_base: usize,
+    /// First simulator node of this group's client range: the client with
+    /// protocol id `c` (`c >= n` within the group's key directory) lives at
+    /// node `client_base + (c - n)`. Defaults to `n`, which reproduces the
+    /// unsharded layout where clients directly follow the replicas.
+    pub client_base: usize,
 }
 
 impl Config {
@@ -123,7 +139,20 @@ impl Config {
             exec_workers: 1,
             coded_transfer: false,
             chunk_size: 0,
+            shard: 0,
+            node_base: 0,
+            client_base: n,
         }
+    }
+
+    /// Re-bases the group at `shard` with its replicas starting at
+    /// `node_base` and its clients at `client_base` (sharded deployments;
+    /// see [`shard`](Self::shard)).
+    pub fn with_shard(mut self, shard: u32, node_base: usize, client_base: usize) -> Self {
+        self.shard = shard;
+        self.node_base = node_base;
+        self.client_base = client_base;
+        self
     }
 
     /// Maximum number of Byzantine faults tolerated: `f = (n - 1) / 3`.
@@ -146,19 +175,26 @@ impl Config {
         (view % self.n as u64) as usize
     }
 
-    /// Simulator node of replica `i` (replicas occupy nodes `0..n`).
+    /// Simulator node of replica `i` (replicas occupy nodes
+    /// `node_base..node_base + n`).
     pub fn replica_node(&self, i: usize) -> NodeId {
-        NodeId(i)
+        NodeId(self.node_base + i)
     }
 
     /// Iterator over all replica nodes.
     pub fn replica_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.n).map(NodeId)
+        (0..self.n).map(|i| self.replica_node(i))
     }
 
-    /// True if `node` hosts a replica.
+    /// True if `node` hosts a replica of this group.
     pub fn is_replica(&self, node: NodeId) -> bool {
-        node.0 < self.n
+        node.0 >= self.node_base && node.0 < self.node_base + self.n
+    }
+
+    /// Simulator node of the client with protocol id `client` (client ids
+    /// within a group's key directory start at `n`).
+    pub fn client_node(&self, client: u32) -> NodeId {
+        NodeId(self.client_base + (client as usize).saturating_sub(self.n))
     }
 
     /// Highest sequence number the group accepts given stable checkpoint
@@ -214,6 +250,34 @@ mod tests {
     #[should_panic(expected = "n >= 3f + 1")]
     fn too_few_replicas_panics() {
         Config::new(3);
+    }
+
+    #[test]
+    fn default_layout_is_the_unsharded_one() {
+        let c = Config::new(4);
+        assert_eq!(c.shard, 0);
+        assert_eq!(c.replica_node(2), NodeId(2));
+        assert_eq!(c.client_node(4), NodeId(4));
+        assert_eq!(c.client_node(6), NodeId(6));
+        assert!(c.is_replica(NodeId(3)));
+        assert!(!c.is_replica(NodeId(4)));
+    }
+
+    #[test]
+    fn sharded_layout_rebases_replicas_and_clients() {
+        // Shard 1 of a 2-shard, n=4 deployment with 3 shared router
+        // clients: replicas at 4..8, clients at 8..11.
+        let c = Config::new(4).with_shard(1, 4, 8);
+        assert_eq!(c.replica_node(0), NodeId(4));
+        assert_eq!(c.replica_node(3), NodeId(7));
+        assert_eq!(c.replica_nodes().collect::<Vec<_>>(), (4..8).map(NodeId).collect::<Vec<_>>());
+        assert!(!c.is_replica(NodeId(3)));
+        assert!(c.is_replica(NodeId(4)));
+        assert!(!c.is_replica(NodeId(8)));
+        // Client protocol id 4 (first client of the group's directory)
+        // lives at the first router node; id 6 at the third.
+        assert_eq!(c.client_node(4), NodeId(8));
+        assert_eq!(c.client_node(6), NodeId(10));
     }
 
     #[test]

@@ -1064,6 +1064,11 @@ pub enum Message {
     FragReply(FragReplyMsg),
 }
 
+/// Envelope discriminant for shard-tagged messages. Chosen just past the
+/// last [`Message`] variant tag, so a plain (shard-0) message can never be
+/// mistaken for an envelope and vice versa.
+pub const SHARD_ENVELOPE_TAG: u32 = 19;
+
 impl Message {
     /// Encodes to wire bytes.
     pub fn to_wire(&self) -> Vec<u8> {
@@ -1074,6 +1079,41 @@ impl Message {
     /// senders can produce arbitrary bytes).
     pub fn from_wire(bytes: &[u8]) -> Option<Message> {
         from_bytes(bytes).ok()
+    }
+
+    /// Encodes to wire bytes carrying the sender's shard identity. Shard 0
+    /// emits the plain unsharded encoding — byte-identical to
+    /// [`Message::to_wire`] — so single-group deployments never pay for (or
+    /// reveal) the envelope; other shards prefix
+    /// `[SHARD_ENVELOPE_TAG, shard]` ahead of the plain encoding.
+    pub fn to_wire_tagged(&self, shard: u32) -> Vec<u8> {
+        if shard == 0 {
+            return self.to_wire();
+        }
+        let mut enc = XdrEncoder::new();
+        enc.put_u32(SHARD_ENVELOPE_TAG);
+        enc.put_u32(shard);
+        self.encode(&mut enc);
+        enc.finish()
+    }
+
+    /// Decodes wire bytes that may carry a shard envelope, returning the
+    /// sender's shard alongside the message. Plain (unprefixed) messages
+    /// decode as shard 0; the envelope's `shard` field is forbidden from
+    /// claiming 0 (shard 0 always sends plain bytes), so every encoding
+    /// has exactly one parse.
+    pub fn from_wire_tagged(bytes: &[u8]) -> Option<(u32, Message)> {
+        let mut dec = XdrDecoder::new(bytes);
+        if dec.get_u32().ok()? == SHARD_ENVELOPE_TAG {
+            let shard = dec.get_u32().ok()?;
+            if shard == 0 {
+                return None;
+            }
+            let msg = Message::decode(&mut dec).ok()?;
+            dec.finish().ok()?;
+            return Some((shard, msg));
+        }
+        Some((0, Message::from_wire(bytes)?))
     }
 
     /// Short name for tracing.
@@ -1236,6 +1276,35 @@ mod tests {
         let m = Message::Request(r.clone());
         let decoded = Message::from_wire(&m.to_wire()).unwrap();
         assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn shard_zero_tagged_encoding_is_plain() {
+        let m = Message::Request(sample_request(&keys()));
+        assert_eq!(m.to_wire_tagged(0), m.to_wire());
+        assert_eq!(Message::from_wire_tagged(&m.to_wire()), Some((0, m.clone())));
+    }
+
+    #[test]
+    fn shard_envelope_round_trips_and_is_unambiguous() {
+        let m = Message::Request(sample_request(&keys()));
+        let tagged = m.to_wire_tagged(3);
+        assert_ne!(tagged, m.to_wire());
+        assert_eq!(Message::from_wire_tagged(&tagged), Some((3, m.clone())));
+        // A tagged frame is not a valid plain message, and an envelope
+        // claiming shard 0 (which always sends plain bytes) is rejected,
+        // so every byte string has at most one parse.
+        assert_eq!(Message::from_wire(&tagged), None);
+        let mut forged = XdrEncoder::new();
+        forged.put_u32(SHARD_ENVELOPE_TAG);
+        forged.put_u32(0);
+        m.encode(&mut forged);
+        assert_eq!(Message::from_wire_tagged(&forged.finish()), None);
+        // Trailing bytes after the enveloped message are rejected just
+        // like the plain decoder rejects them.
+        let mut trailing = m.to_wire_tagged(3);
+        trailing.push(0);
+        assert_eq!(Message::from_wire_tagged(&trailing), None);
     }
 
     #[test]

@@ -362,7 +362,7 @@ impl<S: Service> Replica<S> {
         if matches!(self.byz, ByzMode::Mute) {
             return;
         }
-        ctx.send(to, msg.to_wire());
+        ctx.send(to, msg.to_wire_tagged(self.cfg.shard));
     }
 
     fn multicast(&self, ctx: &mut Context<'_>, msg: &Message) {
@@ -370,10 +370,10 @@ impl<S: Service> Replica<S> {
             return;
         }
         // Encode once; every recipient shares the same allocation.
-        let wire = Payload::from(msg.to_wire());
+        let wire = Payload::from(msg.to_wire_tagged(self.cfg.shard));
         for i in 0..self.cfg.n {
             if i != self.id as usize {
-                ctx.send(NodeId(i), wire.clone());
+                ctx.send(self.cfg.replica_node(i), wire.clone());
             }
         }
     }
@@ -401,7 +401,7 @@ impl<S: Service> Replica<S> {
             let full = self.is_full_replier(&req);
             let reply =
                 self.make_reply(req.client(), req.timestamp(), result.to_vec(), full, false, ctx);
-            self.send(ctx, NodeId(req.client() as usize), &Message::Reply(reply));
+            self.send(ctx, self.cfg.client_node(req.client()), &Message::Reply(reply));
             return;
         }
         if !self.reply_cache.is_new(req.client(), req.timestamp()) {
@@ -428,7 +428,7 @@ impl<S: Service> Replica<S> {
                     self.pending.push_back(req);
                 }
             } else {
-                self.send(ctx, NodeId(primary), &Message::Request(req));
+                self.send(ctx, self.cfg.replica_node(primary), &Message::Request(req));
             }
             if is_new && self.vc_timer.is_none() && !self.in_view_change {
                 // Fresh arm (no escalation in progress): start from the
@@ -469,7 +469,7 @@ impl<S: Service> Replica<S> {
         // Read-only replies bypass agreement: mark them tentative so the
         // client knows this result reflects executed state only.
         let reply = self.make_reply(req.client(), req.timestamp(), result, full, true, ctx);
-        self.send(ctx, NodeId(req.client() as usize), &Message::Reply(reply));
+        self.send(ctx, self.cfg.client_node(req.client()), &Message::Reply(reply));
     }
 
     /// Whether committed-but-unexecuted work (or an active state transfer)
@@ -649,7 +649,7 @@ impl<S: Service> Replica<S> {
             } else {
                 Message::PrePrepare(alt.clone())
             };
-            self.send(ctx, NodeId(i), &msg);
+            self.send(ctx, self.cfg.replica_node(i), &msg);
         }
     }
 
@@ -924,7 +924,7 @@ impl<S: Service> Replica<S> {
                         false,
                         ctx,
                     );
-                    self.send(ctx, NodeId(req.client() as usize), &Message::Reply(reply));
+                    self.send(ctx, self.cfg.client_node(req.client()), &Message::Reply(reply));
                 }
                 continue;
             }
@@ -947,7 +947,7 @@ impl<S: Service> Replica<S> {
             self.stats.executed_requests += 1;
             let full = self.is_full_replier(req);
             let reply = self.make_reply(req.client(), req.timestamp(), result, full, false, ctx);
-            self.send(ctx, NodeId(req.client() as usize), &Message::Reply(reply));
+            self.send(ctx, self.cfg.client_node(req.client()), &Message::Reply(reply));
             self.awaiting.remove(&(req.client(), req.timestamp()));
         }
     }
@@ -1071,7 +1071,7 @@ impl<S: Service> Replica<S> {
             fetcher.enable_coded(f + 1, f, self.cfg.chunk_size);
         }
         for (to, msg) in fetcher.begin() {
-            self.send(ctx, NodeId(to as usize), &msg);
+            self.send(ctx, self.cfg.replica_node(to as usize), &msg);
         }
         self.fetcher = Some(fetcher);
         self.fetch_started_at_ns = ctx.now().as_nanos();
@@ -1199,7 +1199,7 @@ impl<S: Service> Replica<S> {
             digests,
             replica: self.id,
         };
-        self.send(ctx, NodeId(m.replica as usize), &Message::MetaReply(reply));
+        self.send(ctx, self.cfg.replica_node(m.replica as usize), &Message::MetaReply(reply));
     }
 
     fn handle_fetch_object(&mut self, m: FetchObjectMsg, ctx: &mut Context<'_>) {
@@ -1219,7 +1219,7 @@ impl<S: Service> Replica<S> {
         };
         ctx.charge(self.cost.digest(data.len()));
         let reply = ObjectReplyMsg { seq: m.seq, index: m.index, data, replica: self.id };
-        self.send(ctx, NodeId(m.replica as usize), &Message::ObjectReply(reply));
+        self.send(ctx, self.cfg.replica_node(m.replica as usize), &Message::ObjectReply(reply));
     }
 
     fn handle_meta_reply(&mut self, m: MetaReplyMsg, ctx: &mut Context<'_>) {
@@ -1234,7 +1234,7 @@ impl<S: Service> Replica<S> {
             ProtocolEvent::StateTransferFetchChunk { bytes: (m.digests.len() * 32) as u64 },
         );
         for (to, msg) in out {
-            self.send(ctx, NodeId(to as usize), &msg);
+            self.send(ctx, self.cfg.replica_node(to as usize), &msg);
         }
         if let Some(result) = done {
             self.finish_fetch(result, ctx);
@@ -1253,7 +1253,7 @@ impl<S: Service> Replica<S> {
             ProtocolEvent::StateTransferFetchChunk { bytes: m.data.len() as u64 },
         );
         for (to, msg) in out {
-            self.send(ctx, NodeId(to as usize), &msg);
+            self.send(ctx, self.cfg.replica_node(to as usize), &msg);
         }
         if let Some(result) = done {
             self.finish_fetch(result, ctx);
@@ -1275,7 +1275,7 @@ impl<S: Service> Replica<S> {
             digests,
             replica: self.id,
         };
-        self.send(ctx, NodeId(m.replica as usize), &Message::ChunksReply(reply));
+        self.send(ctx, self.cfg.replica_node(m.replica as usize), &Message::ChunksReply(reply));
     }
 
     fn handle_fetch_frag(&mut self, m: FetchFragMsg, ctx: &mut Context<'_>) {
@@ -1311,7 +1311,7 @@ impl<S: Service> Replica<S> {
             data: frag,
             replica: self.id,
         };
-        self.send(ctx, NodeId(m.replica as usize), &Message::FragReply(reply));
+        self.send(ctx, self.cfg.replica_node(m.replica as usize), &Message::FragReply(reply));
     }
 
     fn handle_chunks_reply(&mut self, m: ChunksReplyMsg, ctx: &mut Context<'_>) {
@@ -1333,7 +1333,7 @@ impl<S: Service> Replica<S> {
             ProtocolEvent::StateTransferFetchChunk { bytes: (m.digests.len() * 32) as u64 },
         );
         for (to, msg) in out {
-            self.send(ctx, NodeId(to as usize), &msg);
+            self.send(ctx, self.cfg.replica_node(to as usize), &msg);
         }
         if let Some(result) = done {
             self.finish_fetch(result, ctx);
@@ -1352,7 +1352,7 @@ impl<S: Service> Replica<S> {
             ProtocolEvent::StateTransferFetchChunk { bytes: m.data.len() as u64 },
         );
         for (to, msg) in out {
-            self.send(ctx, NodeId(to as usize), &msg);
+            self.send(ctx, self.cfg.replica_node(to as usize), &msg);
         }
         if let Some(result) = done {
             self.finish_fetch(result, ctx);
@@ -1364,7 +1364,7 @@ impl<S: Service> Replica<S> {
             return;
         }
         let reply = CertReplyMsg { msgs: self.stable_cert.clone(), replica: self.id };
-        self.send(ctx, NodeId(m.replica as usize), &Message::CertReply(reply));
+        self.send(ctx, self.cfg.replica_node(m.replica as usize), &Message::CertReply(reply));
     }
 
     fn handle_cert_reply(&mut self, m: CertReplyMsg, ctx: &mut Context<'_>) {
@@ -1742,7 +1742,7 @@ impl<S: Service> Replica<S> {
             let resend = f.tick();
             let msgs: Vec<(u32, Message)> = resend;
             for (to, msg) in msgs {
-                self.send(ctx, NodeId(to as usize), &msg);
+                self.send(ctx, self.cfg.replica_node(to as usize), &msg);
             }
         }
 
@@ -1831,7 +1831,7 @@ impl<S: Service> Replica<S> {
         if st.replica as usize >= self.cfg.n || st.replica == self.id {
             return;
         }
-        let to = NodeId(st.replica as usize);
+        let to = self.cfg.replica_node(st.replica as usize);
         // Peer stuck in an older view: resend the new-view message.
         if st.view < self.view {
             if let Some(nv) = &self.last_nv_msg {
@@ -2013,10 +2013,16 @@ impl<S: Service> Actor for Replica<S> {
 
     fn on_message(&mut self, from: NodeId, payload: &[u8], ctx: &mut Context<'_>) {
         ctx.charge(self.cost.handle);
-        let Some(msg) = Message::from_wire(payload) else {
+        let Some((shard, msg)) = Message::from_wire_tagged(payload) else {
             self.stats.rejected_messages += 1;
             return;
         };
+        if shard != self.cfg.shard {
+            // Another group's traffic on the shared network; its MACs would
+            // not verify here anyway, but reject it before any crypto work.
+            self.stats.rejected_messages += 1;
+            return;
+        }
         let _ = from;
         match msg {
             Message::Request(r) => self.handle_request(r, ctx),

@@ -117,13 +117,17 @@ impl Histogram {
 
 /// A named set of counters and histograms.
 ///
-/// Names are `&'static str` by convention (`"replica.batch_occupancy"`,
-/// `"client.request_latency_ns"`); `BTreeMap` keys keep every iteration —
-/// and therefore every JSON export — deterministically ordered.
+/// Names are usually `&'static str` literals by convention
+/// (`"replica.batch_occupancy"`, `"client.request_latency_ns"`), but any
+/// `Into<String>` works — multi-group aggregation namespaces registries
+/// with computed prefixes like `"s1.replica2."`
+/// ([`MetricsRegistry::merge_prefixed`]). `BTreeMap` keys keep every
+/// iteration — and therefore every JSON export — deterministically
+/// ordered.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<&'static str, u64>,
-    histograms: BTreeMap<&'static str, Histogram>,
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
 }
 
 impl MetricsRegistry {
@@ -133,13 +137,13 @@ impl MetricsRegistry {
     }
 
     /// Adds 1 to counter `name`.
-    pub fn inc(&mut self, name: &'static str) {
+    pub fn inc(&mut self, name: impl Into<String>) {
         self.add(name, 1);
     }
 
     /// Adds `n` to counter `name`.
-    pub fn add(&mut self, name: &'static str, n: u64) {
-        *self.counters.entry(name).or_default() += n;
+    pub fn add(&mut self, name: impl Into<String>, n: u64) {
+        *self.counters.entry(name.into()).or_default() += n;
     }
 
     /// Current value of counter `name` (0 when never touched).
@@ -148,12 +152,12 @@ impl MetricsRegistry {
     }
 
     /// Records a sample into histogram `name`.
-    pub fn observe(&mut self, name: &'static str, value: u64) {
-        self.histograms.entry(name).or_default().observe(value);
+    pub fn observe(&mut self, name: impl Into<String>, value: u64) {
+        self.histograms.entry(name.into()).or_default().observe(value);
     }
 
     /// Records a sim-duration sample (in nanoseconds) into `name`.
-    pub fn observe_duration(&mut self, name: &'static str, d: SimDuration) {
+    pub fn observe_duration(&mut self, name: impl Into<String>, d: SimDuration) {
         self.observe(name, d.as_nanos());
     }
 
@@ -163,13 +167,13 @@ impl MetricsRegistry {
     }
 
     /// All counters, name-ordered.
-    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(k, v)| (*k, *v))
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
     /// All histograms, name-ordered.
-    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
-        self.histograms.iter().map(|(k, v)| (*k, v))
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
     /// Adds every counter and histogram of `other` into `self`.
@@ -177,10 +181,26 @@ impl MetricsRegistry {
     /// in any grouping and the result is identical.
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (name, v) in &other.counters {
-            *self.counters.entry(name).or_default() += v;
+            *self.counters.entry(name.clone()).or_default() += v;
         }
         for (name, h) in &other.histograms {
-            self.histograms.entry(name).or_default().merge(h);
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Adds every counter and histogram of `other` into `self` under
+    /// `prefix` (e.g. `"s1.replica2."` for shard 1's replica 2), so merged
+    /// multi-group registries cannot collide: the same protocol metric from
+    /// two replica groups lands under two distinct names instead of summing
+    /// silently. As with [`MetricsRegistry::merge`], prefixed merges are
+    /// order-insensitive — any interleaving of sources yields the same
+    /// registry.
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &MetricsRegistry) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(format!("{prefix}{name}")).or_default() += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(format!("{prefix}{name}")).or_default().merge(h);
         }
     }
 
@@ -338,6 +358,44 @@ mod tests {
         assert_eq!(ab.counter("y"), 1);
         assert_eq!(ab.histogram("h").unwrap().count(), 2);
         assert_eq!(ab.to_json(), ba.to_json());
+    }
+
+    #[test]
+    fn prefixed_merge_namespaces_and_is_order_insensitive() {
+        // Two replica groups report the same protocol metric names; a shard
+        // aggregator must keep them apart and must not depend on which
+        // group's registry arrives first.
+        let mut s0r1 = MetricsRegistry::new();
+        s0r1.add("replica.commits", 5);
+        s0r1.observe("replica.batch_occupancy", 3);
+        let mut s1r1 = MetricsRegistry::new();
+        s1r1.add("replica.commits", 9);
+        s1r1.observe("replica.batch_occupancy", 4);
+
+        let mut fwd = MetricsRegistry::new();
+        fwd.merge_prefixed("s0.replica1.", &s0r1);
+        fwd.merge_prefixed("s1.replica1.", &s1r1);
+        let mut rev = MetricsRegistry::new();
+        rev.merge_prefixed("s1.replica1.", &s1r1);
+        rev.merge_prefixed("s0.replica1.", &s0r1);
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.to_json(), rev.to_json());
+
+        // No silent summing across groups.
+        assert_eq!(fwd.counter("s0.replica1.replica.commits"), 5);
+        assert_eq!(fwd.counter("s1.replica1.replica.commits"), 9);
+        assert_eq!(fwd.counter("replica.commits"), 0);
+        assert_eq!(
+            fwd.histogram("s1.replica1.replica.batch_occupancy")
+                .unwrap()
+                .count(),
+            1
+        );
+
+        // Prefixed merge with the same prefix still accumulates exactly.
+        let mut again = fwd.clone();
+        again.merge_prefixed("s0.replica1.", &s0r1);
+        assert_eq!(again.counter("s0.replica1.replica.commits"), 10);
     }
 
     #[test]

@@ -22,3 +22,10 @@ cargo test -q -p base-bench --test pipeline_equivalence
 # roots at chunk_size 0 — and survive fragment drops/corruption (see
 # crates/pbft/tests/coded_transfer.rs).
 cargo test -q -p base-pbft --test coded_transfer
+
+# Sharding equivalence gate: a shards=1 deployment must be byte-identical
+# to the unsharded one — replies, virtual-time latencies, state roots and
+# protocol progress (see crates/core/tests/shard_equivalence.rs). On
+# divergence the suite writes both fingerprints under
+# target/tmp/equivalence/.
+cargo test -q -p base --test shard_equivalence
